@@ -1,0 +1,35 @@
+// Ablation (Section 4.2): allocation strategy. Greedy cheapest-first
+// exploits the slicing arbitrage (a large host is often cheaper per nested
+// slot than a small host); stability-first instead picks the market with the
+// fewest past revocations. Compared against the evaluated pool policies.
+
+#include <cstdio>
+
+#include "bench/grid_util.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Ablation: allocation strategy (40 VMs, six months) ===\n");
+  std::printf("%-10s %12s %12s %12s %10s %10s\n", "policy", "cost($/hr)",
+              "unavail(%)", "degr(%)", "revocs", "backups");
+
+  const MappingPolicyKind kPolicies[] = {
+      MappingPolicyKind::k1PM,          MappingPolicyKind::k4PED,
+      MappingPolicyKind::k4PCost,       MappingPolicyKind::k4PStability,
+      MappingPolicyKind::kGreedyCheapest, MappingPolicyKind::kStabilityFirst};
+  for (MappingPolicyKind policy : kPolicies) {
+    const EvaluationResult result = RunPolicyEvaluation(
+        GridConfig(policy, MigrationMechanism::kSpotCheckLazyRestore));
+    std::printf("%-10s %12.4f %12.5f %12.4f %10lld %10d\n",
+                std::string(MappingPolicyName(policy)).c_str(),
+                result.avg_cost_per_vm_hour, result.unavailability_pct,
+                result.degradation_pct,
+                static_cast<long long>(result.revocation_events),
+                result.num_backup_servers);
+  }
+  std::printf("\nexpected: greedy tracks the cheapest per-slot market;"
+              " stability-first concentrates on the calm m3.medium market\n"
+              "(lowest migrations), echoing 1P-M\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation (Section 4.3): bidding policies. Bidding k times the on-demand
+// price lowers the revocation frequency at a higher worst-case cost, and
+// (for k > 1) enables proactive live migration -- evacuating when the price
+// crosses the on-demand level but is still below the bid.
+
+#include <cstdio>
+
+#include "bench/grid_util.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Ablation: bidding policy (1P-M over the four m3 pools) ===\n");
+  std::printf("%-22s %-10s %10s %10s %12s %12s %12s\n", "bid", "proactive",
+              "revocs", "proact", "cost($/hr)", "unavail(%)", "degr(%)");
+
+  // Spike prices start at ~2x the on-demand price (the Fig. 6(a) knee), so
+  // bids between 1x and 2x change nothing -- exactly the paper's point that
+  // bidding the on-demand price approximates the optimum. Higher bids ride
+  // out the cheaper spikes.
+  const struct {
+    double k;
+    bool proactive;
+  } kRows[] = {{1.0, false}, {2.0, false}, {3.0, false},
+               {5.0, false}, {3.0, true},  {5.0, true}};
+  for (const auto& row : kRows) {
+    EvaluationConfig config =
+        GridConfig(MappingPolicyKind::k4PED, MigrationMechanism::kSpotCheckLazyRestore);
+    config.bidding = row.k == 1.0 ? BiddingPolicy::OnDemand()
+                                  : BiddingPolicy::Multiple(row.k);
+    config.proactive = row.proactive;
+    const EvaluationResult result = RunPolicyEvaluation(config);
+    std::printf("%-22s %-10s %10lld %10lld %12.4f %12.5f %12.4f\n",
+                config.bidding.ToString().c_str(), row.proactive ? "yes" : "no",
+                static_cast<long long>(result.revocation_events),
+                static_cast<long long>(result.repatriations),
+                result.avg_cost_per_vm_hour, result.unavailability_pct,
+                result.degradation_pct);
+  }
+  std::printf("\nexpected: higher bids cut revocations (the availability-bid"
+              " curve flattens past the on-demand price, Fig. 6(a));\n"
+              "proactive migration converts the remaining evacuations into"
+              " zero-downtime live migrations\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 11: nested VM unavailability (%) over six months for each mapping
+// policy and migration mechanism, counting the downtime of every evacuation
+// (checkpoint commit + EBS/ENI operations + restore).
+
+#include <cstdio>
+
+#include "bench/grid_util.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Figure 11: unavailability under various policies ===\n");
+  PrintGrid("unavailability", "percent of VM lifetime", "fig11_unavailability",
+            [](const EvaluationResult& r) { return r.unavailability_pct; });
+  std::printf("\npaper: 1P-M with lazy restore reaches 99.9989%% availability"
+              " (~10x better than native spot's 90-99%%); unoptimized full\n"
+              "restore stays below 0.25%% unavailability; live migration is"
+              " lowest but risks VM loss\n");
+  return 0;
+}

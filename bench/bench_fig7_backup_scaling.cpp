@@ -1,0 +1,55 @@
+// Figure 7: effect on application performance as the number of nested VMs
+// checkpointing to a single backup server grows.
+//
+// Columns match the paper: "0" = no checkpointing, "1" = checkpointing with a
+// dedicated backup server, then 10..50 VMs multiplexed on one server.
+// SPECjbb reports throughput (bops), TPC-W reports response time (ms).
+
+#include <cstdio>
+
+#include "bench/csv_out.h"
+#include "src/backup/backup_server.h"
+#include "src/workload/workload_model.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Figure 7: VMs per backup server vs application performance ===\n");
+  std::printf("%-6s  %-22s  %-22s\n", "VMs", "SPECjbb tput (bops)",
+              "TPC-W resp. time (ms)");
+
+  const TpcwModel tpcw;
+  const SpecJbbModel specjbb;
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int vms : {0, 1, 10, 20, 30, 35, 40, 45, 50}) {
+    RunConditions tpcw_conditions;
+    RunConditions jbb_conditions;
+    if (vms > 0) {
+      BackupServer server(BackupServerId(1), InstanceType::kM3Xlarge,
+                          BackupServerPerf{}, /*max_vms=*/64);
+      // Figure 7 runs the same benchmark in every VM; model the two columns
+      // with their respective per-VM checkpoint demands.
+      BackupServer jbb_server = server;
+      for (int i = 1; i <= vms; ++i) {
+        server.AddStream(NestedVmId(i), TpcwProfile().checkpoint_demand_mbps);
+        jbb_server.AddStream(NestedVmId(i), SpecJbbProfile().checkpoint_demand_mbps);
+      }
+      tpcw_conditions.checkpointing = true;
+      tpcw_conditions.backup_load_factor = server.CheckpointLoadFactor();
+      jbb_conditions.checkpointing = true;
+      jbb_conditions.backup_load_factor = jbb_server.CheckpointLoadFactor();
+    }
+    const double bops = specjbb.ThroughputBops(jbb_conditions);
+    const double rt = tpcw.ResponseTimeMs(tpcw_conditions);
+    std::printf("%-6d  %-22.0f  %-22.1f\n", vms, bops, rt);
+    csv_rows.push_back(
+        {std::to_string(vms), FormatCell(bops), FormatCell(rt)});
+  }
+  ExportSeriesCsv("fig7_backup_scaling",
+                  {"vms_per_backup", "specjbb_bops", "tpcw_response_ms"}, csv_rows);
+  std::printf("\npaper: TPC-W +15%% when checkpointing turns on; both workloads"
+              " degrade ~30%% beyond ~35-40 VMs -> SpotCheck caps a backup\n"
+              "server at 35-40 VMs (amortized cost $0.28/40 = $0.007 per"
+              " VM-hour)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 8: cost of restoring nested VMs from a backup server during a
+// revocation, with and without SpotCheck's fadvise-based optimizations.
+//   (a) downtime of a traditional (stop-and-copy) full restore,
+//   (b) degraded-performance duration of a lazy restore,
+// each for 1, 5, and 10 VMs restored concurrently from one backup server.
+
+#include <cstdio>
+
+#include "bench/csv_out.h"
+#include "src/backup/backup_server.h"
+#include "src/virt/migration_models.h"
+
+using namespace spotcheck;
+
+namespace {
+
+constexpr double kVmMemoryMb = 3072.0;  // m3.medium-sized nested VM
+
+RestoreOutcome Restore(const BackupServer& server, RestoreKind kind,
+                       bool optimized, int concurrent) {
+  RestoreParams params;
+  params.kind = kind;
+  params.memory_mb = kVmMemoryMb;
+  params.bandwidth_mbps = server.PerVmRestoreBandwidth(kind, optimized, concurrent);
+  return ComputeRestore(params);
+}
+
+}  // namespace
+
+int main() {
+  const BackupServer server(BackupServerId(1), InstanceType::kM3Xlarge,
+                            BackupServerPerf{}, 40);
+
+  std::printf("=== Figure 8(a): downtime of Full restore (seconds) ===\n");
+  std::printf("%-12s  %-24s  %-24s\n", "concurrent", "Unoptimized Full restore",
+              "SpotCheck Full restore");
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int n : {1, 5, 10}) {
+    const double unopt_full =
+        Restore(server, RestoreKind::kFull, false, n).downtime.seconds();
+    const double opt_full =
+        Restore(server, RestoreKind::kFull, true, n).downtime.seconds();
+    std::printf("%-12d  %-24.1f  %-24.1f\n", n, unopt_full, opt_full);
+    csv_rows.push_back({std::to_string(n), FormatCell(unopt_full),
+                        FormatCell(opt_full), "", ""});
+  }
+
+  std::printf("\n=== Figure 8(b): degraded-performance duration of Lazy restore"
+              " (seconds) ===\n");
+  std::printf("%-12s  %-24s  %-24s\n", "concurrent", "Unoptimized Lazy restore",
+              "SpotCheck Lazy restore");
+  {
+    int row = 0;
+    for (int n : {1, 5, 10}) {
+      const RestoreOutcome unopt = Restore(server, RestoreKind::kLazy, false, n);
+      const RestoreOutcome opt = Restore(server, RestoreKind::kLazy, true, n);
+      std::printf("%-12d  %-24.1f  %-24.1f\n", n, unopt.degraded.seconds(),
+                  opt.degraded.seconds());
+      csv_rows[row][3] = FormatCell(unopt.degraded.seconds());
+      csv_rows[row][4] = FormatCell(opt.degraded.seconds());
+      ++row;
+    }
+  }
+  ExportSeriesCsv("fig8_restore",
+                  {"concurrent", "full_unopt_downtime_s", "full_opt_downtime_s",
+                   "lazy_unopt_degraded_s", "lazy_opt_degraded_s"},
+                  csv_rows);
+
+  std::printf("\n=== lazy-restore resume downtime (skeleton read) ===\n");
+  for (int n : {1, 5, 10}) {
+    std::printf("concurrent=%-3d downtime=%.3f s\n", n,
+                Restore(server, RestoreKind::kLazy, true, n).downtime.seconds());
+  }
+  std::printf("\npaper: at 1 and 5 concurrent restores, lazy and stop-and-copy"
+              " windows are comparable; at 10, unoptimized lazy (random reads)\n"
+              "blows up and the fadvise optimization recovers most of it."
+              " Lazy resume stays < 0.1 s at low concurrency.\n");
+  return 0;
+}

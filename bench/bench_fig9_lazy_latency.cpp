@@ -1,0 +1,40 @@
+// Figure 9: TPC-W average response time as a function of the number of
+// nested VMs being concurrently lazily restored from one backup server
+// (0 = normal operation). Per-VM bandwidth partitioning keeps the penalty
+// nearly flat across concurrency.
+
+#include <cstdio>
+
+#include "bench/csv_out.h"
+#include "src/backup/backup_server.h"
+#include "src/workload/workload_model.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Figure 9: TPC-W response time during lazy restoration ===\n");
+  std::printf("%-12s  %-24s\n", "concurrent", "TPC-W resp. time (ms)");
+
+  const BackupServer server(BackupServerId(1), InstanceType::kM3Xlarge,
+                            BackupServerPerf{}, 40);
+  const TpcwModel tpcw;
+  std::vector<std::vector<std::string>> csv_rows;
+  for (int n : {0, 1, 5, 10}) {
+    RunConditions conditions;
+    conditions.checkpointing = n > 0;
+    if (n > 0) {
+      conditions.lazily_restoring = true;
+      conditions.restore_bandwidth_mbps =
+          server.PerVmRestoreBandwidth(RestoreKind::kLazy, true, n);
+    }
+    const double rt = tpcw.ResponseTimeMs(conditions);
+    std::printf("%-12d  %-24.1f\n", n, rt);
+    csv_rows.push_back({std::to_string(n), FormatCell(rt)});
+  }
+  ExportSeriesCsv("fig9_lazy_latency", {"concurrent", "tpcw_response_ms"},
+                  csv_rows);
+  std::printf("\npaper: 29 ms at rest -> ~60 ms while restoring one VM;"
+              " additional concurrent restorations do not significantly\n"
+              "degrade response time because bandwidth is partitioned per VM\n");
+  return 0;
+}

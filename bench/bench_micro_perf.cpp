@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark) for the building blocks: event-queue
+// throughput, price-trace generation, migration planning, and a full
+// six-month end-to-end policy evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/evaluation.h"
+#include "src/market/spot_price_process.h"
+#include "src/sim/simulator.h"
+#include "src/virt/migration_models.h"
+
+namespace spotcheck {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  for (auto _ : state) {
+    Simulator sim;
+    for (int64_t i = 0; i < events; ++i) {
+      sim.ScheduleAt(SimTime::FromMicros(i * 7919 % 1'000'000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_PriceTraceGeneration(benchmark::State& state) {
+  const SimDuration horizon = SimDuration::Days(state.range(0));
+  int zone = 0;
+  for (auto _ : state) {
+    const PriceTrace trace = GenerateMarketTrace(
+        MarketKey{InstanceType::kM3Large, AvailabilityZone{zone++ % 18}}, horizon,
+        42);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_PriceTraceGeneration)->Arg(30)->Arg(180);
+
+void BM_PriceLookup(benchmark::State& state) {
+  const PriceTrace trace = GenerateMarketTrace(
+      MarketKey{InstanceType::kM3Large, AvailabilityZone{0}}, SimDuration::Days(180),
+      42);
+  int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace.PriceAt(SimTime::FromSeconds(static_cast<double>(t++ * 6841 % 15'000'000))));
+  }
+}
+BENCHMARK(BM_PriceLookup);
+
+void BM_PreCopyPlanning(benchmark::State& state) {
+  PreCopyParams params;
+  params.memory_mb = static_cast<double>(state.range(0));
+  params.dirty_rate_mbps = 40.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanPreCopy(params));
+  }
+}
+BENCHMARK(BM_PreCopyPlanning)->Arg(3072)->Arg(30720);
+
+void BM_SixMonthPolicyEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    EvaluationConfig config;
+    config.policy = MappingPolicyKind::k4PED;
+    config.mechanism = MigrationMechanism::kSpotCheckLazyRestore;
+    config.num_vms = 40;
+    config.horizon = SimDuration::Days(180);
+    config.seed = 2;
+    benchmark::DoNotOptimize(RunPolicyEvaluation(config));
+  }
+}
+BENCHMARK(BM_SixMonthPolicyEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spotcheck
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 1: latency of the native-cloud operations SpotCheck depends on, for
+// the m3.medium type -- median/mean/max/min over 20 measurements, as in the
+// paper's one-week measurement campaign.
+
+#include <cstdio>
+
+#include "src/cloud/latency_model.h"
+#include "src/common/stats.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Table 1: operation latency on the native cloud (m3.medium) ===\n");
+  std::printf("%-26s %10s %10s %10s %10s   %s\n", "operation", "median(s)",
+              "mean(s)", "max(s)", "min(s)", "paper median/mean");
+
+  OperationLatencyModel model{Rng(20140421)};
+  for (int op = 0; op <= static_cast<int>(CloudOperation::kDetachInterface); ++op) {
+    const auto operation = static_cast<CloudOperation>(op);
+    EmpiricalDistribution dist;
+    StreamingStats stats;
+    for (int i = 0; i < 20; ++i) {
+      const double s = model.Sample(operation).seconds();
+      dist.Add(s);
+      stats.Add(s);
+    }
+    const LatencySpec& paper = PaperLatencySpec(operation);
+    std::printf("%-26s %10.1f %10.1f %10.1f %10.1f   %.1f/%.1f\n",
+                std::string(CloudOperationName(operation)).c_str(), dist.Median(),
+                stats.mean(), stats.max(), stats.min(), paper.median, paper.mean);
+  }
+  std::printf("\nper-migration EC2-operation downtime (EBS+ENI means): %.2f s"
+              " (paper: 22.65 s)\n",
+              MigrationEc2OperationDowntime().seconds());
+  return 0;
+}

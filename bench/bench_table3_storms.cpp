@@ -1,0 +1,52 @@
+// Table 3: probability of the maximum number of concurrent revocations for
+// 1-, 2-, and 4-pool policies (N = number of VMs backed by one server).
+// Diversifying across pools eliminates full-fleet revocation storms at the
+// price of more frequent, smaller migrations.
+
+#include <cstdio>
+
+#include "bench/grid_util.h"
+
+using namespace spotcheck;
+
+int main() {
+  std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
+  std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");
+  const struct {
+    const char* label;
+    MappingPolicyKind policy;
+  } kRows[] = {{"1-Pool", MappingPolicyKind::k1PM},
+               {"2-Pool", MappingPolicyKind::k2PML},
+               {"4-Pool", MappingPolicyKind::k4PED}};
+  for (const auto& row : kRows) {
+    const EvaluationResult result = RunPolicyEvaluation(
+        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore));
+    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", row.label,
+                result.storms.quarter, result.storms.half,
+                result.storms.three_quarters, result.storms.all);
+  }
+  std::printf("\npaper (Table 3): 1-Pool only ever loses all N at once"
+              " (1.74e-4); 2-Pool concentrates at N/2 (3.75e-3) with a\n"
+              "near-zero chance of N (2.25e-5); 4-Pool concentrates at N/4"
+              " (7.4e-3) and never loses everything\n");
+
+  // With fully independent markets the coincidence buckets (the paper's
+  // 2.25e-5-class entries) are empty; regionally-coupled spikes populate
+  // them, showing what diversification can and cannot absorb.
+  std::printf("\n=== variant: regionally-coupled markets (coupling 0.5,"
+              " 0.1 shared events/day) ===\n");
+  std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");
+  for (const auto& row : kRows) {
+    EvaluationConfig config =
+        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore);
+    config.market_coupling = 0.5;
+    config.shared_events_per_day = 0.1;
+    const EvaluationResult result = RunPolicyEvaluation(config);
+    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", row.label,
+                result.storms.quarter, result.storms.half,
+                result.storms.three_quarters, result.storms.all);
+  }
+  std::printf("(coupled spikes can defeat diversification: even multi-pool"
+              " policies occasionally lose large fleet fractions at once)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the policy x mechanism evaluation grid behind
+// Figures 10, 11, 12 and Table 3.
+
+#ifndef BENCH_GRID_UTIL_H_
+#define BENCH_GRID_UTIL_H_
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/csv_out.h"
+#include "src/core/evaluation.h"
+
+namespace spotcheck {
+
+// The five placement policies of Table 2, in the paper's plot order.
+inline constexpr std::array<MappingPolicyKind, 5> kGridPolicies = {
+    MappingPolicyKind::k1PM, MappingPolicyKind::k2PML, MappingPolicyKind::k4PED,
+    MappingPolicyKind::k4PCost, MappingPolicyKind::k4PStability};
+
+// The four mechanism variants plotted in Figures 10-12.
+inline constexpr std::array<MigrationMechanism, 4> kGridMechanisms = {
+    MigrationMechanism::kXenLiveMigration, MigrationMechanism::kYankFullRestore,
+    MigrationMechanism::kSpotCheckFullRestore,
+    MigrationMechanism::kSpotCheckLazyRestore};
+
+inline EvaluationConfig GridConfig(MappingPolicyKind policy,
+                                   MigrationMechanism mechanism) {
+  EvaluationConfig config;
+  config.policy = policy;
+  config.mechanism = mechanism;
+  config.num_vms = 40;                        // one backup server's worth
+  config.horizon = SimDuration::Days(180);    // April-October 2014
+  config.seed = 2;                            // m3.medium sees ~7 revocations
+  return config;
+}
+
+// Prints one figure's grid and exports it to bench_out/<csv_name>.csv;
+// `metric` extracts the plotted value.
+template <typename MetricFn>
+void PrintGrid(const char* header, const char* unit, const char* csv_name,
+               MetricFn metric) {
+  std::vector<std::string> csv_header = {"policy"};
+  std::printf("%-10s", "policy");
+  for (MigrationMechanism mechanism : kGridMechanisms) {
+    std::printf("  %24s", std::string(MigrationMechanismName(mechanism)).c_str());
+    csv_header.emplace_back(MigrationMechanismName(mechanism));
+  }
+  std::printf("\n");
+  std::vector<std::vector<std::string>> csv_rows;
+  for (MappingPolicyKind policy : kGridPolicies) {
+    std::printf("%-10s", std::string(MappingPolicyName(policy)).c_str());
+    std::vector<std::string> csv_row = {std::string(MappingPolicyName(policy))};
+    for (MigrationMechanism mechanism : kGridMechanisms) {
+      const EvaluationResult result =
+          RunPolicyEvaluation(GridConfig(policy, mechanism));
+      std::printf("  %24.6f", metric(result));
+      csv_row.push_back(FormatCell(metric(result)));
+    }
+    csv_rows.push_back(std::move(csv_row));
+    std::printf("\n");
+  }
+  std::printf("(%s: %s)\n", header, unit);
+  ExportSeriesCsv(csv_name, csv_header, csv_rows);
+}
+
+}  // namespace spotcheck
+
+#endif  // BENCH_GRID_UTIL_H_

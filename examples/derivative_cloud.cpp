@@ -1,0 +1,89 @@
+// Scenario: running SpotCheck as a business.
+//
+// A derivative cloud resells repackaged spot capacity with an availability
+// SLA. This example operates one for a simulated month with three customers
+// (one of them a stateless web tier), predictive migration enabled, and a
+// two-hour availability-zone outage in the middle -- then opens the books:
+// per-customer bills and availability, and the operator's margin.
+//
+//   $ ./examples/derivative_cloud
+
+#include <cstdio>
+
+#include "src/core/controller.h"
+#include "src/sim/simulator.h"
+
+using namespace spotcheck;
+
+int main() {
+  Simulator sim;
+  MarketPlace markets(&sim);
+  NativeCloudConfig cloud_config;
+  cloud_config.market_seed = 5;
+  cloud_config.market_horizon = SimDuration::Days(35);
+  NativeCloud cloud(&sim, &markets, cloud_config);
+
+  ControllerConfig config;
+  config.mapping = MappingPolicyKind::k4PED;
+  config.num_zones = 2;            // outage insurance
+  config.enable_predictive = true; // leave before the spike when possible
+  config.use_staging = true;
+  config.resale_fraction_of_on_demand = 0.6;  // customers pay $0.042/hr
+  SpotCheckController spotcheck_cloud(&sim, &cloud, &markets, config);
+
+  struct Tenant {
+    CustomerId id;
+    const char* name;
+    int servers;
+    bool stateless;
+  };
+  Tenant tenants[] = {
+      {spotcheck_cloud.RegisterCustomer("shoponline"), "shoponline", 16, false},
+      {spotcheck_cloud.RegisterCustomer("analytics-co"), "analytics-co", 16, false},
+      {spotcheck_cloud.RegisterCustomer("cdn-tier"), "cdn-tier", 8, true},
+  };
+  for (const Tenant& tenant : tenants) {
+    for (int i = 0; i < tenant.servers; ++i) {
+      spotcheck_cloud.RequestServer(tenant.id, tenant.stateless);
+    }
+  }
+
+  // Day 15: zone 0 goes dark for two hours. SpotCheck recovers every
+  // checkpointed VM into zone 1 from its backups.
+  cloud.ScheduleZoneOutage(AvailabilityZone{0}, SimTime() + SimDuration::Days(15),
+                           SimTime() + SimDuration::Days(15) + SimDuration::Hours(2));
+
+  sim.RunUntil(SimTime() + SimDuration::Days(30));
+
+  std::printf("one simulated month, 40 nested VMs, zone-0 outage on day 15\n\n");
+  std::printf("%-14s %5s %10s %14s %12s %10s\n", "customer", "VMs", "VM-hours",
+              "availability", "downtime", "bill($)");
+  for (const Tenant& tenant : tenants) {
+    const auto report = spotcheck_cloud.ComputeCustomerReport(tenant.id);
+    std::printf("%-14s %5lld %10.0f %13.4f%% %11.0fs %10.2f\n", tenant.name,
+                static_cast<long long>(report.vms), report.vm_hours,
+                report.availability_pct, report.downtime.seconds(),
+                report.revenue);
+  }
+
+  const auto books = spotcheck_cloud.ComputeBusinessReport();
+  std::printf("\noperator's books:  revenue $%.2f | platform spend $%.2f |"
+              " margin $%.2f (%.0f%%)\n",
+              books.revenue, books.platform_cost, books.margin,
+              100.0 * books.margin_fraction);
+  std::printf("operations:        %lld revocation warnings, %lld predictive"
+              " drains, %lld stagings, %lld crash recoveries, %lld respawns,"
+              " %lld VMs lost\n",
+              static_cast<long long>(spotcheck_cloud.revocation_events()),
+              static_cast<long long>(spotcheck_cloud.proactive_migrations()),
+              static_cast<long long>(spotcheck_cloud.stagings()),
+              static_cast<long long>(spotcheck_cloud.engine().crash_recoveries()),
+              static_cast<long long>(spotcheck_cloud.stateless_respawns()),
+              static_cast<long long>(spotcheck_cloud.vms_lost()));
+  std::printf("\ncustomers pay %.0f%% of the on-demand price for ~four-nines"
+              " servers; the operator still clears a healthy margin on\n"
+              "capacity sourced from the spot market -- the arbitrage the"
+              " paper identifies.\n",
+              100.0 * config.resale_fraction_of_on_demand);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/backup/backup_pool.h"
+
+namespace spotcheck {
+
+BackupServer& BackupPool::Provision(SimTime now) {
+  servers_.push_back(std::make_unique<BackupServer>(
+      ids_.Next(), config_.server_type, config_.perf, config_.max_vms_per_server));
+  provisioned_at_.push_back(now);
+  return *servers_.back();
+}
+
+BackupServer& BackupPool::Assign(NestedVmId vm, double demand_mbps, SimTime now) {
+  if (auto* existing = ServerFor(vm)) {
+    return *existing;
+  }
+  // Round-robin over existing servers, skipping full ones.
+  for (size_t probe = 0; probe < servers_.size(); ++probe) {
+    BackupServer& candidate = *servers_[rr_cursor_ % servers_.size()];
+    rr_cursor_ = (rr_cursor_ + 1) % servers_.size();
+    if (candidate.AddStream(vm, demand_mbps)) {
+      assignment_[vm] = &candidate;
+      return candidate;
+    }
+  }
+  BackupServer& fresh = Provision(now);
+  fresh.AddStream(vm, demand_mbps);
+  assignment_[vm] = &fresh;
+  return fresh;
+}
+
+void BackupPool::Release(NestedVmId vm) {
+  const auto it = assignment_.find(vm);
+  if (it == assignment_.end()) {
+    return;
+  }
+  it->second->RemoveStream(vm);
+  assignment_.erase(it);
+}
+
+BackupServer* BackupPool::ServerFor(NestedVmId vm) {
+  const auto it = assignment_.find(vm);
+  return it == assignment_.end() ? nullptr : it->second;
+}
+
+const BackupServer* BackupPool::ServerFor(NestedVmId vm) const {
+  const auto it = assignment_.find(vm);
+  return it == assignment_.end() ? nullptr : it->second;
+}
+
+double BackupPool::TotalHourlyCost() const {
+  double total = 0.0;
+  for (const auto& server : servers_) {
+    total += server->hourly_cost();
+  }
+  return total;
+}
+
+double BackupPool::TotalAccruedCost(SimTime now) const {
+  double total = 0.0;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const SimDuration held = now - provisioned_at_[i];
+    if (held > SimDuration::Zero()) {
+      total += servers_[i]->hourly_cost() * held.hours();
+    }
+  }
+  return total;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,73 @@
+// Backup server pool (Section 4.2).
+//
+// SpotCheck maps nested VMs in spot pools to backup servers round-robin, and
+// distributes VMs of one spot pool across multiple backup servers so that a
+// pool-wide revocation storm does not concentrate on a single backup server.
+// When every backup server is fully utilized, the pool provisions a new one.
+
+#ifndef SRC_BACKUP_BACKUP_POOL_H_
+#define SRC_BACKUP_BACKUP_POOL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/backup/backup_server.h"
+#include "src/common/ids.h"
+
+namespace spotcheck {
+
+struct BackupPoolConfig {
+  InstanceType server_type = InstanceType::kM3Xlarge;
+  BackupServerPerf perf;
+  // Section 6.1: at most 35-40 VMs per backup server keeps degradation
+  // negligible during normal operation.
+  int max_vms_per_server = 40;
+};
+
+class BackupPool {
+ public:
+  explicit BackupPool(BackupPoolConfig config = {}) : config_(config) {}
+
+  // Assigns `vm` to a backup server (provisioning a new one if all are
+  // full) and registers its checkpoint stream. Round-robin across
+  // non-full servers spreads both checkpoint load and revocation risk.
+  // `now` timestamps any newly provisioned server for cost accounting.
+  BackupServer& Assign(NestedVmId vm, double demand_mbps,
+                       SimTime now = SimTime());
+
+  // Removes the VM's stream; the server is retained for reuse.
+  void Release(NestedVmId vm);
+
+  // Server currently backing `vm` (nullptr if unassigned).
+  BackupServer* ServerFor(NestedVmId vm);
+  const BackupServer* ServerFor(NestedVmId vm) const;
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int num_assigned() const { return static_cast<int>(assignment_.size()); }
+  const std::vector<std::unique_ptr<BackupServer>>& servers() const {
+    return servers_;
+  }
+
+  // Aggregate $/hr for all provisioned backup servers.
+  double TotalHourlyCost() const;
+
+  // Total $ spent on backup servers from their provisioning until `now`.
+  // Backup servers are retained once provisioned (the paper holds them as
+  // long-lived on-demand instances).
+  double TotalAccruedCost(SimTime now) const;
+
+ private:
+  BackupServer& Provision(SimTime now);
+
+  BackupPoolConfig config_;
+  IdGenerator<BackupServerTag> ids_;
+  std::vector<std::unique_ptr<BackupServer>> servers_;
+  std::vector<SimTime> provisioned_at_;  // parallel to servers_
+  std::unordered_map<NestedVmId, BackupServer*> assignment_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_BACKUP_BACKUP_POOL_H_

@@ -1,0 +1,67 @@
+// Latency model for native-cloud control-plane operations.
+//
+// Table 1 of the paper reports the measured latency (median/mean/max/min over
+// 20 runs) of the EC2 operations SpotCheck depends on: starting spot and
+// on-demand instances, terminating instances, detaching/attaching EBS
+// volumes, and detaching/attaching network interfaces. This module turns
+// those measurements into samplable distributions: near-symmetric operations
+// use a clamped normal, right-skewed ones (mean noticeably above median) use
+// a clamped lognormal.
+
+#ifndef SRC_CLOUD_LATENCY_MODEL_H_
+#define SRC_CLOUD_LATENCY_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+enum class CloudOperation : uint8_t {
+  kStartSpotInstance,
+  kStartOnDemandInstance,
+  kTerminateInstance,
+  kDetachVolume,     // "Unmount and detach EBS"
+  kAttachVolume,     // "Attach and mount EBS"
+  kAttachInterface,  // "Attach network interface"
+  kDetachInterface,  // "Detach network interface"
+};
+
+std::string_view CloudOperationName(CloudOperation op);
+
+// One Table 1 row, in seconds.
+struct LatencySpec {
+  double median;
+  double mean;
+  double max;
+  double min;
+};
+
+// The Table 1 measurements for the m3.medium server type.
+const LatencySpec& PaperLatencySpec(CloudOperation op);
+
+class OperationLatencyModel {
+ public:
+  explicit OperationLatencyModel(Rng rng) : rng_(rng) {}
+
+  // Draws one latency for `op` from the fitted distribution.
+  SimDuration Sample(CloudOperation op);
+
+  // Deterministic central value (the median), used by analyses that want the
+  // expected cost of an operation without sampling noise.
+  static SimDuration Typical(CloudOperation op);
+
+ private:
+  Rng rng_;
+};
+
+// The fixed EC2-operation downtime SpotCheck's evaluation charges per
+// migration: detach EBS + attach EBS + attach ENI + detach ENI mean latencies
+// (Section 5 reports 22.65 s; Section 6.2 rounds to 23 s).
+SimDuration MigrationEc2OperationDowntime();
+
+}  // namespace spotcheck
+
+#endif  // SRC_CLOUD_LATENCY_MODEL_H_

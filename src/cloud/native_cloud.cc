@@ -1,0 +1,379 @@
+#include "src/cloud/native_cloud.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace spotcheck {
+
+NativeCloud::NativeCloud(Simulator* sim, MarketPlace* markets,
+                         NativeCloudConfig config)
+    : sim_(sim),
+      markets_(markets),
+      config_(config),
+      latency_(Rng(config.latency_seed)),
+      rng_(Rng(config.latency_seed).Split(0x10ad)) {
+  billing_.set_hourly_quantum(config.hourly_billing);
+}
+
+SimDuration NativeCloud::OperationDelay(CloudOperation op) {
+  return config_.sample_latencies ? latency_.Sample(op)
+                                  : OperationLatencyModel::Typical(op);
+}
+
+SpotMarket& NativeCloud::MarketFor(MarketKey key) {
+  return markets_->GetOrCreate(key, config_.market_horizon, config_.market_seed);
+}
+
+InstanceId NativeCloud::RequestSpotInstance(MarketKey market, double bid,
+                                            InstanceReadyCallback ready) {
+  const InstanceId id = instance_ids_.Next();
+  Instance& instance = instances_[id];
+  instance.id = id;
+  instance.market = market;
+  instance.mode = BillingMode::kSpot;
+  instance.bid = bid;
+  instance.requested_at = sim_->Now();
+  MarketFor(market);  // Materialize the market (and its replay) now.
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartSpotInstance),
+                      [this, id, ready = std::move(ready)]() mutable {
+                        OnInstanceStarted(id, std::move(ready));
+                      });
+  return id;
+}
+
+InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
+                                                InstanceReadyCallback ready) {
+  const InstanceId id = instance_ids_.Next();
+  Instance& instance = instances_[id];
+  instance.id = id;
+  instance.market = market;
+  instance.mode = BillingMode::kOnDemand;
+  instance.requested_at = sim_->Now();
+  if (rng_.Bernoulli(config_.on_demand_unavailable_probability)) {
+    // Out of capacity: fail after the request latency.
+    sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartOnDemandInstance),
+                        [this, id, ready = std::move(ready)]() {
+                          instances_[id].state = InstanceState::kTerminated;
+                          instances_[id].terminated_at = sim_->Now();
+                          if (ready) {
+                            ready(id, false);
+                          }
+                        });
+    return id;
+  }
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartOnDemandInstance),
+                      [this, id, ready = std::move(ready)]() mutable {
+                        OnInstanceStarted(id, std::move(ready));
+                      });
+  return id;
+}
+
+void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) {
+  Instance& instance = instances_[id];
+  if (instance.state == InstanceState::kTerminated || !ZoneAvailable(instance.market.zone)) {
+    // Terminated while still pending, or the zone went down.
+    instance.state = InstanceState::kTerminated;
+    instance.terminated_at = sim_->Now();
+    if (ready) {
+      ready(id, false);
+    }
+    return;
+  }
+  SpotMarket& market = MarketFor(instance.market);
+  if (instance.mode == BillingMode::kSpot) {
+    if (market.CurrentPrice() > instance.bid) {
+      // Bid is already out of the money: the launch fails.
+      instance.state = InstanceState::kTerminated;
+      instance.terminated_at = sim_->Now();
+      if (ready) {
+        ready(id, false);
+      }
+      return;
+    }
+    // Monitor this market for revocations (one subscription per market).
+    if (!subscribed_[instance.market]) {
+      subscribed_[instance.market] = true;
+      const MarketKey key = instance.market;
+      market.Subscribe([this, key](const SpotMarket&, double price) {
+        OnMarketPriceChange(key, price);
+      });
+    }
+    billing_.StartMetered(id, sim_->Now(), &market.trace());
+    running_spot_[instance.market].push_back(id);
+  } else {
+    billing_.StartFixed(id, sim_->Now(), market.on_demand_price());
+  }
+  instance.state = InstanceState::kRunning;
+  instance.running_since = sim_->Now();
+  ++launches_;
+  if (ready) {
+    ready(id, true);
+  }
+}
+
+void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
+  auto bucket_it = running_spot_.find(key);
+  if (bucket_it == running_spot_.end()) {
+    return;
+  }
+  // Compact terminated/warned ids and collect those to warn; warning happens
+  // after the sweep since it mutates instance state.
+  std::vector<InstanceId>& bucket = bucket_it->second;
+  std::vector<InstanceId> to_warn;
+  std::vector<InstanceId> still_running;
+  still_running.reserve(bucket.size());
+  for (InstanceId id : bucket) {
+    const Instance& instance = instances_[id];
+    if (instance.state != InstanceState::kRunning) {
+      continue;  // warned or terminated: drop from the index
+    }
+    if (price > instance.bid) {
+      to_warn.push_back(id);
+    } else {
+      still_running.push_back(id);
+    }
+  }
+  bucket = std::move(still_running);
+  for (InstanceId id : to_warn) {
+    WarnAndScheduleTermination(instances_[id]);
+  }
+}
+
+void NativeCloud::WarnAndScheduleTermination(Instance& instance) {
+  instance.state = InstanceState::kWarned;
+  ++spot_revocations_;
+  const SimTime deadline = sim_->Now() + config_.revocation_warning;
+  const InstanceId id = instance.id;
+  SPOTCHECK_LOG(kInfo) << "revocation warning for " << id.ToString() << " in "
+                       << instance.market.ToString() << ", termination at t+"
+                       << config_.revocation_warning.seconds() << "s";
+  if (revocation_handler_) {
+    revocation_handler_(id, deadline);
+  }
+  sim_->ScheduleAt(deadline, [this, id]() { ForceTerminate(id); });
+}
+
+void NativeCloud::ForceTerminate(InstanceId id) {
+  Instance& instance = instances_[id];
+  if (instance.state == InstanceState::kTerminated) {
+    return;  // Customer already terminated it during the warning period.
+  }
+  instance.state = InstanceState::kTerminated;
+  instance.terminated_at = sim_->Now();
+  billing_.Stop(id, sim_->Now());
+  ReleaseAttachments(id);
+}
+
+void NativeCloud::ScheduleZoneOutage(AvailabilityZone zone, SimTime at,
+                                     SimTime until) {
+  sim_->ScheduleAt(at, [this, zone, until]() {
+    SimTime& down_until = zone_down_until_[zone.index];
+    down_until = std::max(down_until, until);
+    FailZoneInstances(zone);
+  });
+}
+
+bool NativeCloud::ZoneAvailable(AvailabilityZone zone) const {
+  const auto it = zone_down_until_.find(zone.index);
+  return it == zone_down_until_.end() || sim_->Now() >= it->second;
+}
+
+void NativeCloud::FailZoneInstances(AvailabilityZone zone) {
+  std::vector<InstanceId> victims;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.market.zone == zone &&
+        (instance.state == InstanceState::kRunning ||
+         instance.state == InstanceState::kWarned)) {
+      victims.push_back(id);
+    }
+  }
+  for (InstanceId id : victims) {
+    Instance& instance = instances_[id];
+    instance.state = InstanceState::kTerminated;
+    instance.terminated_at = sim_->Now();
+    billing_.Stop(id, sim_->Now());
+    ReleaseAttachments(id);
+    ++instance_failures_;
+    SPOTCHECK_LOG(kWarning) << "platform failure killed " << id.ToString()
+                            << " in " << instance.market.ToString();
+    if (failure_handler_) {
+      failure_handler_(id);
+    }
+  }
+}
+
+void NativeCloud::TerminateInstance(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end() || it->second.state == InstanceState::kTerminated) {
+    return;
+  }
+  Instance& instance = it->second;
+  // Billing stops at the customer's terminate call; the instance object
+  // lingers through the terminate-operation latency, matching how EC2
+  // reports "shutting-down" instances, but attachment bookkeeping is
+  // released immediately.
+  billing_.Stop(id, sim_->Now());
+  ReleaseAttachments(id);
+  instance.state = InstanceState::kTerminated;
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kTerminateInstance),
+                      [this, id]() { instances_[id].terminated_at = sim_->Now(); });
+}
+
+void NativeCloud::ReleaseAttachments(InstanceId id) {
+  for (auto& [vid, record] : volumes_) {
+    if (record.attached_to == id) {
+      record.attached_to = InstanceId();
+    }
+  }
+  for (auto& [aid, record] : addresses_) {
+    if (record.assigned_to == id) {
+      record.assigned_to = InstanceId();
+    }
+  }
+}
+
+const Instance* NativeCloud::GetInstance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Instance*> NativeCloud::Instances(InstanceState state) const {
+  std::vector<const Instance*> result;
+  for (const auto& [id, instance] : instances_) {
+    if (instance.state == state) {
+      result.push_back(&instance);
+    }
+  }
+  return result;
+}
+
+VolumeId NativeCloud::CreateVolume(double size_gb) {
+  const VolumeId id = volume_ids_.Next();
+  volumes_[id].size_gb = size_gb;
+  return id;
+}
+
+void NativeCloud::AttachVolume(VolumeId volume, InstanceId instance,
+                               std::function<void(bool)> done) {
+  auto vit = volumes_.find(volume);
+  const Instance* target = GetInstance(instance);
+  const bool valid = vit != volumes_.end() && !vit->second.busy &&
+                     !vit->second.attached_to.valid() && target != nullptr &&
+                     (target->state == InstanceState::kRunning ||
+                      target->state == InstanceState::kWarned);
+  if (!valid) {
+    if (done) {
+      sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
+    }
+    return;
+  }
+  vit->second.busy = true;
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kAttachVolume),
+                      [this, volume, instance, done = std::move(done)]() {
+                        VolumeRecord& record = volumes_[volume];
+                        record.busy = false;
+                        const Instance* target2 = GetInstance(instance);
+                        const bool ok = target2 != nullptr &&
+                                        target2->state != InstanceState::kTerminated;
+                        if (ok) {
+                          record.attached_to = instance;
+                        }
+                        if (done) {
+                          done(ok);
+                        }
+                      });
+}
+
+void NativeCloud::DetachVolume(VolumeId volume, std::function<void(bool)> done) {
+  auto vit = volumes_.find(volume);
+  const bool valid =
+      vit != volumes_.end() && !vit->second.busy && vit->second.attached_to.valid();
+  if (!valid) {
+    if (done) {
+      sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
+    }
+    return;
+  }
+  vit->second.busy = true;
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kDetachVolume),
+                      [this, volume, done = std::move(done)]() {
+                        VolumeRecord& record = volumes_[volume];
+                        record.busy = false;
+                        record.attached_to = InstanceId();
+                        if (done) {
+                          done(true);
+                        }
+                      });
+}
+
+InstanceId NativeCloud::VolumeAttachment(VolumeId volume) const {
+  const auto it = volumes_.find(volume);
+  return it == volumes_.end() ? InstanceId() : it->second.attached_to;
+}
+
+AddressId NativeCloud::AllocateAddress() {
+  const AddressId id = address_ids_.Next();
+  addresses_[id];
+  return id;
+}
+
+void NativeCloud::AssignAddress(AddressId address, InstanceId instance,
+                                std::function<void(bool)> done) {
+  auto ait = addresses_.find(address);
+  const Instance* target = GetInstance(instance);
+  const bool valid = ait != addresses_.end() && !ait->second.busy &&
+                     !ait->second.assigned_to.valid() && target != nullptr &&
+                     (target->state == InstanceState::kRunning ||
+                      target->state == InstanceState::kWarned);
+  if (!valid) {
+    if (done) {
+      sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
+    }
+    return;
+  }
+  ait->second.busy = true;
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kAttachInterface),
+                      [this, address, instance, done = std::move(done)]() {
+                        AddressRecord& record = addresses_[address];
+                        record.busy = false;
+                        const Instance* target2 = GetInstance(instance);
+                        const bool ok = target2 != nullptr &&
+                                        target2->state != InstanceState::kTerminated;
+                        if (ok) {
+                          record.assigned_to = instance;
+                        }
+                        if (done) {
+                          done(ok);
+                        }
+                      });
+}
+
+void NativeCloud::UnassignAddress(AddressId address, std::function<void(bool)> done) {
+  auto ait = addresses_.find(address);
+  const bool valid =
+      ait != addresses_.end() && !ait->second.busy && ait->second.assigned_to.valid();
+  if (!valid) {
+    if (done) {
+      sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
+    }
+    return;
+  }
+  ait->second.busy = true;
+  sim_->ScheduleAfter(OperationDelay(CloudOperation::kDetachInterface),
+                      [this, address, done = std::move(done)]() {
+                        AddressRecord& record = addresses_[address];
+                        record.busy = false;
+                        record.assigned_to = InstanceId();
+                        if (done) {
+                          done(true);
+                        }
+                      });
+}
+
+InstanceId NativeCloud::AddressAssignment(AddressId address) const {
+  const auto it = addresses_.find(address);
+  return it == addresses_.end() ? InstanceId() : it->second.assigned_to;
+}
+
+}  // namespace spotcheck

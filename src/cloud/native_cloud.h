@@ -1,0 +1,199 @@
+// Native IaaS cloud simulator (the "EC2" SpotCheck rents from).
+//
+// Exposes the control-plane surface SpotCheck depends on:
+//   * asynchronous spot and on-demand instance launches (latencies per
+//     Table 1),
+//   * spot revocation: when a market's price rises above an instance's bid,
+//     the instance receives a revocation warning and is forcibly terminated
+//     a fixed warning period later (120 s on EC2),
+//   * network-attached volumes (EBS) with attach/detach latencies,
+//   * VPC private addresses that can be moved between instances (the
+//     mechanism SpotCheck uses to keep nested VM addresses stable, Fig. 4),
+//   * usage-based billing (spot at market price, on-demand at list price).
+
+#ifndef SRC_CLOUD_NATIVE_CLOUD_H_
+#define SRC_CLOUD_NATIVE_CLOUD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cloud/billing.h"
+#include "src/cloud/latency_model.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/market/instance_types.h"
+#include "src/market/spot_market.h"
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+
+enum class BillingMode : uint8_t { kOnDemand, kSpot };
+enum class InstanceState : uint8_t { kPending, kRunning, kWarned, kTerminated };
+
+struct Instance {
+  InstanceId id;
+  MarketKey market;
+  BillingMode mode = BillingMode::kSpot;
+  double bid = 0.0;  // $/hr; meaningful for spot only
+  InstanceState state = InstanceState::kPending;
+  SimTime requested_at;
+  SimTime running_since;
+  SimTime terminated_at;
+};
+
+struct NativeCloudConfig {
+  // EC2 gives spot instances a two-minute termination notice.
+  SimDuration revocation_warning = SimDuration::Seconds(120);
+  // Horizon/seed used when lazily materializing markets in the MarketPlace.
+  SimDuration market_horizon = SimDuration::Days(180);
+  uint64_t market_seed = 1;
+  uint64_t latency_seed = 42;
+  // When false, every control-plane operation takes its median latency
+  // (deterministic; used by unit tests).
+  bool sample_latencies = true;
+  // Probability that an on-demand request fails because the platform is out
+  // of capacity (Section 4.3 discusses this rare case).
+  double on_demand_unavailable_probability = 0.0;
+  // Bill whole instance-hours (as 2014-era EC2 did) instead of continuous
+  // metering. The paper's analysis uses average $/hr, so continuous is the
+  // default.
+  bool hourly_billing = false;
+};
+
+// (instance, success). Launch failures happen when a spot request's bid is
+// already below the market price when it would start, when on-demand
+// capacity is exhausted, or when the zone is down.
+using InstanceReadyCallback = std::function<void(InstanceId, bool)>;
+// (instance, termination deadline). Fired once when a spot instance enters
+// the warning period.
+using RevocationWarningHandler = std::function<void(InstanceId, SimTime)>;
+// Fired when an instance dies WITHOUT any warning (platform/zone failure).
+using InstanceFailureHandler = std::function<void(InstanceId)>;
+
+class NativeCloud {
+ public:
+  NativeCloud(Simulator* sim, MarketPlace* markets, NativeCloudConfig config = {});
+
+  NativeCloud(const NativeCloud&) = delete;
+  NativeCloud& operator=(const NativeCloud&) = delete;
+
+  // --- Instances ---------------------------------------------------------
+
+  InstanceId RequestSpotInstance(MarketKey market, double bid,
+                                 InstanceReadyCallback ready = {});
+  InstanceId RequestOnDemandInstance(MarketKey market,
+                                     InstanceReadyCallback ready = {});
+  // Graceful, customer-initiated termination. Billing stops immediately;
+  // the instance disappears after the terminate-operation latency.
+  void TerminateInstance(InstanceId id);
+
+  const Instance* GetInstance(InstanceId id) const;
+  std::vector<const Instance*> Instances(InstanceState state) const;
+  // Invoked whenever any spot instance receives its termination warning.
+  void set_revocation_handler(RevocationWarningHandler handler) {
+    revocation_handler_ = std::move(handler);
+  }
+  void set_instance_failure_handler(InstanceFailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+
+  // --- Platform failures ----------------------------------------------------
+
+  // The native platform itself occasionally fails (the paper cites an EC2
+  // region outage [17]); SpotCheck cannot exceed its availability, but it
+  // CAN recover VMs whose checkpoints survive. Schedules every instance in
+  // `zone` to die at `at` with no warning; launches into the zone fail until
+  // `until`.
+  void ScheduleZoneOutage(AvailabilityZone zone, SimTime at, SimTime until);
+  bool ZoneAvailable(AvailabilityZone zone) const;
+  int64_t instance_failures() const { return instance_failures_; }
+
+  // --- Volumes (network-attached storage) --------------------------------
+
+  VolumeId CreateVolume(double size_gb);
+  // Fails (callback false) if the volume is already attached or the target
+  // instance is not running.
+  void AttachVolume(VolumeId volume, InstanceId instance,
+                    std::function<void(bool)> done = {});
+  void DetachVolume(VolumeId volume, std::function<void(bool)> done = {});
+  // Invalid id or detached volume -> invalid InstanceId.
+  InstanceId VolumeAttachment(VolumeId volume) const;
+
+  // --- VPC addresses ------------------------------------------------------
+
+  AddressId AllocateAddress();
+  void AssignAddress(AddressId address, InstanceId instance,
+                     std::function<void(bool)> done = {});
+  void UnassignAddress(AddressId address, std::function<void(bool)> done = {});
+  InstanceId AddressAssignment(AddressId address) const;
+
+  // --- Billing & stats ----------------------------------------------------
+
+  double TotalCost() const { return billing_.TotalCost(sim_->Now()); }
+  double AccruedCost(InstanceId id) const {
+    return billing_.AccruedCost(id, sim_->Now());
+  }
+  const BillingMeter& billing() const { return billing_; }
+
+  int64_t spot_revocations() const { return spot_revocations_; }
+  int64_t launches() const { return launches_; }
+
+  const NativeCloudConfig& config() const { return config_; }
+  SpotMarket& MarketFor(MarketKey key);
+  Simulator* simulator() { return sim_; }
+
+ private:
+  struct VolumeRecord {
+    double size_gb = 0.0;
+    InstanceId attached_to;
+    bool busy = false;  // an attach/detach operation is in flight
+  };
+  struct AddressRecord {
+    InstanceId assigned_to;
+    bool busy = false;
+  };
+
+  SimDuration OperationDelay(CloudOperation op);
+  void OnInstanceStarted(InstanceId id, InstanceReadyCallback ready);
+  void OnMarketPriceChange(MarketKey key, double price);
+  void WarnAndScheduleTermination(Instance& instance);
+  void ForceTerminate(InstanceId id);
+  void FailZoneInstances(AvailabilityZone zone);
+  void ReleaseAttachments(InstanceId id);
+
+  Simulator* sim_;
+  MarketPlace* markets_;
+  NativeCloudConfig config_;
+  OperationLatencyModel latency_;
+  Rng rng_;
+  BillingMeter billing_;
+
+  IdGenerator<InstanceTag> instance_ids_;
+  IdGenerator<VolumeTag> volume_ids_;
+  IdGenerator<AddressTag> address_ids_;
+
+  std::map<InstanceId, Instance> instances_;
+  // Running spot instances per market, so price changes only touch the
+  // affected market's instances (terminated ids are compacted lazily).
+  std::map<MarketKey, std::vector<InstanceId>> running_spot_;
+  std::map<VolumeId, VolumeRecord> volumes_;
+  std::map<AddressId, AddressRecord> addresses_;
+  // Markets we already subscribed to for revocation monitoring.
+  std::map<MarketKey, bool> subscribed_;
+
+  RevocationWarningHandler revocation_handler_;
+  InstanceFailureHandler failure_handler_;
+  std::map<int, SimTime> zone_down_until_;
+  int64_t spot_revocations_ = 0;
+  int64_t launches_ = 0;
+  int64_t instance_failures_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CLOUD_NATIVE_CLOUD_H_

@@ -1,0 +1,88 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace spotcheck {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  Parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { Parse(args); }
+
+void FlagParser::Parse(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (body.rfind("no-", 0) == 0) {
+      flags_[body.substr(3)] = "false";
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      flags_[body] = args[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  std::string default_value) const {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::move(default_value) : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) const {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) const {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  consumed_.insert(name);
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return default_value;
+  }
+  return !(it->second == "false" || it->second == "0" || it->second == "no");
+}
+
+std::vector<std::string> FlagParser::UnconsumedFlags() const {
+  std::vector<std::string> unconsumed;
+  for (const auto& [name, value] : flags_) {
+    if (!consumed_.contains(name)) {
+      unconsumed.push_back(name);
+    }
+  }
+  return unconsumed;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the example binaries and the
+// simulator CLI. Supports --name=value, "--name value", boolean --name /
+// --no-name, and positional arguments; typed getters fall back to defaults
+// and remember which flags were consumed so callers can reject typos.
+
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spotcheck {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const { return flags_.contains(name); }
+
+  std::string GetString(const std::string& name, std::string default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  // --name and --name=true|1 read as true; --no-name and --name=false|0 as
+  // false.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags present on the command line that no getter ever consumed --
+  // almost always a typo worth reporting.
+  std::vector<std::string> UnconsumedFlags() const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,69 @@
+// Leveled logging with simulated-time prefixes.
+//
+// Components log through LOG(level) << ...; the sink is stderr by default and
+// can be silenced (tests) or captured. When a simulation clock is registered,
+// each line is prefixed with the current simulated time.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Supplies the current simulated time for prefixes; pass nullptr to clear.
+  void set_time_source(std::function<SimTime()> source) {
+    time_source_ = std::move(source);
+  }
+
+  // Redirects output (e.g. to a test buffer); pass nullptr to restore stderr.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  LogLevel min_level_ = LogLevel::kWarning;
+  std::function<SimTime()> time_source_;
+  std::function<void(const std::string&)> sink_;
+};
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace spotcheck
+
+#define SPOTCHECK_LOG(level) ::spotcheck::LogMessage(::spotcheck::LogLevel::level)
+
+#endif  // SRC_COMMON_LOG_H_

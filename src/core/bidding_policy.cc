@@ -1,0 +1,16 @@
+#include "src/core/bidding_policy.h"
+
+#include <cstdio>
+
+namespace spotcheck {
+
+std::string BiddingPolicy::ToString() const {
+  if (kind == BidPolicyKind::kOnDemandPrice) {
+    return "bid=on-demand";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "bid=%.2gx-on-demand", k);
+  return buf;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,55 @@
+// Bidding policies (Section 4.3).
+//
+// SpotCheck deliberately keeps bidding simple: either bid exactly the
+// on-demand price (so a revocation only ever happens when on-demand servers
+// are the cheaper option anyway), or bid k times the on-demand price (k > 1)
+// to lower the revocation frequency at a higher worst-case cost -- the
+// variant that also enables proactive live migrations, triggered when the
+// price rises above the on-demand price but is still below the bid.
+
+#ifndef SRC_CORE_BIDDING_POLICY_H_
+#define SRC_CORE_BIDDING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/market/instance_types.h"
+
+namespace spotcheck {
+
+enum class BidPolicyKind : uint8_t {
+  kOnDemandPrice,       // bid = on-demand price
+  kMultipleOfOnDemand,  // bid = k * on-demand price, k > 1
+};
+
+struct BiddingPolicy {
+  BidPolicyKind kind = BidPolicyKind::kOnDemandPrice;
+  double k = 1.0;
+
+  static BiddingPolicy OnDemand() { return {BidPolicyKind::kOnDemandPrice, 1.0}; }
+  static BiddingPolicy Multiple(double k) {
+    return {BidPolicyKind::kMultipleOfOnDemand, k};
+  }
+
+  // The bid for servers of `type`.
+  double BidFor(InstanceType type) const {
+    const double od = OnDemandPrice(type);
+    return kind == BidPolicyKind::kOnDemandPrice ? od : k * od;
+  }
+
+  // Proactive migrations only make sense when the bid exceeds the on-demand
+  // price: between the two there is a window to migrate before revocation.
+  bool SupportsProactiveMigration() const {
+    return kind == BidPolicyKind::kMultipleOfOnDemand && k > 1.0;
+  }
+
+  // Price above which a proactive policy should evacuate: staying on spot
+  // above the on-demand price is never cost-effective.
+  double ProactiveThreshold(InstanceType type) const { return OnDemandPrice(type); }
+
+  std::string ToString() const;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_BIDDING_POLICY_H_

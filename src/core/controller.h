@@ -1,0 +1,300 @@
+// SpotCheck controller (Section 5) -- the derivative cloud's main component
+// and the primary public API of this library.
+//
+// The controller exposes an EC2-like interface to customers (request /
+// release servers) while internally renting spot and on-demand instances
+// from the native cloud, running nested VMs on them, and orchestrating:
+//
+//   * placement: the customer-to-pool mapping policies of Table 2, with
+//     large-instance slicing (multiple nested VMs per host),
+//   * backup assignment: round-robin over a pool of backup servers for every
+//     nested VM hosted on a spot server,
+//   * revocation handling: on a spot warning, evacuate every resident nested
+//     VM via the configured migration mechanism to a hot spare or a freshly
+//     requested on-demand server,
+//   * allocation dynamics: when the spot price falls back below the
+//     on-demand price, live-migrate VMs from on-demand servers back to spot,
+//   * proactive migration (with k>1 bids): when the price rises above the
+//     on-demand price but below the bid, live-migrate off the spot server
+//     before any revocation happens.
+//
+// All downtime and degradation is charged to an ActivityLog, revocation
+// batches to a RevocationStormTracker, and every dollar to the native
+// cloud's billing meter plus the backup pool's accrual -- which is exactly
+// the data needed to regenerate Figures 10-12 and Table 3.
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/backup/backup_pool.h"
+#include "src/cloud/native_cloud.h"
+#include "src/core/bidding_policy.h"
+#include "src/core/event_log.h"
+#include "src/core/mapping_policy.h"
+#include "src/core/storm_tracker.h"
+#include "src/market/revocation_predictor.h"
+#include "src/net/connection_tracker.h"
+#include "src/net/nat_table.h"
+#include "src/net/vpc.h"
+#include "src/virt/activity_log.h"
+#include "src/virt/host_vm.h"
+#include "src/virt/migration_engine.h"
+#include "src/virt/nested_vm.h"
+#include "src/workload/workload_model.h"
+
+namespace spotcheck {
+
+struct ControllerConfig {
+  MappingPolicyKind mapping = MappingPolicyKind::k1PM;
+  MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
+  BiddingPolicy bidding = BiddingPolicy::OnDemand();
+  // The server type customers request (the paper's default: the smallest
+  // HVM-capable type).
+  InstanceType nested_type = InstanceType::kM3Medium;
+  WorkloadProfile workload = TpcwProfile();
+  AvailabilityZone zone{0};
+  // Pools are spread across this many zones starting at `zone` (Section 4.2:
+  // policies operate across types and availability zones within a region).
+  int num_zones = 1;
+  // Allocation dynamics: migrate back to spot when the price spike abates.
+  bool enable_repatriation = true;
+  // Proactive live migration off spot before revocation (requires k>1 bids).
+  bool enable_proactive = false;
+  // Predictive migration (Section 3.2): drain a pool with live migrations as
+  // soon as its price level/velocity signals an imminent spike -- even
+  // before the price crosses the on-demand level. False alarms cost a round
+  // trip of live migrations; hits avoid the bounded-time downtime entirely.
+  bool enable_predictive = false;
+  PredictorConfig predictor;
+  // Idle on-demand hosts kept ready to absorb revocation storms.
+  int hot_spares = 0;
+  // On a revocation, park evacuated VMs on under-utilized spot hosts in
+  // other, currently-stable pools while the real destination launches
+  // (Section 4.3's staging-server alternative to hot spares). Costs nothing
+  // when idle, but doubles the number of migrations per revocation.
+  bool use_staging = false;
+  BackupPoolConfig backup;
+  MigrationEngineConfig engine;
+  // What SpotCheck charges its customers, as a fraction of the equivalent
+  // on-demand price. The derivative cloud's margin is this revenue minus its
+  // own spot/on-demand/backup spend; downtime is not billed.
+  double resale_fraction_of_on_demand = 0.6;
+  uint64_t seed = 7;
+};
+
+class SpotCheckController {
+ public:
+  SpotCheckController(Simulator* sim, NativeCloud* cloud, MarketPlace* markets,
+                      ControllerConfig config = {});
+
+  SpotCheckController(const SpotCheckController&) = delete;
+  SpotCheckController& operator=(const SpotCheckController&) = delete;
+
+  // --- Customer API -------------------------------------------------------
+
+  CustomerId RegisterCustomer(std::string name = {});
+  // Requests one non-revocable nested VM of config.nested_type. Provisioning
+  // is asynchronous (native instance launch); the VM enters kRunning when a
+  // host is ready. Stateless servers (one replica of a fault-tolerant tier)
+  // skip the backup server -- cheaper -- and are respawned fresh instead of
+  // migrated when revoked (Section 4.2).
+  NestedVmId RequestServer(CustomerId customer, bool stateless = false);
+  void ReleaseServer(NestedVmId vm);
+
+  const NestedVm* GetVm(NestedVmId vm) const;
+  std::vector<const NestedVm*> Vms() const;
+  const HostVm* GetHost(InstanceId instance) const;
+  std::vector<const HostVm*> Hosts() const;
+  int RunningVmCount() const;
+
+  // --- Evaluation surface ---------------------------------------------------
+
+  const ActivityLog& activity_log() const { return activity_log_; }
+  const ControllerEventLog& event_log() const { return event_log_; }
+  const RevocationStormTracker& storms() const { return storms_; }
+  const MigrationEngine& engine() const { return engine_; }
+  const BackupPool& backup_pool() const { return backup_pool_; }
+  const ControllerConfig& config() const { return config_; }
+  // Network state: each nested VM keeps one stable private address whose
+  // NAT binding follows it from host to host (Fig. 4); client connections
+  // survive any outage shorter than their timeout.
+  const VirtualPrivateCloud& vpc() const { return vpc_; }
+  const HostNetworkPlane& network() const { return network_; }
+  ConnectionTracker& connections() { return connections_; }
+  const ConnectionTracker& connections() const { return connections_; }
+
+  struct CostReport {
+    double native_cost = 0.0;   // spot + on-demand instance spend ($)
+    double backup_cost = 0.0;   // backup server spend ($)
+    double vm_hours = 0.0;      // nested-VM lifetime
+    double avg_cost_per_vm_hour = 0.0;
+  };
+  CostReport ComputeCostReport() const;
+
+  // What one customer experienced and owes at the resale price.
+  struct CustomerReport {
+    int64_t vms = 0;
+    double vm_hours = 0.0;
+    SimDuration downtime;
+    double availability_pct = 100.0;
+    double revenue = 0.0;  // billed hours x resale price (downtime unbilled)
+  };
+  CustomerReport ComputeCustomerReport(CustomerId customer) const;
+
+  // The derivative cloud's books: customer revenue vs. platform spend.
+  struct BusinessReport {
+    double revenue = 0.0;
+    double platform_cost = 0.0;  // native instances + backup servers
+    double margin = 0.0;         // revenue - platform_cost
+    double margin_fraction = 0.0;
+  };
+  BusinessReport ComputeBusinessReport() const;
+
+  int64_t revocation_events() const { return revocation_events_; }
+  int64_t repatriations() const { return repatriations_; }
+  int64_t proactive_migrations() const { return proactive_migrations_; }
+  int64_t stateless_respawns() const { return stateless_respawns_; }
+  int64_t stagings() const { return stagings_; }
+  // VMs whose state was unrecoverable after a platform failure (no backup).
+  int64_t vms_lost() const { return vms_lost_; }
+
+  // Human-readable snapshot of the controller's state -- the information the
+  // paper's controller keeps in its database (Section 5): every nested VM
+  // with its placement, address and backup assignment, every host with its
+  // occupancy, and the headline counters.
+  std::string DumpState() const;
+
+  // Structural invariants, checked by property tests after arbitrary
+  // simulated histories: settled (running/degraded) VMs sit on live hosts
+  // that list them, host capacity accounting is consistent, backup streams
+  // exist exactly for spot-hosted VMs (when the mechanism needs them), and
+  // every settled VM's private address routes to it. Returns true when all
+  // hold; otherwise false with a description in `error`.
+  bool ValidateInvariants(std::string* error) const;
+
+ private:
+  // Why a VM is waiting for a host to come up.
+  enum class WaitIntent : uint8_t {
+    kInitialPlacement,        // fresh VM, first host
+    kEvacuationDestination,   // destination of an in-flight evacuation
+    kPlannedMove,             // live-migration target (repatriation/proactive)
+  };
+  struct Waiter {
+    NestedVmId vm;
+    WaitIntent intent = WaitIntent::kInitialPlacement;
+  };
+  struct PendingHost {
+    MarketKey market;
+    bool is_spot = true;
+    bool is_hot_spare = false;
+    std::deque<Waiter> waiting;  // VMs to place when the host is up
+  };
+  // Evacuation in flight: phase-1 commit and destination readiness must both
+  // land before phase 2 (EC2 ops + restore) can run.
+  struct EvacuationState {
+    MigrationMechanism mechanism;
+    BackupServer* backup = nullptr;
+    MarketKey old_market;
+    InstanceId old_host;
+    SimTime deadline;
+    bool committed = false;
+    bool dest_ready = false;
+    bool completing = false;
+    // Destination is a staging host in another spot pool; a second (live)
+    // migration to a final host follows once one launches.
+    bool staged = false;
+    MarketKey staging_market;
+  };
+
+  // Placement.
+  void PlaceVm(NestedVm& vm);
+  HostVm* FindHostWithCapacity(const MarketKey& market, bool spot,
+                               const NestedVmSpec& spec);
+  void AcquireHost(MarketKey market, bool is_spot, Waiter first_waiter,
+                   bool hot_spare = false);
+  // Joins an already-launching spot host in `market` when it has a free
+  // nested slot (the slicing arbitrage), otherwise requests a new one.
+  void QueueOrAcquireSpot(const MarketKey& market, Waiter waiter);
+  void OnHostReady(InstanceId instance, bool ok);
+  void AttachVmToHost(NestedVm& vm, HostVm& host);
+  void AssignBackup(NestedVm& vm);
+
+  // Revocation handling.
+  void OnRevocationWarning(InstanceId instance, SimTime deadline);
+  // Platform (zone) failure: the instance died with no warning.
+  void OnInstanceFailure(InstanceId instance);
+  void EvacuateVm(NestedVm& vm, SimTime deadline);
+  void RespawnStateless(NestedVm& vm, SimTime deadline);
+  // First zone (from config.zone, spanning num_zones) the platform can still
+  // launch into; falls back to the primary zone when all are down.
+  AvailabilityZone PickAvailableZone() const;
+  void MaybeCompleteEvacuation(NestedVm& vm);
+  void FinalizeEvacuation(NestedVm& vm, const MigrationOutcome& outcome);
+  HostVm* PickSpareDestination(const NestedVmSpec& spec);
+  // An under-utilized spot host in a different, currently-stable pool that
+  // can temporarily take `spec` (Section 4.3's staging servers).
+  HostVm* PickStagingHost(const NestedVmSpec& spec, const MarketKey& exclude);
+  void ReplenishHotSpares();
+
+  // Pool dynamics.
+  void SubscribeMarket(const MarketKey& key);
+  void OnPriceChange(const MarketKey& key, double price);
+  void TryRepatriate(const MarketKey& key);
+  void ProactivelyDrain(const MarketKey& key);
+  void MoveVmToHost(NestedVm& vm, HostVm& destination);
+  void DetachVmFromCurrentHost(NestedVm& vm);
+  void MaybeReleaseHost(InstanceId instance);
+  // Re-binds the VM's private address to its current host and charges the
+  // migration outage to its client connections.
+  void RebindNetwork(NestedVm& vm, SimDuration outage);
+
+  Simulator* sim_;
+  NativeCloud* cloud_;
+  MarketPlace* markets_;
+  ControllerConfig config_;
+  MappingPolicy mapping_;
+  ActivityLog activity_log_;
+  ControllerEventLog event_log_;
+  MigrationEngine engine_;
+  BackupPool backup_pool_;
+  RevocationStormTracker storms_;
+  VirtualPrivateCloud vpc_;
+  HostNetworkPlane network_;
+  ConnectionTracker connections_;
+  Rng rng_;
+
+  IdGenerator<CustomerTag> customer_ids_;
+  IdGenerator<NestedVmTag> vm_ids_;
+  std::map<CustomerId, std::string> customers_;
+  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms_;
+  std::map<InstanceId, std::unique_ptr<HostVm>> hosts_;
+  std::map<InstanceId, PendingHost> pending_hosts_;
+  std::map<NestedVmId, EvacuationState> evacuating_;
+  // VMs with a planned move (repatriation / proactive drain) whose target
+  // host is still launching; guards against double-scheduling a move.
+  std::set<NestedVmId> pending_moves_;
+  std::map<MarketKey, bool> subscribed_;
+  // Per-market spike predictors (enable_predictive).
+  std::map<MarketKey, RevocationPredictor> predictors_;
+  // VMs currently exiled to on-demand, keyed by the spot pool they left.
+  std::map<MarketKey, std::vector<NestedVmId>> repatriation_waitlist_;
+  std::vector<InstanceId> hot_spare_hosts_;
+
+  int64_t revocation_events_ = 0;
+  int64_t repatriations_ = 0;
+  int64_t proactive_migrations_ = 0;
+  int64_t stateless_respawns_ = 0;
+  int64_t stagings_ = 0;
+  int64_t vms_lost_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_CONTROLLER_H_

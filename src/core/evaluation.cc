@@ -1,0 +1,92 @@
+#include "src/core/evaluation.h"
+
+#include "src/market/spot_market.h"
+#include "src/market/spot_price_process.h"
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+
+EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
+  Simulator sim;
+  MarketPlace markets(&sim);
+
+  if (config.market_coupling > 0.0) {
+    // Pre-populate every candidate pool with regionally-coupled traces; the
+    // cloud then replays these instead of generating independent ones.
+    std::vector<MarketKey> keys;
+    for (InstanceType type : {InstanceType::kM3Medium, InstanceType::kM3Large,
+                              InstanceType::kM3Xlarge, InstanceType::kM32xlarge}) {
+      for (int zone = 0; zone < std::max(config.num_zones, 1); ++zone) {
+        keys.push_back(MarketKey{type, AvailabilityZone{zone}});
+      }
+    }
+    std::vector<PriceTrace> traces = GenerateCorrelatedTraces(
+        keys, config.horizon + SimDuration::Days(1), config.seed,
+        config.shared_events_per_day, config.market_coupling);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      markets.AddWithTrace(keys[i], std::move(traces[i]));
+    }
+  }
+
+  NativeCloudConfig cloud_config;
+  cloud_config.market_horizon = config.horizon + SimDuration::Days(1);
+  cloud_config.market_seed = config.seed;
+  cloud_config.latency_seed = config.seed ^ 0xfeed;
+  NativeCloud cloud(&sim, &markets, cloud_config);
+
+  ControllerConfig controller_config;
+  controller_config.mapping = config.policy;
+  controller_config.mechanism = config.mechanism;
+  controller_config.bidding = config.bidding;
+  controller_config.enable_proactive = config.proactive;
+  controller_config.hot_spares = config.hot_spares;
+  controller_config.use_staging = config.use_staging;
+  controller_config.num_zones = config.num_zones;
+  controller_config.seed = config.seed;
+  SpotCheckController controller(&sim, &cloud, &markets, controller_config);
+
+  const int customers = std::max(config.num_customers, 1);
+  std::vector<CustomerId> customer_ids;
+  customer_ids.reserve(static_cast<size_t>(customers));
+  for (int c = 0; c < customers; ++c) {
+    customer_ids.push_back(controller.RegisterCustomer());
+  }
+  sim.RunUntil(SimTime() + config.placement_delay);
+  const int stateless_count =
+      static_cast<int>(config.stateless_fraction * config.num_vms);
+  for (int i = 0; i < config.num_vms; ++i) {
+    controller.RequestServer(
+        customer_ids[static_cast<size_t>(i) % customer_ids.size()],
+        /*stateless=*/i < stateless_count);
+  }
+
+  sim.RunUntil(SimTime() + config.horizon);
+
+  EvaluationResult result;
+  const SpotCheckController::CostReport cost = controller.ComputeCostReport();
+  result.avg_cost_per_vm_hour = cost.avg_cost_per_vm_hour;
+  result.native_cost = cost.native_cost;
+  result.backup_cost = cost.backup_cost;
+  result.vm_hours = cost.vm_hours;
+  result.unavailability_pct =
+      controller.activity_log().MeanFraction(ActivityKind::kDowntime, SimTime(),
+                                             sim.Now()) *
+      100.0;
+  result.degradation_pct =
+      controller.activity_log().MeanFraction(ActivityKind::kDegraded, SimTime(),
+                                             sim.Now()) *
+      100.0;
+  result.storms = controller.storms().Probabilities(config.num_vms,
+                                                    config.storm_window,
+                                                    config.horizon);
+  result.revocation_events = controller.revocation_events();
+  result.evacuations = controller.engine().evacuations();
+  result.repatriations = controller.repatriations();
+  result.failed_migrations = controller.engine().failed_migrations();
+  result.stagings = controller.stagings();
+  result.stateless_respawns = controller.stateless_respawns();
+  result.num_backup_servers = controller.backup_pool().num_servers();
+  return result;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,65 @@
+// End-to-end evaluation harness (Section 6.2).
+//
+// Runs a full SpotCheck deployment -- markets, native cloud, controller, N
+// nested VMs -- over a long horizon and reports the metrics of Figures 10-12
+// and Table 3: average $/hr per VM, unavailability %, performance-degradation
+// %, and revocation-storm probabilities. One call = one bar of one figure.
+
+#ifndef SRC_CORE_EVALUATION_H_
+#define SRC_CORE_EVALUATION_H_
+
+#include <cstdint>
+
+#include "src/core/controller.h"
+
+namespace spotcheck {
+
+struct EvaluationConfig {
+  MappingPolicyKind policy = MappingPolicyKind::k1PM;
+  MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
+  BiddingPolicy bidding = BiddingPolicy::OnDemand();
+  bool proactive = false;
+  int hot_spares = 0;
+  bool use_staging = false;
+  // Fraction of the fleet requested as stateless replicas (no backup,
+  // respawn-on-revocation).
+  double stateless_fraction = 0.0;
+  int num_zones = 1;
+  // Cross-market spike coupling (GenerateCorrelatedTraces): > 0 adds shared
+  // regional events that can storm several pools at once -- the coincident
+  // buckets of Table 3. 0 keeps markets fully independent.
+  double market_coupling = 0.0;
+  double shared_events_per_day = 0.1;
+  int num_vms = 40;  // one backup server's worth, as in Table 3
+  int num_customers = 4;
+  SimDuration horizon = SimDuration::Days(180);  // April-October 2014
+  // VMs are requested this long after the markets open, so history-weighted
+  // policies (4P-COST, 4P-ST) have price history to consult.
+  SimDuration placement_delay = SimDuration::Days(7);
+  // Observation window for concurrent-revocation probabilities (Table 3).
+  SimDuration storm_window = SimDuration::Minutes(6);
+  uint64_t seed = 1;
+};
+
+struct EvaluationResult {
+  double avg_cost_per_vm_hour = 0.0;
+  double unavailability_pct = 0.0;  // mean fraction of VM lifetime down, in %
+  double degradation_pct = 0.0;     // mean fraction degraded, in %
+  RevocationStormTracker::StormProbabilities storms;
+  int64_t revocation_events = 0;
+  int64_t evacuations = 0;
+  int64_t repatriations = 0;
+  int64_t failed_migrations = 0;
+  int64_t stagings = 0;
+  int64_t stateless_respawns = 0;
+  int num_backup_servers = 0;
+  double native_cost = 0.0;
+  double backup_cost = 0.0;
+  double vm_hours = 0.0;
+};
+
+EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_EVALUATION_H_

@@ -1,0 +1,77 @@
+#include "src/core/event_log.h"
+
+#include "src/common/csv.h"
+
+namespace spotcheck {
+
+std::string_view ControllerEventKindName(ControllerEventKind kind) {
+  switch (kind) {
+    case ControllerEventKind::kVmRequested:
+      return "vm-requested";
+    case ControllerEventKind::kVmPlaced:
+      return "vm-placed";
+    case ControllerEventKind::kRevocationWarning:
+      return "revocation-warning";
+    case ControllerEventKind::kEvacuationStarted:
+      return "evacuation-started";
+    case ControllerEventKind::kEvacuationCompleted:
+      return "evacuation-completed";
+    case ControllerEventKind::kProactiveDrain:
+      return "proactive-drain";
+    case ControllerEventKind::kRepatriationStarted:
+      return "repatriation-started";
+    case ControllerEventKind::kRepatriationCompleted:
+      return "repatriation-completed";
+    case ControllerEventKind::kStatelessRespawn:
+      return "stateless-respawn";
+    case ControllerEventKind::kCrashRecovery:
+      return "crash-recovery";
+    case ControllerEventKind::kVmLost:
+      return "vm-lost";
+    case ControllerEventKind::kVmReleased:
+      return "vm-released";
+  }
+  return "unknown";
+}
+
+void ControllerEventLog::Record(SimTime time, ControllerEventKind kind,
+                                NestedVmId vm, InstanceId host, MarketKey market,
+                                std::string detail) {
+  events_.push_back(ControllerEvent{time, kind, vm, host, market,
+                                    std::move(detail)});
+}
+
+int64_t ControllerEventLog::CountOf(ControllerEventKind kind) const {
+  int64_t count = 0;
+  for (const ControllerEvent& event : events_) {
+    if (event.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<const ControllerEvent*> ControllerEventLog::ForVm(NestedVmId vm) const {
+  std::vector<const ControllerEvent*> matched;
+  for (const ControllerEvent& event : events_) {
+    if (event.vm == vm) {
+      matched.push_back(&event);
+    }
+  }
+  return matched;
+}
+
+std::string ControllerEventLog::ToCsv() const {
+  CsvWriter writer;
+  writer.AddRow({"time_s", "kind", "vm", "host", "market", "detail"});
+  for (const ControllerEvent& event : events_) {
+    writer.AddRow({std::to_string(event.time.seconds()),
+                   std::string(ControllerEventKindName(event.kind)),
+                   event.vm.valid() ? event.vm.ToString() : "",
+                   event.host.valid() ? event.host.ToString() : "",
+                   event.market.ToString(), event.detail});
+  }
+  return writer.ToString();
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,88 @@
+// Customer-to-pool mapping policies (Table 2, Section 4.2).
+//
+// When a customer requests a nested VM, SpotCheck decides which spot pool
+// (host instance type x zone) should receive it. Distributing a customer's
+// VMs across pools whose prices move independently reduces the chance of a
+// revocation storm -- portfolio diversification applied to servers. The
+// evaluated policies:
+//
+//   1P-M     all VMs in the m3.medium pool
+//   2P-ML    split evenly between m3.medium and m3.large
+//   4P-ED    split evenly across all four m3 types
+//   4P-COST  weighted towards pools with lower historical per-slot cost
+//   4P-ST    weighted towards pools with fewer historical revocations
+//
+// plus two allocation strategies described in the prose: greedy
+// cheapest-first (current per-slot price, exploiting the slicing arbitrage)
+// and stability-first (fewest recent bid crossings).
+
+#ifndef SRC_CORE_MAPPING_POLICY_H_
+#define SRC_CORE_MAPPING_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/core/bidding_policy.h"
+#include "src/market/spot_market.h"
+
+namespace spotcheck {
+
+enum class MappingPolicyKind : uint8_t {
+  k1PM,
+  k2PML,
+  k4PED,
+  k4PCost,
+  k4PStability,
+  kGreedyCheapest,
+  kStabilityFirst,
+};
+
+std::string_view MappingPolicyName(MappingPolicyKind kind);
+
+// Chooses the spot pool for each newly requested nested VM. Pools are
+// identified by the market of their host servers; a pool whose host type is
+// larger than the nested VM type is sliced (NestedSlotsPerHost > 1).
+class MappingPolicy {
+ public:
+  // `nested_type` is the type customers request (m3.medium in the paper);
+  // candidates are derived from the policy kind within `zone`.
+  MappingPolicy(MappingPolicyKind kind, InstanceType nested_type,
+                AvailabilityZone zone, Rng rng);
+
+  // Multi-zone variant (Section 4.2: pool management operates across types
+  // AND availability zones within a region): the policy's type ladder is
+  // replicated into each zone, multiplying the number of independent pools.
+  MappingPolicy(MappingPolicyKind kind, InstanceType nested_type,
+                const std::vector<AvailabilityZone>& zones, Rng rng);
+
+  MappingPolicyKind kind() const { return kind_; }
+  const std::vector<MarketKey>& candidates() const { return candidates_; }
+
+  // Picks the pool for the next VM. `markets` supplies price history for the
+  // cost/stability-weighted policies; `bidding` defines the bid whose
+  // crossings count as revocations; `now` bounds the history lookback.
+  MarketKey ChoosePool(MarketPlace& markets, const BiddingPolicy& bidding,
+                       SimTime now);
+
+  // Per-slot price of hosting one `nested_type` VM in `pool` at `now`
+  // (host price divided by slots; the slicing arbitrage in Section 4.2).
+  static double PerSlotPrice(const SpotMarket& market, InstanceType nested_type,
+                             SimTime now);
+
+ private:
+  MarketKey ChooseWeighted(const std::vector<double>& weights);
+
+  MappingPolicyKind kind_;
+  InstanceType nested_type_;
+  std::vector<MarketKey> candidates_;
+  Rng rng_;
+  size_t round_robin_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_MAPPING_POLICY_H_

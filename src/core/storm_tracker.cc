@@ -1,0 +1,58 @@
+#include "src/core/storm_tracker.h"
+
+#include <algorithm>
+
+namespace spotcheck {
+
+void RevocationStormTracker::RecordBatch(SimTime at, int vm_count) {
+  if (vm_count <= 0) {
+    return;
+  }
+  batches_.emplace_back(at, vm_count);
+  total_vms_ += vm_count;
+  max_batch_ = std::max(max_batch_, vm_count);
+}
+
+RevocationStormTracker::StormProbabilities
+RevocationStormTracker::Probabilities(int total_vms, SimDuration window,
+                                      SimDuration horizon) const {
+  StormProbabilities probs;
+  if (total_vms <= 0 || window <= SimDuration::Zero() ||
+      horizon <= SimDuration::Zero()) {
+    return probs;
+  }
+  const int64_t num_windows =
+      std::max<int64_t>(1, static_cast<int64_t>(horizon / window));
+  // Sum the revoked VMs per window (revocations of one storm land within the
+  // two-minute warning, far inside any sensible window).
+  std::map<int64_t, int> per_window;
+  for (const auto& [at, count] : batches_) {
+    const int64_t index = (at - SimTime()).micros() / window.micros();
+    per_window[index] += count;
+  }
+  const double n = static_cast<double>(total_vms);
+  int64_t quarter = 0;
+  int64_t half = 0;
+  int64_t three_quarters = 0;
+  int64_t all = 0;
+  for (const auto& [index, count] : per_window) {
+    const double fraction = static_cast<double>(count) / n;
+    if (fraction >= 1.0) {
+      ++all;
+    } else if (fraction >= 0.75) {
+      ++three_quarters;
+    } else if (fraction >= 0.5) {
+      ++half;
+    } else if (fraction >= 0.25) {
+      ++quarter;
+    }
+  }
+  const double windows = static_cast<double>(num_windows);
+  probs.quarter = static_cast<double>(quarter) / windows;
+  probs.half = static_cast<double>(half) / windows;
+  probs.three_quarters = static_cast<double>(three_quarters) / windows;
+  probs.all = static_cast<double>(all) / windows;
+  return probs;
+}
+
+}  // namespace spotcheck

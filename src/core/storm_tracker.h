@@ -1,0 +1,55 @@
+// Revocation-storm statistics (Table 3).
+//
+// A pool-wide price spike revokes every spot server in the pool at once; the
+// resulting mass migration overloads backup servers. Table 3 quantifies the
+// benefit of pool diversification as the probability that a large fraction
+// of a customer's N VMs must migrate concurrently. The tracker records each
+// revocation batch and reports, over fixed observation windows, how often
+// the concurrent-migration count fell in each fraction-of-N bucket.
+
+#ifndef SRC_CORE_STORM_TRACKER_H_
+#define SRC_CORE_STORM_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+class RevocationStormTracker {
+ public:
+  // Records that `vm_count` VMs were revoked together at `at`.
+  void RecordBatch(SimTime at, int vm_count);
+
+  int64_t total_batches() const { return static_cast<int64_t>(batches_.size()); }
+  int64_t total_revoked_vms() const { return total_vms_; }
+  int max_batch() const { return max_batch_; }
+
+  // Table 3 row: probability that, within an observation window of length
+  // `window`, the number of concurrently revoked VMs reaches each of the
+  // buckets {>= N/4, >= N/2, >= 3N/4, == N} exclusively (a window counts in
+  // its highest bucket only, matching the paper's "maximum number of
+  // concurrent revocations"). Probabilities are fractions of all windows in
+  // [0, horizon).
+  struct StormProbabilities {
+    double quarter = 0.0;        // max in [N/4, N/2)
+    double half = 0.0;           // max in [N/2, 3N/4)
+    double three_quarters = 0.0; // max in [3N/4, N)
+    double all = 0.0;            // max == N (or more)
+  };
+  StormProbabilities Probabilities(int total_vms, SimDuration window,
+                                   SimDuration horizon) const;
+
+  const std::vector<std::pair<SimTime, int>>& batches() const { return batches_; }
+
+ private:
+  std::vector<std::pair<SimTime, int>> batches_;
+  int64_t total_vms_ = 0;
+  int max_batch_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_STORM_TRACKER_H_

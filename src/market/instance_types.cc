@@ -1,0 +1,71 @@
+#include "src/market/instance_types.h"
+
+#include <array>
+#include <cmath>
+
+namespace spotcheck {
+namespace {
+
+constexpr std::array<InstanceTypeInfo, 15> kCatalog = {{
+    {InstanceType::kM1Small, "m1.small", 1, 1.7, 0.060, false},
+    {InstanceType::kM3Medium, "m3.medium", 1, 3.75, 0.070, true},
+    {InstanceType::kM3Large, "m3.large", 2, 7.5, 0.140, true},
+    {InstanceType::kM3Xlarge, "m3.xlarge", 4, 15.0, 0.280, true},
+    {InstanceType::kM32xlarge, "m3.2xlarge", 8, 30.0, 0.560, true},
+    {InstanceType::kC3Large, "c3.large", 2, 3.75, 0.105, true},
+    {InstanceType::kC3Xlarge, "c3.xlarge", 4, 7.5, 0.210, true},
+    {InstanceType::kC32xlarge, "c3.2xlarge", 8, 15.0, 0.420, true},
+    {InstanceType::kC34xlarge, "c3.4xlarge", 16, 30.0, 0.840, true},
+    {InstanceType::kC38xlarge, "c3.8xlarge", 32, 60.0, 1.680, true},
+    {InstanceType::kR3Large, "r3.large", 2, 15.25, 0.175, true},
+    {InstanceType::kR3Xlarge, "r3.xlarge", 4, 30.5, 0.350, true},
+    {InstanceType::kR32xlarge, "r3.2xlarge", 8, 61.0, 0.700, true},
+    {InstanceType::kR34xlarge, "r3.4xlarge", 16, 122.0, 1.400, true},
+    {InstanceType::kR38xlarge, "r3.8xlarge", 32, 244.0, 2.800, true},
+}};
+
+}  // namespace
+
+std::span<const InstanceTypeInfo> InstanceCatalog() { return kCatalog; }
+
+const InstanceTypeInfo& GetInstanceTypeInfo(InstanceType type) {
+  return kCatalog[static_cast<size_t>(type)];
+}
+
+std::string_view InstanceTypeName(InstanceType type) {
+  return GetInstanceTypeInfo(type).name;
+}
+
+double OnDemandPrice(InstanceType type) {
+  return GetInstanceTypeInfo(type).on_demand_price;
+}
+
+std::optional<InstanceType> ParseInstanceType(std::string_view name) {
+  for (const auto& info : kCatalog) {
+    if (info.name == name) {
+      return info.type;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<InstanceType> HvmCapableTypes() {
+  std::vector<InstanceType> types;
+  for (const auto& info : kCatalog) {
+    if (info.hvm_capable) {
+      types.push_back(info.type);
+    }
+  }
+  return types;
+}
+
+int NestedSlotsPerHost(InstanceType host, InstanceType nested) {
+  const double host_mem = GetInstanceTypeInfo(host).memory_gb;
+  const double nested_mem = GetInstanceTypeInfo(nested).memory_gb;
+  if (nested_mem <= 0.0) {
+    return 0;
+  }
+  return static_cast<int>(std::floor(host_mem / nested_mem + 1e-9));
+}
+
+}  // namespace spotcheck

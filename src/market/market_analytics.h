@@ -1,0 +1,68 @@
+// Analytics over price traces, matching the statistics the paper reports in
+// Figure 6: availability-vs-bid CDFs, hourly price-jump CDFs, and pairwise
+// correlation matrices across zones and instance types.
+
+#ifndef SRC_MARKET_MARKET_ANALYTICS_H_
+#define SRC_MARKET_MARKET_ANALYTICS_H_
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/market/instance_types.h"
+#include "src/market/price_trace.h"
+
+namespace spotcheck {
+
+// One (bid ratio, availability) point of Figure 6(a): availability is the
+// fraction of time the spot price was at or below ratio * on_demand_price.
+struct AvailabilityPoint {
+  double bid_ratio;
+  double availability;
+};
+
+// Sweeps bid ratios 0..1 over `points` steps.
+std::vector<AvailabilityPoint> AvailabilityVsBid(const PriceTrace& trace,
+                                                 double on_demand_price,
+                                                 SimTime from, SimTime to,
+                                                 int points);
+
+// Probability of revocation at a given bid: P(spot price > bid), i.e.
+// 1 - availability. This is the `p` of the cost model in Section 4.4.
+double RevocationProbability(const PriceTrace& trace, double bid, SimTime from,
+                             SimTime to);
+
+// Number of upward crossings of `bid` in [from, to): each crossing is one
+// revocation event for a pool bidding `bid`.
+int CountBidCrossings(const PriceTrace& trace, double bid, SimTime from, SimTime to);
+
+// Empirical distributions of hourly percentage jumps (Fig. 6(b)).
+struct JumpDistributions {
+  EmpiricalDistribution increasing;
+  EmpiricalDistribution decreasing;
+};
+JumpDistributions ComputeJumpDistributions(const PriceTrace& trace, SimTime from,
+                                           SimTime to);
+
+// Pairwise Pearson correlations of price series sampled on a common grid
+// (Fig. 6(c)/(d)). Series are sampled every `step` over [from, to).
+std::vector<std::vector<double>> PriceCorrelationMatrix(
+    const std::vector<const PriceTrace*>& traces, SimTime from, SimTime to,
+    SimDuration step);
+
+// Mean absolute off-diagonal correlation -- a single-number summary used in
+// tests to assert that markets are (un)correlated.
+double MeanAbsOffDiagonal(const std::vector<std::vector<double>>& matrix);
+
+// The "knee" of the availability-bid curve (Fig. 6(a)): the smallest bid
+// ratio whose availability is within `epsilon` of the availability at
+// `max_ratio`. Raising the bid past the knee buys almost nothing; the paper
+// observes the knee sits slightly below the on-demand price, making
+// "bid the on-demand price" a good approximation of the optimum.
+double FindKneeRatio(const PriceTrace& trace, double on_demand_price,
+                     SimTime from, SimTime to, double epsilon = 0.005,
+                     double max_ratio = 2.0, int steps = 200);
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_MARKET_ANALYTICS_H_

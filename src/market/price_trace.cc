@@ -1,0 +1,135 @@
+#include "src/market/price_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/csv.h"
+
+namespace spotcheck {
+
+PriceTrace::PriceTrace(std::vector<PricePoint> points) : points_(std::move(points)) {}
+
+SimTime PriceTrace::start() const {
+  return points_.empty() ? SimTime() : points_.front().time;
+}
+
+SimTime PriceTrace::end() const {
+  return points_.empty() ? SimTime() : points_.back().time;
+}
+
+double PriceTrace::PriceAt(SimTime t) const {
+  if (points_.empty()) {
+    return 0.0;
+  }
+  // First point with time > t; predecessor holds the in-effect price.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime value, const PricePoint& p) { return value < p.time; });
+  if (it == points_.begin()) {
+    return points_.front().price;
+  }
+  return std::prev(it)->price;
+}
+
+void PriceTrace::Append(SimTime t, double price) {
+  if (!points_.empty() && t < points_.back().time) {
+    return;  // Ignore out-of-order appends.
+  }
+  points_.push_back({t, price});
+}
+
+double PriceTrace::MeanPrice(SimTime from, SimTime to) const {
+  if (points_.empty() || to <= from) {
+    return 0.0;
+  }
+  double weighted = 0.0;
+  SimTime cursor = from;
+  // Walk change points inside (from, to).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), from,
+      [](SimTime value, const PricePoint& p) { return value < p.time; });
+  while (cursor < to) {
+    const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
+    weighted += PriceAt(cursor) * (next - cursor).seconds();
+    cursor = next;
+    if (it != points_.end() && it->time <= cursor) {
+      ++it;
+    }
+  }
+  return weighted / (to - from).seconds();
+}
+
+double PriceTrace::FractionAtOrBelow(double bid, SimTime from, SimTime to) const {
+  if (points_.empty() || to <= from) {
+    return 0.0;
+  }
+  double covered = 0.0;
+  SimTime cursor = from;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), from,
+      [](SimTime value, const PricePoint& p) { return value < p.time; });
+  while (cursor < to) {
+    const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
+    if (PriceAt(cursor) <= bid) {
+      covered += (next - cursor).seconds();
+    }
+    cursor = next;
+    if (it != points_.end() && it->time <= cursor) {
+      ++it;
+    }
+  }
+  return covered / (to - from).seconds();
+}
+
+std::vector<double> PriceTrace::SampleGrid(SimTime from, SimTime to,
+                                           SimDuration step) const {
+  std::vector<double> samples;
+  for (SimTime t = from; t < to; t += step) {
+    samples.push_back(PriceAt(t));
+  }
+  return samples;
+}
+
+PriceTrace::JumpSeries PriceTrace::HourlyJumps(SimTime from, SimTime to) const {
+  JumpSeries jumps;
+  double prev = PriceAt(from);
+  for (SimTime t = from + SimDuration::Hours(1); t <= to; t += SimDuration::Hours(1)) {
+    const double cur = PriceAt(t);
+    if (prev > 0.0 && cur != prev) {
+      const double pct = std::abs(cur / prev - 1.0) * 100.0;
+      if (cur > prev) {
+        jumps.increasing.push_back(pct);
+      } else {
+        jumps.decreasing.push_back(pct);
+      }
+    }
+    prev = cur;
+  }
+  return jumps;
+}
+
+std::string PriceTrace::ToCsv() const {
+  CsvWriter writer;
+  for (const auto& p : points_) {
+    writer.AddRow({std::to_string(p.time.seconds()), std::to_string(p.price)});
+  }
+  return writer.ToString();
+}
+
+PriceTrace PriceTrace::FromCsv(const std::string& text) {
+  const CsvReader reader = CsvReader::FromString(text, /*has_header=*/false);
+  std::vector<PricePoint> points;
+  points.reserve(reader.rows().size());
+  for (const auto& row : reader.rows()) {
+    if (row.size() < 2) {
+      continue;
+    }
+    points.push_back(
+        {SimTime::FromSeconds(std::stod(row[0])), std::stod(row[1])});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const PricePoint& a, const PricePoint& b) { return a.time < b.time; });
+  return PriceTrace(std::move(points));
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,70 @@
+// Piecewise-constant spot-price traces.
+//
+// A PriceTrace is a sorted sequence of (time, $/hr) change points; the price
+// holds between change points. Traces are either synthesized by a
+// SpotPriceProcess or loaded from CSV (timestamp_seconds,price per row, as
+// exported from EC2 spot price history).
+
+#ifndef SRC_MARKET_PRICE_TRACE_H_
+#define SRC_MARKET_PRICE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+struct PricePoint {
+  SimTime time;
+  double price;  // $/hr
+};
+
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+  // Points must be time-sorted; the first point defines the trace start.
+  explicit PriceTrace(std::vector<PricePoint> points);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const std::vector<PricePoint>& points() const { return points_; }
+  SimTime start() const;
+  SimTime end() const;
+
+  // Price in effect at time t: the last change point at or before t. Before
+  // the first point, returns the first price; on an empty trace, returns 0.
+  double PriceAt(SimTime t) const;
+
+  // Appends a change point; must not go backwards in time.
+  void Append(SimTime t, double price);
+
+  // Time-weighted mean price over [from, to).
+  double MeanPrice(SimTime from, SimTime to) const;
+
+  // Fraction of [from, to) during which price <= bid. This is the
+  // "availability" a spot instance with that bid would have seen (Fig. 6(a)).
+  double FractionAtOrBelow(double bid, SimTime from, SimTime to) const;
+
+  // Price sampled on a regular grid, for correlation analysis (Fig. 6(c)/(d)).
+  std::vector<double> SampleGrid(SimTime from, SimTime to, SimDuration step) const;
+
+  // Percentage magnitudes of hour-over-hour price changes, split by sign
+  // (Fig. 6(b)). A change from p0 to p1 contributes |p1/p0 - 1| * 100.
+  struct JumpSeries {
+    std::vector<double> increasing;
+    std::vector<double> decreasing;
+  };
+  JumpSeries HourlyJumps(SimTime from, SimTime to) const;
+
+  // CSV round-trip; format: "seconds,price" per line, no header.
+  std::string ToCsv() const;
+  static PriceTrace FromCsv(const std::string& text);
+
+ private:
+  std::vector<PricePoint> points_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_PRICE_TRACE_H_

@@ -1,0 +1,98 @@
+#include "src/market/revocation_predictor.h"
+
+#include <algorithm>
+
+namespace spotcheck {
+
+void RevocationPredictor::Observe(SimTime t, double price) {
+  const double ratio = on_demand_price_ > 0.0 ? price / on_demand_price_ : 0.0;
+  if (!primed_) {
+    ewma_ratio_ = ratio;
+    primed_ = true;
+  } else {
+    ewma_ratio_ = config_.ewma_alpha * ratio + (1.0 - config_.ewma_alpha) * ewma_ratio_;
+  }
+  history_.emplace_back(t, ewma_ratio_);
+  const SimTime horizon = t - config_.velocity_window;
+  while (history_.size() > 1 && history_.front().first < horizon) {
+    history_.pop_front();
+  }
+}
+
+double RevocationPredictor::LevelFeature() const {
+  if (!primed_) {
+    return 0.0;
+  }
+  const double span = config_.level_high_ratio - config_.level_low_ratio;
+  if (span <= 0.0) {
+    return ewma_ratio_ >= config_.level_high_ratio ? 1.0 : 0.0;
+  }
+  return std::clamp((ewma_ratio_ - config_.level_low_ratio) / span, 0.0, 1.0);
+}
+
+double RevocationPredictor::VelocityFeature() const {
+  if (history_.size() < 2) {
+    return 0.0;
+  }
+  const double climb = history_.back().second - history_.front().second;
+  if (config_.velocity_high <= 0.0) {
+    return climb > 0.0 ? 1.0 : 0.0;
+  }
+  return std::clamp(climb / config_.velocity_high, 0.0, 1.0);
+}
+
+double RevocationPredictor::RiskScore() const {
+  return std::max(LevelFeature(), VelocityFeature());
+}
+
+PredictorScore EvaluatePredictor(const PredictorConfig& config,
+                                 const PriceTrace& trace, double on_demand_price,
+                                 double bid, SimTime from, SimTime to) {
+  PredictorScore score;
+  RevocationPredictor predictor(config, on_demand_price);
+  bool above = trace.PriceAt(from) > bid;
+  bool signal_up = false;
+  SimTime signal_since = from;
+  double up_seconds = 0.0;
+  SimTime last = from;
+
+  for (const PricePoint& point : trace.points()) {
+    if (point.time < from || point.time >= to) {
+      continue;
+    }
+    // Account signal-up time over [last, point.time).
+    if (signal_up) {
+      up_seconds += (point.time - last).seconds();
+    }
+    last = point.time;
+
+    const bool now_above = point.price > bid;
+    if (now_above && !above) {
+      ++score.crossings;
+      // Was the alarm already raised when the spike hit? (The predictor has
+      // not seen this observation yet, so this is a genuine lead.)
+      if (signal_up && point.time > signal_since) {
+        ++score.predicted;
+      }
+    }
+    above = now_above;
+
+    predictor.Observe(point.time, point.price);
+    const bool now_up = predictor.AtRisk();
+    if (now_up && !signal_up) {
+      signal_since = point.time;
+    }
+    signal_up = now_up;
+  }
+  if (signal_up) {
+    up_seconds += (to - last).seconds();
+  }
+  score.recall = score.crossings > 0
+                     ? static_cast<double>(score.predicted) / score.crossings
+                     : 0.0;
+  const double total = (to - from).seconds();
+  score.signal_up_fraction = total > 0.0 ? up_seconds / total : 0.0;
+  return score;
+}
+
+}  // namespace spotcheck

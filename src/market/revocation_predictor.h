@@ -1,0 +1,85 @@
+// Revocation prediction from market prices (Section 3.2).
+//
+// "Such predictive approaches make it feasible to employ live migration with
+// spot servers and avoid the overhead and complexity of bounded-time VM
+// migration ... e.g., by tracking and predicting a rise in market prices of
+// spot servers that causes revocations."
+//
+// RevocationPredictor watches one market's price series and raises a risk
+// signal from two features: the smoothed price level relative to the
+// on-demand price (spikes start from elevated levels far more often than
+// from the floor) and the recent upward velocity (spikes are abrupt, so a
+// steep climb inside the lookback window is the strongest tell). The
+// controller can drain a pool with live migrations while the signal is up,
+// before any revocation warning arrives.
+//
+// EvaluatePredictor() replays a historical trace through the predictor and
+// scores it the way one scores any alarm: how many bid crossings had the
+// signal up beforehand (recall), and how much of the raised-signal time was
+// actually followed by a crossing (precision proxy: false-alarm fraction).
+
+#ifndef SRC_MARKET_REVOCATION_PREDICTOR_H_
+#define SRC_MARKET_REVOCATION_PREDICTOR_H_
+
+#include <deque>
+
+#include "src/common/time.h"
+#include "src/market/price_trace.h"
+
+namespace spotcheck {
+
+struct PredictorConfig {
+  // EWMA smoothing for the price level (per observation).
+  double ewma_alpha = 0.3;
+  // Smoothed price/on-demand ratio above which the level feature saturates.
+  double level_high_ratio = 0.6;
+  // Ratio below which the level feature is zero.
+  double level_low_ratio = 0.25;
+  // Lookback for the velocity feature.
+  SimDuration velocity_window = SimDuration::Minutes(30);
+  // Ratio climb per velocity_window that saturates the velocity feature.
+  double velocity_high = 0.3;
+  // Risk score (max of the two features, each in [0,1]) that raises AtRisk.
+  double risk_threshold = 0.5;
+};
+
+class RevocationPredictor {
+ public:
+  RevocationPredictor(PredictorConfig config, double on_demand_price)
+      : config_(config), on_demand_price_(on_demand_price) {}
+
+  // Feeds one price observation (call on every market change point).
+  void Observe(SimTime t, double price);
+
+  // Risk in [0, 1]; 0 before any observation.
+  double RiskScore() const;
+  bool AtRisk() const { return RiskScore() >= config_.risk_threshold; }
+
+  double smoothed_ratio() const { return ewma_ratio_; }
+
+ private:
+  double LevelFeature() const;
+  double VelocityFeature() const;
+
+  PredictorConfig config_;
+  double on_demand_price_;
+  bool primed_ = false;
+  double ewma_ratio_ = 0.0;
+  // (time, smoothed ratio) samples inside the velocity window.
+  std::deque<std::pair<SimTime, double>> history_;
+};
+
+// Offline scoring of the predictor against a trace.
+struct PredictorScore {
+  int crossings = 0;          // upward bid crossings in the window
+  int predicted = 0;          // crossings with the signal up at crossing time
+  double recall = 0.0;        // predicted / crossings
+  double signal_up_fraction = 0.0;  // fraction of time the signal was raised
+};
+PredictorScore EvaluatePredictor(const PredictorConfig& config,
+                                 const PriceTrace& trace, double on_demand_price,
+                                 double bid, SimTime from, SimTime to);
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_REVOCATION_PREDICTOR_H_

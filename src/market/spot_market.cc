@@ -1,0 +1,87 @@
+#include "src/market/spot_market.h"
+
+#include <utility>
+
+#include "src/market/spot_price_process.h"
+
+namespace spotcheck {
+
+SpotMarket::SpotMarket(MarketKey key, PriceTrace trace)
+    : key_(key), trace_(std::move(trace)) {}
+
+double SpotMarket::CurrentPrice() const {
+  if (sim_ == nullptr) {
+    return trace_.empty() ? 0.0 : trace_.points().front().price;
+  }
+  return trace_.PriceAt(sim_->Now());
+}
+
+int64_t SpotMarket::Subscribe(PriceListener listener) {
+  const int64_t id = next_listener_id_++;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+void SpotMarket::Unsubscribe(int64_t id) { listeners_.erase(id); }
+
+void SpotMarket::Attach(Simulator* sim) {
+  sim_ = sim;
+  for (const PricePoint& point : trace_.points()) {
+    if (point.time < sim->Now()) {
+      continue;
+    }
+    sim->ScheduleAt(point.time, [this, price = point.price]() { FireListeners(price); });
+  }
+}
+
+void SpotMarket::FireListeners(double price) {
+  // Copy: listeners may subscribe/unsubscribe during dispatch.
+  std::vector<PriceListener> snapshot;
+  snapshot.reserve(listeners_.size());
+  for (const auto& [id, listener] : listeners_) {
+    snapshot.push_back(listener);
+  }
+  for (const auto& listener : snapshot) {
+    listener(*this, price);
+  }
+}
+
+SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
+                                     uint64_t seed) {
+  auto it = markets_.find(key);
+  if (it == markets_.end()) {
+    auto market =
+        std::make_unique<SpotMarket>(key, GenerateMarketTrace(key, horizon, seed));
+    market->Attach(sim_);
+    it = markets_.emplace(key, std::move(market)).first;
+  }
+  return *it->second;
+}
+
+SpotMarket& MarketPlace::AddWithTrace(MarketKey key, PriceTrace trace) {
+  auto market = std::make_unique<SpotMarket>(key, std::move(trace));
+  market->Attach(sim_);
+  auto [it, inserted] = markets_.insert_or_assign(key, std::move(market));
+  return *it->second;
+}
+
+SpotMarket* MarketPlace::Find(MarketKey key) {
+  const auto it = markets_.find(key);
+  return it == markets_.end() ? nullptr : it->second.get();
+}
+
+const SpotMarket* MarketPlace::Find(MarketKey key) const {
+  const auto it = markets_.find(key);
+  return it == markets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<SpotMarket*> MarketPlace::All() {
+  std::vector<SpotMarket*> all;
+  all.reserve(markets_.size());
+  for (auto& [key, market] : markets_) {
+    all.push_back(market.get());
+  }
+  return all;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,82 @@
+// Live spot market replayed inside a simulation.
+//
+// SpotMarket wraps a PriceTrace and, when attached to a Simulator, fires a
+// callback at every price change point. The cloud layer subscribes to decide
+// spot revocations; SpotCheck's controller subscribes to drive proactive
+// migrations and allocation dynamics.
+
+#ifndef SRC_MARKET_SPOT_MARKET_H_
+#define SRC_MARKET_SPOT_MARKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/market/instance_types.h"
+#include "src/market/price_trace.h"
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+
+class SpotMarket {
+ public:
+  // `on_price_change` is invoked as (market, new_price) at each change point.
+  using PriceListener = std::function<void(const SpotMarket&, double)>;
+
+  SpotMarket(MarketKey key, PriceTrace trace);
+
+  const MarketKey& key() const { return key_; }
+  const PriceTrace& trace() const { return trace_; }
+  double on_demand_price() const { return OnDemandPrice(key_.type); }
+
+  // Current price according to the attached simulator's clock (or the trace
+  // start price if not attached).
+  double CurrentPrice() const;
+  double PriceAt(SimTime t) const { return trace_.PriceAt(t); }
+
+  // Registers a listener; returns an id usable with Unsubscribe.
+  int64_t Subscribe(PriceListener listener);
+  void Unsubscribe(int64_t id);
+
+  // Schedules the replay of all future price change points on `sim`.
+  // Call once; listeners registered later still receive subsequent changes.
+  void Attach(Simulator* sim);
+
+ private:
+  void FireListeners(double price);
+
+  MarketKey key_;
+  PriceTrace trace_;
+  Simulator* sim_ = nullptr;
+  int64_t next_listener_id_ = 0;
+  std::map<int64_t, PriceListener> listeners_;
+};
+
+// Owns the set of markets for a simulation and builds them from calibrated
+// synthetic traces (or caller-provided ones).
+class MarketPlace {
+ public:
+  explicit MarketPlace(Simulator* sim) : sim_(sim) {}
+
+  // Creates (or returns the existing) market for `key`, generating a
+  // calibrated trace over `horizon` with `seed` if it does not exist yet.
+  SpotMarket& GetOrCreate(MarketKey key, SimDuration horizon, uint64_t seed);
+
+  // Registers a market with an explicit trace (e.g. loaded from CSV).
+  SpotMarket& AddWithTrace(MarketKey key, PriceTrace trace);
+
+  SpotMarket* Find(MarketKey key);
+  const SpotMarket* Find(MarketKey key) const;
+  std::vector<SpotMarket*> All();
+
+ private:
+  Simulator* sim_;
+  std::map<MarketKey, std::unique_ptr<SpotMarket>> markets_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_SPOT_MARKET_H_

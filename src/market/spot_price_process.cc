@@ -1,0 +1,243 @@
+#include "src/market/spot_price_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcheck {
+namespace {
+
+struct TypeCalibration {
+  double spikes_per_day;
+  double spike_duration_hours;
+  double base_ratio;
+};
+
+// Stability ordered per the paper's observations: small general-purpose types
+// are in higher demand (ratio closer to on-demand) but the m3.medium market
+// itself was very stable over the studied six months; bigger types see more
+// frequent, shorter price spikes and lower per-unit prices.
+TypeCalibration CalibrationFor(InstanceType type) {
+  switch (type) {
+    case InstanceType::kM1Small:
+      return {2.0, 0.75, 0.25};  // the spiky market of Figure 1
+    case InstanceType::kM3Medium:
+      return {0.042, 4.0, 0.11};  // ~7-8 revocations over six months
+    case InstanceType::kM3Large:
+      return {0.45, 2.5, 0.09};
+    case InstanceType::kM3Xlarge:
+      return {0.6, 2.0, 0.08};
+    case InstanceType::kM32xlarge:
+      return {0.8, 1.8, 0.07};
+    case InstanceType::kC3Large:
+      return {0.15, 3.0, 0.12};
+    case InstanceType::kC3Xlarge:
+      return {0.3, 2.5, 0.10};
+    case InstanceType::kC32xlarge:
+      return {0.5, 2.0, 0.09};
+    case InstanceType::kC34xlarge:
+      return {0.7, 1.8, 0.085};
+    case InstanceType::kC38xlarge:
+      return {1.0, 1.5, 0.08};
+    case InstanceType::kR3Large:
+      return {0.1, 3.5, 0.13};
+    case InstanceType::kR3Xlarge:
+      return {0.25, 2.5, 0.11};
+    case InstanceType::kR32xlarge:
+      return {0.4, 2.2, 0.10};
+    case InstanceType::kR34xlarge:
+      return {0.6, 2.0, 0.09};
+    case InstanceType::kR38xlarge:
+      return {0.9, 1.6, 0.085};
+  }
+  return {0.5, 2.0, 0.10};
+}
+
+// Cheap deterministic hash for zone perturbations.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+SpotPriceProcessParams CalibratedParams(InstanceType type) {
+  const TypeCalibration cal = CalibrationFor(type);
+  SpotPriceProcessParams params;
+  params.on_demand_price = OnDemandPrice(type);
+  params.base_ratio = cal.base_ratio;
+  params.spikes_per_day = cal.spikes_per_day;
+  params.mean_spike_duration = SimDuration::Hours(cal.spike_duration_hours);
+  if (type == InstanceType::kM1Small) {
+    // Figure 1's market: spikes routinely reach tens of times the $0.06
+    // on-demand price (dollars per hour).
+    params.spike_alpha = 0.8;
+  }
+  return params;
+}
+
+SpotPriceProcessParams CalibratedParams(MarketKey key) {
+  SpotPriceProcessParams params = CalibratedParams(key.type);
+  const uint64_t h = Mix((static_cast<uint64_t>(key.type) << 32) ^
+                         static_cast<uint64_t>(key.zone.index + 1));
+  const double u1 = static_cast<double>(h & 0xffff) / 65535.0;         // [0,1]
+  const double u2 = static_cast<double>((h >> 16) & 0xffff) / 65535.0; // [0,1]
+  params.spikes_per_day *= 0.8 + 0.4 * u1;
+  params.base_ratio *= 0.9 + 0.2 * u2;
+  return params;
+}
+
+SpotPriceProcess::SpotPriceProcess(SpotPriceProcessParams params, Rng rng)
+    : params_(params), rng_(rng) {}
+
+double SpotPriceProcess::DrawNormalPrice() {
+  double ratio = params_.base_ratio * rng_.LogNormal(0.0, params_.ratio_sigma);
+  if (rng_.Bernoulli(params_.excursion_probability)) {
+    ratio *= rng_.Uniform(2.0, 6.0);
+  }
+  // NORMAL-regime prices stay below the on-demand price; spikes are the only
+  // mechanism that crosses it (as in the paper, where crossings are abrupt).
+  ratio = std::min(ratio, 0.95);
+  return params_.on_demand_price * ratio;
+}
+
+double SpotPriceProcess::DrawSpikePrice() {
+  const double multiple =
+      std::clamp(rng_.Pareto(params_.spike_min_multiple, params_.spike_alpha),
+                 params_.spike_min_multiple, params_.spike_cap_multiple);
+  return params_.on_demand_price * multiple;
+}
+
+PriceTrace SpotPriceProcess::Generate(SimDuration horizon,
+                                      const std::vector<SimTime>& extra_spike_times) {
+  PriceTrace trace;
+  const double spike_rate_per_sec = params_.spikes_per_day / 86400.0;
+  SimTime now;
+  const SimTime end = SimTime() + horizon;
+  size_t extra_idx = 0;
+
+  trace.Append(now, DrawNormalPrice());
+  SimTime own_next_spike =
+      spike_rate_per_sec > 0.0
+          ? now + SimDuration::Seconds(rng_.Exponential(spike_rate_per_sec))
+          : SimTime::Max();
+
+  while (now < end) {
+    // The next spike is the earlier of this market's own Poisson arrival and
+    // the next injected (shared) event.
+    SimTime next_spike = own_next_spike;
+    bool next_is_extra = false;
+    while (extra_idx < extra_spike_times.size() &&
+           extra_spike_times[extra_idx] <= now) {
+      ++extra_idx;  // already passed (e.g. inside the previous spike)
+    }
+    if (extra_idx < extra_spike_times.size() &&
+        extra_spike_times[extra_idx] < next_spike) {
+      next_spike = extra_spike_times[extra_idx];
+      next_is_extra = true;
+    }
+    if (next_spike <= end && next_spike <= now + params_.update_interval) {
+      // Enter the SPIKE regime, possibly announced by an escalation ramp
+      // squeezed into whatever gap remains before the crossing.
+      if (rng_.Bernoulli(params_.spike_precursor_probability)) {
+        const SimDuration gap = next_spike - now;
+        const SimDuration lead =
+            std::min(params_.precursor_lead, gap * 0.9);
+        if (lead > SimDuration::Seconds(60)) {
+          const SimDuration step = lead / 4.0;
+          int i = 3;
+          for (double ratio : {0.35, 0.55, 0.80}) {
+            trace.Append(next_spike - step * i,
+                         params_.on_demand_price * ratio * rng_.Uniform(0.9, 1.1));
+            --i;
+          }
+        }
+      }
+      now = next_spike;
+      trace.Append(now, DrawSpikePrice());
+      const SimDuration spike_len = SimDuration::Seconds(
+          rng_.Exponential(1.0 / params_.mean_spike_duration.seconds()));
+      // Mid-spike wobble roughly every update interval.
+      SimTime spike_end = now + spike_len;
+      SimTime t = now + params_.update_interval;
+      while (t < spike_end && t < end) {
+        trace.Append(t, DrawSpikePrice());
+        t += params_.update_interval;
+      }
+      now = spike_end;
+      if (now < end) {
+        trace.Append(now, DrawNormalPrice());
+      }
+      const auto redraw = [&]() {
+        return spike_rate_per_sec > 0.0
+                   ? now + SimDuration::Seconds(rng_.Exponential(spike_rate_per_sec))
+                   : SimTime::Max();
+      };
+      if (next_is_extra) {
+        ++extra_idx;
+        // Own arrivals swallowed by this shared spike are consumed.
+        if (own_next_spike <= now) {
+          own_next_spike = redraw();
+        }
+      } else {
+        own_next_spike = redraw();
+      }
+    } else {
+      // NORMAL-regime update with +-30% jitter on the interval.
+      now += params_.update_interval * rng_.Uniform(0.7, 1.3);
+      if (now < end) {
+        trace.Append(now, DrawNormalPrice());
+      }
+    }
+  }
+  return trace;
+}
+
+PriceTrace GenerateMarketTrace(MarketKey key, SimDuration horizon,
+                               uint64_t master_seed) {
+  const uint64_t label = (static_cast<uint64_t>(key.type) << 20) ^
+                         static_cast<uint64_t>(key.zone.index + 7);
+  SpotPriceProcess process(CalibratedParams(key), Rng(master_seed).Split(label));
+  return process.Generate(horizon);
+}
+
+std::vector<PriceTrace> GenerateCorrelatedTraces(const std::vector<MarketKey>& keys,
+                                                 SimDuration horizon,
+                                                 uint64_t master_seed,
+                                                 double shared_events_per_day,
+                                                 double coupling) {
+  // Shared regional-event arrivals, drawn once.
+  std::vector<SimTime> shared_events;
+  if (shared_events_per_day > 0.0 && coupling > 0.0) {
+    Rng shared_rng = Rng(master_seed).Split(0x5ead);
+    const double rate_per_sec = shared_events_per_day / 86400.0;
+    SimTime t = SimTime() + SimDuration::Seconds(shared_rng.Exponential(rate_per_sec));
+    while (t < SimTime() + horizon) {
+      shared_events.push_back(t);
+      t += SimDuration::Seconds(shared_rng.Exponential(rate_per_sec));
+    }
+  }
+  std::vector<PriceTrace> traces;
+  traces.reserve(keys.size());
+  for (const MarketKey& key : keys) {
+    const uint64_t label = (static_cast<uint64_t>(key.type) << 20) ^
+                           static_cast<uint64_t>(key.zone.index + 7);
+    Rng rng = Rng(master_seed).Split(label);
+    // Each market participates in each regional event independently.
+    Rng participation = rng.Split(0xc0b1);
+    std::vector<SimTime> hits;
+    for (SimTime event : shared_events) {
+      if (participation.Bernoulli(coupling)) {
+        hits.push_back(event);
+      }
+    }
+    SpotPriceProcess process(CalibratedParams(key), rng);
+    traces.push_back(process.Generate(horizon, hits));
+  }
+  return traces;
+}
+
+}  // namespace spotcheck

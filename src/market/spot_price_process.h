@@ -1,0 +1,111 @@
+// Synthetic spot-price generator.
+//
+// EC2 spot prices (Figures 1 and 6 of the paper) have three salient
+// properties that SpotCheck's policies are sensitive to:
+//   1. the price usually sits far below the on-demand price (long-tailed
+//      ratio distribution, Fig. 6(a)),
+//   2. when it moves, it moves violently -- hourly changes of hundreds to
+//      hundreds of thousands of percent (Fig. 6(b)), with spikes rising well
+//      above the on-demand price (Fig. 1),
+//   3. distinct markets (types x zones) are uncorrelated (Fig. 6(c)/(d)).
+//
+// SpotPriceProcess reproduces these with a two-regime model: a NORMAL regime
+// where the price is a small fraction of the on-demand price with lognormal
+// jitter, interrupted by Poisson-arriving SPIKE regimes where the price jumps
+// to a Pareto-distributed multiple of the on-demand price for an
+// exponentially-distributed duration. Each market draws from its own RNG
+// stream, which makes cross-market correlation zero by construction.
+
+#ifndef SRC_MARKET_SPOT_PRICE_PROCESS_H_
+#define SRC_MARKET_SPOT_PRICE_PROCESS_H_
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/market/instance_types.h"
+#include "src/market/price_trace.h"
+
+namespace spotcheck {
+
+struct SpotPriceProcessParams {
+  double on_demand_price = 0.070;
+
+  // NORMAL regime: price = on_demand * base_ratio * LogNormal(0, ratio_sigma),
+  // re-drawn roughly every update_interval.
+  double base_ratio = 0.11;
+  double ratio_sigma = 0.15;
+  SimDuration update_interval = SimDuration::Minutes(10);
+
+  // SPIKE regime: arrivals are Poisson with rate spikes_per_day; magnitude is
+  // on_demand * clamp(Pareto(spike_min_multiple, spike_alpha), ..,
+  // spike_cap_multiple); duration is exponential with the given mean.
+  double spikes_per_day = 0.05;
+  SimDuration mean_spike_duration = SimDuration::Hours(4);
+  // Spikes jump abruptly to well above the on-demand price (Fig. 1 and the
+  // availability-bid knee of Fig. 6(a): bidding past the on-demand price
+  // buys almost nothing because spike prices rarely sit just above it).
+  double spike_min_multiple = 2.0;
+  double spike_alpha = 1.5;
+  double spike_cap_multiple = 80.0;
+
+  // Fraction of NORMAL-regime updates that are moderate excursions to
+  // [2x, 6x] the base level (still below on-demand for typical ratios);
+  // fills in the middle of the jump CDF.
+  double excursion_probability = 0.03;
+
+  // Fraction of spikes preceded by a short escalation ramp (demand pressure
+  // building up): prices climb through ~0.35x, 0.55x, 0.8x the on-demand
+  // price over the quarter hour before crossing it. These are the spikes a
+  // price-tracking predictor (Section 3.2) can see coming.
+  double spike_precursor_probability = 0.5;
+  SimDuration precursor_lead = SimDuration::Minutes(15);
+};
+
+// Returns parameters calibrated per instance type: the paper observed that
+// m3.medium was highly stable over April-October 2014 (its 1P-M policy saw
+// only a handful of revocations) while larger types spiked several times per
+// day, and that larger types are often cheaper per unit of capacity.
+SpotPriceProcessParams CalibratedParams(InstanceType type);
+
+// As above, with deterministic per-zone perturbation (+-20% spike rate,
+// +-10% base ratio) so that zones are distinguishable but comparable.
+SpotPriceProcessParams CalibratedParams(MarketKey key);
+
+class SpotPriceProcess {
+ public:
+  SpotPriceProcess(SpotPriceProcessParams params, Rng rng);
+
+  // Generates a piecewise-constant trace covering [0, horizon].
+  // `extra_spike_times` (sorted) injects additional spikes at fixed instants
+  // -- the mechanism behind cross-market spike correlation.
+  PriceTrace Generate(SimDuration horizon,
+                      const std::vector<SimTime>& extra_spike_times = {});
+
+  const SpotPriceProcessParams& params() const { return params_; }
+
+ private:
+  double DrawNormalPrice();
+  double DrawSpikePrice();
+
+  SpotPriceProcessParams params_;
+  Rng rng_;
+};
+
+// Convenience: one calibrated trace per market key, seeded from `master_seed`
+// and the key (stable across runs).
+PriceTrace GenerateMarketTrace(MarketKey key, SimDuration horizon, uint64_t master_seed);
+
+// Correlated variant: on top of each market's own independent spikes, a
+// shared stream of "regional events" (demand surges hitting the whole
+// region) arrives at `shared_events_per_day`, and each event spikes each
+// market independently with probability `coupling`. coupling = 0 degenerates
+// to fully independent markets; coupling = 1 makes every regional event a
+// coincident storm across all pools (the nonzero P(N) entries of Table 3).
+std::vector<PriceTrace> GenerateCorrelatedTraces(const std::vector<MarketKey>& keys,
+                                                 SimDuration horizon,
+                                                 uint64_t master_seed,
+                                                 double shared_events_per_day,
+                                                 double coupling);
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_SPOT_PRICE_PROCESS_H_

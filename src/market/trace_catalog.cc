@@ -1,0 +1,84 @@
+#include "src/market/trace_catalog.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace spotcheck {
+
+std::optional<MarketKey> ParseMarketKey(const std::string& stem) {
+  const size_t at = stem.find('@');
+  if (at == std::string::npos) {
+    return std::nullopt;
+  }
+  const auto type = ParseInstanceType(stem.substr(0, at));
+  if (!type.has_value()) {
+    return std::nullopt;
+  }
+  const std::string zone_part = stem.substr(at + 1);
+  constexpr std::string_view kPrefix = "zone-";
+  if (zone_part.rfind(kPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  int zone = 0;
+  try {
+    zone = std::stoi(zone_part.substr(kPrefix.size()));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (zone < 0) {
+    return std::nullopt;
+  }
+  return MarketKey{*type, AvailabilityZone{zone}};
+}
+
+TraceLoadReport LoadTraceDirectory(MarketPlace& markets,
+                                   const std::string& directory) {
+  TraceLoadReport report;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    return report;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".csv") {
+      continue;
+    }
+    const std::string stem = entry.path().stem().string();
+    const auto key = ParseMarketKey(stem);
+    if (!key.has_value()) {
+      report.skipped.push_back(entry.path().filename().string());
+      continue;
+    }
+    std::ifstream file(entry.path());
+    if (!file) {
+      report.skipped.push_back(entry.path().filename().string());
+      continue;
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    PriceTrace trace = PriceTrace::FromCsv(contents.str());
+    if (trace.empty()) {
+      report.skipped.push_back(entry.path().filename().string());
+      continue;
+    }
+    markets.AddWithTrace(*key, std::move(trace));
+    report.loaded.push_back(*key);
+  }
+  return report;
+}
+
+bool SaveTrace(const MarketKey& key, const PriceTrace& trace,
+               const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(directory) / (key.ToString() + ".csv");
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << trace.ToCsv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace spotcheck

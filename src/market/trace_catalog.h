@@ -1,0 +1,44 @@
+// Loading real spot-price history from disk.
+//
+// The paper replays six months of EC2 spot price history (April-October
+// 2014, from Amazon's public API and a third-party archive [21]). When such
+// history is available as CSV files, this module feeds it into a MarketPlace
+// in place of the synthetic traces. File naming convention:
+//
+//     <instance-type>@zone-<index>.csv       e.g.  m3.medium@zone-0.csv
+//
+// with one "seconds,price" row per change point (PriceTrace::FromCsv's
+// format). Files with unknown type names are reported and skipped.
+
+#ifndef SRC_MARKET_TRACE_CATALOG_H_
+#define SRC_MARKET_TRACE_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/market/spot_market.h"
+
+namespace spotcheck {
+
+// Parses "<type>@zone-<n>" (the stem of a trace file name).
+std::optional<MarketKey> ParseMarketKey(const std::string& stem);
+
+struct TraceLoadReport {
+  std::vector<MarketKey> loaded;
+  std::vector<std::string> skipped;  // unparsable names or unreadable files
+};
+
+// Loads every *.csv in `directory` into `markets`. Returns which markets were
+// registered and which files were skipped. A missing/empty directory simply
+// yields an empty report.
+TraceLoadReport LoadTraceDirectory(MarketPlace& markets,
+                                   const std::string& directory);
+
+// Writes `trace` to `directory/<key>.csv`; returns false on I/O error.
+bool SaveTrace(const MarketKey& key, const PriceTrace& trace,
+               const std::string& directory);
+
+}  // namespace spotcheck
+
+#endif  // SRC_MARKET_TRACE_CATALOG_H_

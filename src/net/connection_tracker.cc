@@ -1,0 +1,41 @@
+#include "src/net/connection_tracker.h"
+
+#include <algorithm>
+
+namespace spotcheck {
+
+void ConnectionTracker::Open(NestedVmId vm, int64_t count) {
+  if (count > 0) {
+    open_[vm] += count;
+  }
+}
+
+void ConnectionTracker::Close(NestedVmId vm, int64_t count) {
+  const auto it = open_.find(vm);
+  if (it == open_.end()) {
+    return;
+  }
+  it->second = std::max<int64_t>(0, it->second - count);
+}
+
+int64_t ConnectionTracker::ApplyOutage(NestedVmId vm, SimDuration length) {
+  const auto it = open_.find(vm);
+  if (it == open_.end() || it->second == 0) {
+    return 0;
+  }
+  if (length > timeout_) {
+    const int64_t broken = it->second;
+    it->second = 0;
+    total_broken_ += broken;
+    return broken;
+  }
+  ++total_survived_outages_;
+  return 0;
+}
+
+int64_t ConnectionTracker::OpenConnections(NestedVmId vm) const {
+  const auto it = open_.find(vm);
+  return it == open_.end() ? 0 : it->second;
+}
+
+}  // namespace spotcheck

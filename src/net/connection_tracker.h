@@ -1,0 +1,52 @@
+// TCP connection survival across migrations (Section 5).
+//
+// Because the nested VM's IP address moves with it, a migration does not
+// reset connections -- they merely stall for the downtime window. The paper
+// observes that the ~23 s EC2-operation downtime "is not long enough to
+// break TCP connections, which generally requires a timeout of greater than
+// one minute". ConnectionTracker models a population of client connections
+// per VM and applies outages: connections break only when the outage exceeds
+// their timeout.
+
+#ifndef SRC_NET_CONNECTION_TRACKER_H_
+#define SRC_NET_CONNECTION_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+class ConnectionTracker {
+ public:
+  // Conventional TCP keepalive / client timeout floor.
+  static constexpr SimDuration kDefaultTimeout = SimDuration::Seconds(60);
+
+  explicit ConnectionTracker(SimDuration timeout = kDefaultTimeout)
+      : timeout_(timeout) {}
+
+  // Opens `count` client connections to `vm`.
+  void Open(NestedVmId vm, int64_t count);
+  void Close(NestedVmId vm, int64_t count);
+
+  // Applies a service outage of `length` to the VM: every open connection
+  // breaks if the outage exceeds the timeout, otherwise they all stall and
+  // survive. Returns the number of broken connections.
+  int64_t ApplyOutage(NestedVmId vm, SimDuration length);
+
+  int64_t OpenConnections(NestedVmId vm) const;
+  int64_t total_broken() const { return total_broken_; }
+  int64_t total_survived_outages() const { return total_survived_outages_; }
+
+ private:
+  SimDuration timeout_;
+  std::map<NestedVmId, int64_t> open_;
+  int64_t total_broken_ = 0;
+  int64_t total_survived_outages_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_NET_CONNECTION_TRACKER_H_

@@ -1,0 +1,90 @@
+#include "src/net/nat_table.h"
+
+namespace spotcheck {
+
+bool NatTable::Install(PrivateIp ip, InterfaceId iface, NestedVmId vm) {
+  if (rules_.contains(ip)) {
+    return false;
+  }
+  rules_[ip] = Rule{iface, vm};
+  return true;
+}
+
+void NatTable::Remove(PrivateIp ip) { rules_.erase(ip); }
+
+void NatTable::RemoveVm(NestedVmId vm) {
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (it->second.vm == vm) {
+      it = rules_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<NestedVmId> NatTable::Lookup(PrivateIp ip) const {
+  const auto it = rules_.find(ip);
+  if (it == rules_.end()) {
+    return std::nullopt;
+  }
+  return it->second.vm;
+}
+
+std::optional<InterfaceId> NatTable::InterfaceFor(PrivateIp ip) const {
+  const auto it = rules_.find(ip);
+  if (it == rules_.end()) {
+    return std::nullopt;
+  }
+  return it->second.iface;
+}
+
+InterfaceId HostNetworkPlane::MoveAddress(PrivateIp ip, InstanceId host,
+                                          NestedVmId vm) {
+  // Detach from the previous host's interface first (Figure 4, left side).
+  const auto prev = address_hosts_.find(ip);
+  if (prev != address_hosts_.end()) {
+    tables_[prev->second].Remove(ip);
+  }
+  // Reattach to a fresh (unused) interface on the destination.
+  const InterfaceId iface = interface_ids_.Next();
+  tables_[host].Install(ip, iface, vm);
+  address_hosts_[ip] = host;
+  ++moves_;
+  return iface;
+}
+
+void HostNetworkPlane::ReleaseAddress(PrivateIp ip) {
+  const auto it = address_hosts_.find(ip);
+  if (it == address_hosts_.end()) {
+    return;
+  }
+  tables_[it->second].Remove(ip);
+  address_hosts_.erase(it);
+}
+
+std::optional<NestedVmId> HostNetworkPlane::Route(PrivateIp ip) const {
+  const auto it = address_hosts_.find(ip);
+  if (it == address_hosts_.end()) {
+    return std::nullopt;
+  }
+  const auto table = tables_.find(it->second);
+  if (table == tables_.end()) {
+    return std::nullopt;
+  }
+  return table->second.Lookup(ip);
+}
+
+std::optional<InstanceId> HostNetworkPlane::HostFor(PrivateIp ip) const {
+  const auto it = address_hosts_.find(ip);
+  if (it == address_hosts_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const NatTable* HostNetworkPlane::TableOf(InstanceId host) const {
+  const auto it = tables_.find(host);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace spotcheck

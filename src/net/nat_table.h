@@ -1,0 +1,80 @@
+// Per-host NAT / packet forwarding (Section 3.4, Figure 4).
+//
+// The native platform is unaware of nested VMs, so the nested hypervisor on
+// each host VM forwards packets arriving at a host interface's IP address to
+// the resident nested VM. SpotCheck attaches one extra interface per nested
+// VM (beyond the host's default interface) and configures NAT from that
+// interface's address to the nested VM. On migration, the address is
+// detached from the source host's interface and reattached to a fresh
+// interface on the destination -- the nested VM's address never changes.
+//
+// NatTable models the data plane of one nested hypervisor; HostNetworkPlane
+// tracks every host's table and routes a packet addressed to a private IP to
+// the nested VM currently behind it (or reports the drop).
+
+#ifndef SRC_NET_NAT_TABLE_H_
+#define SRC_NET_NAT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/net/vpc.h"
+
+namespace spotcheck {
+
+class NatTable {
+ public:
+  // Installs forwarding from `ip` (bound to host interface `iface`) to `vm`.
+  // Fails when the ip is already forwarded on this host.
+  bool Install(PrivateIp ip, InterfaceId iface, NestedVmId vm);
+
+  // Removes the forwarding rule for `ip` (detaches the interface binding).
+  void Remove(PrivateIp ip);
+  // Removes every rule pointing at `vm` (e.g. the VM left this host).
+  void RemoveVm(NestedVmId vm);
+
+  std::optional<NestedVmId> Lookup(PrivateIp ip) const;
+  std::optional<InterfaceId> InterfaceFor(PrivateIp ip) const;
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+
+ private:
+  struct Rule {
+    InterfaceId iface;
+    NestedVmId vm;
+  };
+  std::map<PrivateIp, Rule> rules_;
+};
+
+// The fleet-wide view: which host's NAT currently answers for each address.
+class HostNetworkPlane {
+ public:
+  // Binds `ip` -> `vm` on `host` (allocating a fresh interface id), removing
+  // any previous binding of the ip on another host first -- exactly the
+  // detach-then-reattach flow of Figure 4.
+  InterfaceId MoveAddress(PrivateIp ip, InstanceId host, NestedVmId vm);
+
+  // Drops the binding entirely (VM terminated).
+  void ReleaseAddress(PrivateIp ip);
+
+  // Delivers a packet: the nested VM behind `ip`, or nullopt (dropped) when
+  // no host currently forwards it (i.e. mid-migration).
+  std::optional<NestedVmId> Route(PrivateIp ip) const;
+  // Host currently answering for the address.
+  std::optional<InstanceId> HostFor(PrivateIp ip) const;
+
+  const NatTable* TableOf(InstanceId host) const;
+  int64_t moves() const { return moves_; }
+
+ private:
+  std::map<InstanceId, NatTable> tables_;
+  std::map<PrivateIp, InstanceId> address_hosts_;
+  IdGenerator<InterfaceTag> interface_ids_;
+  int64_t moves_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_NET_NAT_TABLE_H_

@@ -1,0 +1,86 @@
+#include "src/net/vpc.h"
+
+namespace spotcheck {
+
+std::string PrivateIp::ToString() const {
+  return "10.0." + std::to_string(subnet) + "." + std::to_string(host);
+}
+
+std::optional<uint8_t> VirtualPrivateCloud::SubnetFor(CustomerId customer) {
+  const auto it = subnets_.find(customer);
+  if (it != subnets_.end()) {
+    return it->second;
+  }
+  if (static_cast<int>(subnets_.size()) >= kMaxSubnets) {
+    return std::nullopt;
+  }
+  const uint8_t subnet = next_subnet_++;
+  subnets_[customer] = subnet;
+  next_host_[subnet] = 1;  // .0 is the network address
+  return subnet;
+}
+
+std::optional<PrivateIp> VirtualPrivateCloud::AssignPrivateIp(CustomerId customer,
+                                                              NestedVmId vm) {
+  const auto existing = vm_ips_.find(vm);
+  if (existing != vm_ips_.end()) {
+    return existing->second;
+  }
+  const auto subnet = SubnetFor(customer);
+  if (!subnet.has_value()) {
+    return std::nullopt;
+  }
+  // Probe the subnet from the bump cursor, wrapping once to reuse freed
+  // addresses.
+  int& cursor = next_host_[*subnet];
+  for (int probes = 0; probes < kHostsPerSubnet; ++probes) {
+    const int host = ((cursor - 1 + probes) % kHostsPerSubnet) + 1;
+    const PrivateIp candidate{*subnet, static_cast<uint8_t>(host)};
+    if (!ip_vms_.contains(candidate)) {
+      cursor = (host % kHostsPerSubnet) + 1;
+      vm_ips_[vm] = candidate;
+      ip_vms_[candidate] = vm;
+      return candidate;
+    }
+  }
+  return std::nullopt;  // subnet exhausted
+}
+
+void VirtualPrivateCloud::ReleasePrivateIp(NestedVmId vm) {
+  const auto it = vm_ips_.find(vm);
+  if (it == vm_ips_.end()) {
+    return;
+  }
+  ip_vms_.erase(it->second);
+  vm_ips_.erase(it);
+}
+
+std::optional<PrivateIp> VirtualPrivateCloud::IpOf(NestedVmId vm) const {
+  const auto it = vm_ips_.find(vm);
+  if (it == vm_ips_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<NestedVmId> VirtualPrivateCloud::VmAt(PrivateIp ip) const {
+  const auto it = ip_vms_.find(ip);
+  if (it == ip_vms_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void VirtualPrivateCloud::SetPublicHead(CustomerId customer, NestedVmId vm) {
+  public_heads_[customer] = vm;
+}
+
+std::optional<NestedVmId> VirtualPrivateCloud::PublicHead(CustomerId customer) const {
+  const auto it = public_heads_.find(customer);
+  if (it == public_heads_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace spotcheck

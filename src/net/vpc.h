@@ -1,0 +1,73 @@
+// Virtual Private Cloud address management (Section 3.4).
+//
+// SpotCheck places all of its native servers in one VPC so it can assign
+// private IP addresses to nested VMs directly and move them between hosts on
+// migration. Each customer gets a subnet within the shared data plane, and
+// one public IP attached to a designated "head" nested VM for Internet
+// access. This module models the address space: subnet allocation, private
+// address assignment, and the public head address per customer.
+
+#ifndef SRC_NET_VPC_H_
+#define SRC_NET_VPC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/ids.h"
+
+namespace spotcheck {
+
+// A private IPv4 address within the VPC, e.g. "10.0.3.17".
+struct PrivateIp {
+  uint8_t subnet = 0;  // second octet is fixed; third octet = customer subnet
+  uint8_t host = 0;
+
+  auto operator<=>(const PrivateIp&) const = default;
+  std::string ToString() const;
+};
+
+class VirtualPrivateCloud {
+ public:
+  // The VPC spans 10.0.<subnet>.0/24 per customer, up to 255 subnets of 254
+  // usable addresses each.
+  static constexpr int kMaxSubnets = 255;
+  static constexpr int kHostsPerSubnet = 254;
+
+  // Allocates (or returns the existing) subnet for a customer.
+  // Returns nullopt when the VPC is out of subnets.
+  std::optional<uint8_t> SubnetFor(CustomerId customer);
+
+  // Allocates a free private address in the customer's subnet for a nested
+  // VM; nullopt when the subnet (or VPC) is exhausted. Idempotent per VM.
+  std::optional<PrivateIp> AssignPrivateIp(CustomerId customer, NestedVmId vm);
+
+  // Releases the VM's address back to its subnet.
+  void ReleasePrivateIp(NestedVmId vm);
+
+  std::optional<PrivateIp> IpOf(NestedVmId vm) const;
+  // Reverse lookup within the data plane.
+  std::optional<NestedVmId> VmAt(PrivateIp ip) const;
+
+  // Designates `vm` as the customer's public head (detaching any previous
+  // head); the head carries the customer's single public IP.
+  void SetPublicHead(CustomerId customer, NestedVmId vm);
+  std::optional<NestedVmId> PublicHead(CustomerId customer) const;
+
+  int num_assigned() const { return static_cast<int>(vm_ips_.size()); }
+
+ private:
+  std::map<CustomerId, uint8_t> subnets_;
+  std::map<NestedVmId, PrivateIp> vm_ips_;
+  std::map<PrivateIp, NestedVmId> ip_vms_;
+  // Next host octet to probe per subnet (simple bump allocator with reuse
+  // through the free list semantics of ip_vms_).
+  std::map<uint8_t, int> next_host_;
+  std::map<CustomerId, NestedVmId> public_heads_;
+  uint8_t next_subnet_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_NET_VPC_H_

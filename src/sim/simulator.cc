@@ -1,0 +1,104 @@
+#include "src/sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace spotcheck {
+
+EventHandle Simulator::ScheduleAt(SimTime when, EventCallback callback) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = event_ids_.Next();
+  queue_.push(QueuedEvent{when, next_seq_++, id, std::move(callback)});
+  return EventHandle(id);
+}
+
+EventHandle Simulator::ScheduleAfter(SimDuration delay, EventCallback callback) {
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+EventHandle Simulator::SchedulePeriodic(SimDuration period, EventCallback callback) {
+  // The periodic task re-arms itself under a stable EventId so a single
+  // handle cancels all future ticks. State (including the recursive tick
+  // closure) is shared between ticks via shared_ptr.
+  struct PeriodicState {
+    SimDuration period;
+    EventCallback callback;
+    EventId id;
+    // Builds the closure for one tick; each queued tick holds a strong
+    // reference to the state, and the state itself holds none (no cycle).
+    static std::function<void()> MakeTick(Simulator* sim,
+                                          std::shared_ptr<PeriodicState> self) {
+      return [sim, self = std::move(self)]() {
+        // Cancellation of the stable id is checked (and consumed) by RunOne()
+        // before this closure runs, so reaching here means the task is live.
+        self->callback();
+        sim->queue_.push(QueuedEvent{sim->now_ + self->period, sim->next_seq_++,
+                                     self->id, MakeTick(sim, self)});
+      };
+    }
+  };
+  auto state = std::make_shared<PeriodicState>();
+  state->period = period;
+  state->callback = std::move(callback);
+  state->id = event_ids_.Next();
+  const EventId id = state->id;
+  queue_.push(QueuedEvent{now_ + period, next_seq_++, id,
+                          PeriodicState::MakeTick(this, std::move(state))});
+  return EventHandle(id);
+}
+
+void Simulator::Cancel(EventHandle handle) {
+  if (handle.valid()) {
+    cancelled_.insert(handle.id_);
+  }
+}
+
+void Simulator::RunOne() {
+  QueuedEvent ev = queue_.top();
+  queue_.pop();
+  if (cancelled_.contains(ev.id)) {
+    cancelled_.erase(ev.id);
+    return;
+  }
+  now_ = ev.when;
+  ++events_executed_;
+  ev.callback();
+}
+
+int64_t Simulator::Run() {
+  int64_t ran = 0;
+  while (!queue_.empty()) {
+    const int64_t before = events_executed_;
+    RunOne();
+    ran += events_executed_ - before;
+  }
+  return ran;
+}
+
+int64_t Simulator::RunUntil(SimTime deadline) {
+  int64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    const int64_t before = events_executed_;
+    RunOne();
+    ran += events_executed_ - before;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const int64_t before = events_executed_;
+    RunOne();
+    if (events_executed_ > before) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,104 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a virtual clock and an event queue. Components schedule
+// callbacks at absolute or relative simulated times; Run()/RunUntil()/RunFor()
+// drain the queue in timestamp order (FIFO among equal timestamps). Events
+// can be cancelled via the handle returned at scheduling time. Everything is
+// single-threaded and deterministic.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+using EventCallback = std::function<void()>;
+
+// Identifies a scheduled event for cancellation. Default-constructed handles
+// are invalid and safe to Cancel().
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_.valid(); }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(EventId id) : id_(id) {}
+  EventId id_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `callback` to run at absolute time `when`. Scheduling in the
+  // past (before Now()) runs the callback at Now().
+  EventHandle ScheduleAt(SimTime when, EventCallback callback);
+  EventHandle ScheduleAfter(SimDuration delay, EventCallback callback);
+
+  // Schedules `callback` every `period`, starting one period from now. The
+  // returned handle cancels the whole periodic task. `callback` receives no
+  // arguments; query Now() for the tick time.
+  EventHandle SchedulePeriodic(SimDuration period, EventCallback callback);
+
+  // Cancels a pending event; no-op if the event already ran, was already
+  // cancelled, or the handle is invalid.
+  void Cancel(EventHandle handle);
+
+  // Runs until the queue is empty. Returns the number of events executed.
+  int64_t Run();
+  // Runs events with timestamp <= `deadline`, then advances the clock to
+  // `deadline` (even if the queue empties earlier).
+  int64_t RunUntil(SimTime deadline);
+  int64_t RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+  // Executes exactly one event if available; returns false on empty queue.
+  bool Step();
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  int64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct QueuedEvent {
+    SimTime when;
+    uint64_t seq;  // Tie-break: FIFO among equal timestamps.
+    EventId id;
+    EventCallback callback;
+  };
+  struct EventOrder {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;  // min-heap on time
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the earliest non-cancelled event. Precondition: !empty().
+  void RunOne();
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  int64_t events_executed_ = 0;
+  IdGenerator<EventTag> event_ids_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_SIM_SIMULATOR_H_

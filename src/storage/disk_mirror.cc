@@ -1,0 +1,29 @@
+#include "src/storage/disk_mirror.h"
+
+namespace spotcheck {
+
+double DiskMirror::Advance(SimDuration dt, double write_mbps) {
+  const double seconds = dt.seconds();
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  double requested_mb = write_mbps * seconds;
+  const double drain_mb = config_.replication_bandwidth_mbps * seconds;
+
+  // Lag grows by writes and shrinks by replication; throttle writes so the
+  // lag never exceeds the ceiling.
+  double accepted_mb = requested_mb;
+  const double headroom = config_.max_lag_mb - lag_mb_ + drain_mb;
+  if (accepted_mb > headroom) {
+    accepted_mb = std::max(0.0, headroom);
+  }
+  lag_mb_ = std::max(0.0, lag_mb_ + accepted_mb - drain_mb);
+  total_written_mb_ += accepted_mb;
+  total_replicated_mb_ = total_written_mb_ - lag_mb_;
+  if (requested_mb <= 0.0) {
+    return 0.0;
+  }
+  return (requested_mb - accepted_mb) / requested_mb;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,38 @@
+#include "src/storage/volume_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcheck {
+
+VolumeImage::VolumeImage(VolumeId id, double size_gb)
+    : id_(id),
+      size_gb_(size_gb),
+      num_blocks_(std::max<int64_t>(
+          1, static_cast<int64_t>(std::ceil(size_gb * 1024.0 * 1024.0 /
+                                            static_cast<double>(kBlockSizeKb))))) {}
+
+void VolumeImage::WriteBlock(int64_t index, uint64_t value) {
+  index = std::clamp<int64_t>(index, 0, num_blocks_ - 1);
+  blocks_[index] = value;
+  ++generation_;
+}
+
+uint64_t VolumeImage::ReadBlock(int64_t index) const {
+  index = std::clamp<int64_t>(index, 0, num_blocks_ - 1);
+  const auto it = blocks_.find(index);
+  return it == blocks_.end() ? 0 : it->second;
+}
+
+uint64_t VolumeImage::Digest() const {
+  // Order-independent mix of (index, value) pairs.
+  uint64_t digest = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [index, value] : blocks_) {
+    uint64_t x = static_cast<uint64_t>(index) * 0xbf58476d1ce4e5b9ULL ^ value;
+    x ^= x >> 31;
+    digest ^= x * 0x94d049bb133111ebULL;
+  }
+  return digest;
+}
+
+}  // namespace spotcheck

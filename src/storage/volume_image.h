@@ -1,0 +1,56 @@
+// Block-level content model for network-attached volumes.
+//
+// SpotCheck requires nested VMs to keep their root disk and persistent state
+// on network-attached volumes (EBS), which survive migrations by detaching
+// from the source host and reattaching at the destination. VolumeImage
+// models the volume's contents at block granularity so tests can assert the
+// property the paper sells: no disk state is ever lost across a migration --
+// the image generation observed after the move equals the one before it.
+
+#ifndef SRC_STORAGE_VOLUME_IMAGE_H_
+#define SRC_STORAGE_VOLUME_IMAGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace spotcheck {
+
+class VolumeImage {
+ public:
+  static constexpr int64_t kBlockSizeKb = 4096;  // 4 MB blocks
+
+  // Capacity in GB; contents start as all-zero generation 0.
+  explicit VolumeImage(VolumeId id, double size_gb);
+
+  VolumeId id() const { return id_; }
+  double size_gb() const { return size_gb_; }
+  int64_t num_blocks() const { return num_blocks_; }
+
+  // Writes `value` to block `index` (clamped to the device); every write
+  // bumps the image generation.
+  void WriteBlock(int64_t index, uint64_t value);
+  uint64_t ReadBlock(int64_t index) const;
+
+  // Monotonic content version: equal generations imply equal contents.
+  int64_t generation() const { return generation_; }
+
+  // A cheap whole-image digest for integrity checks across migrations.
+  uint64_t Digest() const;
+
+  int64_t blocks_written() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  VolumeId id_;
+  double size_gb_;
+  int64_t num_blocks_;
+  int64_t generation_ = 0;
+  // Sparse contents: unwritten blocks read as zero.
+  std::unordered_map<int64_t, uint64_t> blocks_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_STORAGE_VOLUME_IMAGE_H_

@@ -1,0 +1,69 @@
+// Host VM: a native cloud instance running the nested hypervisor
+// (XenBlanket). Hosts are sliced by memory: a host of type T can run
+// NestedSlotsPerHost(T, nested_type) nested VMs, which is how SpotCheck
+// arbitrages cheap large spot instances (Section 4.2).
+
+#ifndef SRC_VIRT_HOST_VM_H_
+#define SRC_VIRT_HOST_VM_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/market/instance_types.h"
+#include "src/virt/vm_spec.h"
+
+namespace spotcheck {
+
+class HostVm {
+ public:
+  HostVm(InstanceId instance, MarketKey market, bool is_spot)
+      : instance_(instance), market_(market), is_spot_(is_spot) {
+    // The nested hypervisor + dom0 reserve ~20% of host memory.
+    capacity_mb_ = GetInstanceTypeInfo(market.type).memory_gb * 1024.0 * 0.8;
+  }
+
+  InstanceId instance() const { return instance_; }
+  const MarketKey& market() const { return market_; }
+  InstanceType type() const { return market_.type; }
+  bool is_spot() const { return is_spot_; }
+
+  double capacity_mb() const { return capacity_mb_; }
+  double used_mb() const { return used_mb_; }
+  double free_mb() const { return capacity_mb_ - used_mb_; }
+  bool CanHost(const NestedVmSpec& spec) const { return spec.memory_mb <= free_mb(); }
+  bool empty() const { return vms_.empty(); }
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  const std::vector<NestedVmId>& vms() const { return vms_; }
+
+  // Returns false (and changes nothing) when the VM does not fit.
+  bool AddVm(NestedVmId vm, const NestedVmSpec& spec) {
+    if (!CanHost(spec)) {
+      return false;
+    }
+    vms_.push_back(vm);
+    used_mb_ += spec.memory_mb;
+    return true;
+  }
+
+  void RemoveVm(NestedVmId vm, const NestedVmSpec& spec) {
+    const auto it = std::find(vms_.begin(), vms_.end(), vm);
+    if (it == vms_.end()) {
+      return;
+    }
+    vms_.erase(it);
+    used_mb_ = std::max(0.0, used_mb_ - spec.memory_mb);
+  }
+
+ private:
+  InstanceId instance_;
+  MarketKey market_;
+  bool is_spot_;
+  double capacity_mb_ = 0.0;
+  double used_mb_ = 0.0;
+  std::vector<NestedVmId> vms_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_VIRT_HOST_VM_H_

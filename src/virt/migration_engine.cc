@@ -1,0 +1,191 @@
+#include "src/virt/migration_engine.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace spotcheck {
+
+std::string_view MigrationMechanismName(MigrationMechanism mechanism) {
+  switch (mechanism) {
+    case MigrationMechanism::kXenLiveMigration:
+      return "xen-live-migration";
+    case MigrationMechanism::kYankFullRestore:
+      return "unoptimized-full-restore";
+    case MigrationMechanism::kSpotCheckFullRestore:
+      return "spotcheck-full-restore";
+    case MigrationMechanism::kUnoptimizedLazyRestore:
+      return "unoptimized-lazy-restore";
+    case MigrationMechanism::kSpotCheckLazyRestore:
+      return "spotcheck-lazy-restore";
+  }
+  return "unknown";
+}
+
+bool MechanismUsesLazyRestore(MigrationMechanism mechanism) {
+  return mechanism == MigrationMechanism::kUnoptimizedLazyRestore ||
+         mechanism == MigrationMechanism::kSpotCheckLazyRestore;
+}
+
+bool MechanismIsOptimized(MigrationMechanism mechanism) {
+  return mechanism == MigrationMechanism::kSpotCheckFullRestore ||
+         mechanism == MigrationMechanism::kSpotCheckLazyRestore;
+}
+
+bool MechanismNeedsBackup(MigrationMechanism mechanism) {
+  return mechanism != MigrationMechanism::kXenLiveMigration;
+}
+
+void MigrationEngine::LiveMigrate(NestedVm& vm, MigrationDoneCallback done) {
+  PreCopyParams params;
+  params.memory_mb = vm.spec().memory_mb;
+  params.dirty_rate_mbps = vm.spec().dirty_rate_mbps;
+  params.bandwidth_mbps = config_.link_mbps;
+  const PreCopyPlan plan = PlanPreCopy(params);
+
+  vm.set_state(NestedVmState::kMigrating);
+  const SimTime start = sim_->Now();
+  const SimTime pause_start = start + plan.total - plan.downtime;
+  const SimTime resume_at = start + plan.total;
+  log_->Record(vm.id(), pause_start, resume_at, ActivityKind::kDowntime);
+
+  sim_->ScheduleAt(resume_at, [this, &vm, plan, resume_at, done = std::move(done)]() {
+    vm.set_state(NestedVmState::kRunning);
+    vm.count_migration();
+    ++live_migrations_;
+    if (done) {
+      done(MigrationOutcome{true, plan.downtime, SimDuration::Zero(), resume_at});
+    }
+  });
+}
+
+void MigrationEngine::LiveEvacuate(NestedVm& vm, SimTime deadline,
+                                   MigrationDoneCallback done) {
+  // Race the pre-copy against the termination. Large or write-heavy VMs lose
+  // this race and their memory state with it (Section 3.2).
+  const SimTime now = sim_->Now();
+  PreCopyParams params;
+  params.memory_mb = vm.spec().memory_mb;
+  params.dirty_rate_mbps = vm.spec().dirty_rate_mbps;
+  params.bandwidth_mbps = config_.link_mbps;
+  const PreCopyPlan plan = PlanPreCopy(params);
+  if (!FitsWithinWarning(plan, deadline - now)) {
+    vm.set_state(NestedVmState::kFailed);
+    ++failed_migrations_;
+    log_->MarkDeath(vm.id(), deadline);
+    SPOTCHECK_LOG(kWarning) << "nested VM " << vm.id().ToString()
+                            << " lost: live migration (" << plan.total.seconds()
+                            << "s) cannot beat the termination deadline";
+    if (done) {
+      sim_->ScheduleAt(deadline, [done = std::move(done), deadline]() {
+        done(MigrationOutcome{false, SimDuration::Zero(), SimDuration::Zero(),
+                              deadline});
+      });
+    }
+    return;
+  }
+  LiveMigrate(vm, std::move(done));
+}
+
+void MigrationEngine::BeginEvacuation(NestedVm& vm, MigrationMechanism mechanism,
+                                      SimTime deadline,
+                                      std::function<void()> on_committed) {
+  const SimTime now = sim_->Now();
+  BoundedTimeParams bt;
+  bt.dirty_rate_mbps = vm.spec().dirty_rate_mbps;
+  bt.backup_bandwidth_mbps = config_.link_mbps;
+  bt.bound = config_.bound;
+  bt.warning = deadline - now;
+  const BoundedTimePlan plan = PlanBoundedTime(bt);
+
+  vm.set_state(NestedVmState::kMigrating);
+  ++evacuations_;
+
+  SimTime pause_start;
+  SimDuration commit;
+  if (MechanismIsOptimized(mechanism)) {
+    // Ramp the checkpoint frequency while the VM keeps running (degraded
+    // through the warning period), pausing only for a millisecond-scale
+    // final commit just before the deadline.
+    commit = plan.optimized_commit_downtime;
+    pause_start = std::max(now, deadline - commit);
+    if (pause_start > now) {
+      log_->Record(vm.id(), now, pause_start, ActivityKind::kDegraded);
+    }
+  } else {
+    // Yank: pause immediately on the warning and commit the full stale set.
+    commit = plan.unoptimized_commit_downtime;
+    pause_start = now;
+  }
+  pause_start_[vm.id()] = pause_start;
+
+  const SimTime commit_done = std::min(pause_start + commit, deadline);
+  sim_->ScheduleAt(commit_done, [on_committed = std::move(on_committed)]() {
+    if (on_committed) {
+      on_committed();
+    }
+  });
+}
+
+void MigrationEngine::BeginCrashRecovery(NestedVm& vm, SimTime failed_at) {
+  vm.set_state(NestedVmState::kMigrating);
+  pause_start_[vm.id()] = failed_at;
+  ++crash_recoveries_;
+}
+
+void MigrationEngine::CompleteEvacuation(NestedVm& vm,
+                                         MigrationMechanism mechanism,
+                                         const RestoreBandwidthSource* backup_bw,
+                                         int concurrent,
+                                         MigrationDoneCallback done) {
+  concurrent = std::max(concurrent, 1);
+  const auto pause_it = pause_start_.find(vm.id());
+  const SimTime pause_start =
+      pause_it != pause_start_.end() ? pause_it->second : sim_->Now();
+  if (pause_it != pause_start_.end()) {
+    pause_start_.erase(pause_it);
+  }
+
+  const RestoreKind kind = MechanismUsesLazyRestore(mechanism) ? RestoreKind::kLazy
+                                                               : RestoreKind::kFull;
+  const bool optimized = MechanismIsOptimized(mechanism);
+  RestoreParams restore;
+  restore.kind = kind;
+  restore.memory_mb = vm.spec().memory_mb;
+  restore.skeleton_mb = config_.skeleton_mb;
+  restore.bandwidth_mbps = backup_bw != nullptr
+                               ? backup_bw->PerVmRestoreBandwidth(kind, optimized,
+                                                                  concurrent)
+                               : config_.link_mbps;
+  const RestoreOutcome outcome = ComputeRestore(restore);
+
+  const SimTime resume_at =
+      sim_->Now() + config_.ec2_ops_downtime + outcome.downtime;
+  const SimDuration lazy_degraded = outcome.degraded;
+  log_->Record(vm.id(), pause_start, resume_at, ActivityKind::kDowntime);
+  if (lazy_degraded > SimDuration::Zero()) {
+    log_->Record(vm.id(), resume_at, resume_at + lazy_degraded,
+                 ActivityKind::kDegraded);
+  }
+  const SimDuration downtime = resume_at - pause_start;
+  sim_->ScheduleAt(
+      resume_at,
+      [this, &vm, downtime, lazy_degraded, resume_at, done = std::move(done)]() {
+        vm.count_migration();
+        if (lazy_degraded > SimDuration::Zero()) {
+          vm.set_state(NestedVmState::kDegraded);
+          sim_->ScheduleAfter(lazy_degraded, [&vm]() {
+            if (vm.state() == NestedVmState::kDegraded) {
+              vm.set_state(NestedVmState::kRunning);
+            }
+          });
+        } else {
+          vm.set_state(NestedVmState::kRunning);
+        }
+        if (done) {
+          done(MigrationOutcome{true, downtime, lazy_degraded, resume_at});
+        }
+      });
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,84 @@
+#include "src/virt/migration_models.h"
+
+#include <algorithm>
+
+namespace spotcheck {
+
+PreCopyPlan PlanPreCopy(const PreCopyParams& params) {
+  PreCopyPlan plan;
+  if (params.bandwidth_mbps <= 0.0 || params.memory_mb <= 0.0) {
+    return plan;
+  }
+  double to_send_mb = params.memory_mb;
+  double total_s = 0.0;
+  int rounds = 0;
+  while (to_send_mb > params.stop_threshold_mb && rounds < params.max_rounds) {
+    const double round_s = to_send_mb / params.bandwidth_mbps;
+    total_s += round_s;
+    ++rounds;
+    // Pages dirtied during this round must be resent; a dirty rate at or
+    // above the link bandwidth never converges, so the residual saturates at
+    // the full memory size.
+    to_send_mb = std::min(params.memory_mb, params.dirty_rate_mbps * round_s);
+    if (params.dirty_rate_mbps >= params.bandwidth_mbps) {
+      break;
+    }
+  }
+  plan.rounds = rounds;
+  plan.converged = to_send_mb <= params.stop_threshold_mb ||
+                   params.dirty_rate_mbps < params.bandwidth_mbps;
+  plan.downtime = SimDuration::Seconds(to_send_mb / params.bandwidth_mbps);
+  plan.total = SimDuration::Seconds(total_s) + plan.downtime;
+  return plan;
+}
+
+BoundedTimePlan PlanBoundedTime(const BoundedTimeParams& params) {
+  BoundedTimePlan plan;
+  if (params.backup_bandwidth_mbps <= 0.0) {
+    return plan;
+  }
+  // The checkpointer keeps stale state small enough to commit within the
+  // bound at the available backup bandwidth.
+  plan.stale_threshold_mb = params.bound.seconds() * params.backup_bandwidth_mbps;
+  plan.unoptimized_commit_downtime =
+      SimDuration::Seconds(plan.stale_threshold_mb / params.backup_bandwidth_mbps);
+  // The frequency ramp drains the stale set while the VM keeps running; only
+  // pages dirtied during the final (short) interval are committed paused.
+  const double residual_mb =
+      params.dirty_rate_mbps * params.ramp_final_interval.seconds();
+  plan.optimized_commit_downtime =
+      SimDuration::Seconds(residual_mb / params.backup_bandwidth_mbps) +
+      params.ramp_final_interval;
+  // Draining stale_threshold_mb at backup bandwidth bounds the ramp length;
+  // the VM is degraded (not down) while it runs, capped by the warning.
+  const SimDuration drain = SimDuration::Seconds(
+      plan.stale_threshold_mb /
+      std::max(params.backup_bandwidth_mbps - params.dirty_rate_mbps, 1.0));
+  plan.ramp_degraded = std::min(drain, params.warning);
+  plan.feasible = plan.unoptimized_commit_downtime <= params.warning;
+  return plan;
+}
+
+RestoreOutcome ComputeRestore(const RestoreParams& params) {
+  RestoreOutcome outcome;
+  if (params.bandwidth_mbps <= 0.0) {
+    return outcome;
+  }
+  if (params.kind == RestoreKind::kFull) {
+    outcome.downtime = SimDuration::Seconds(params.memory_mb / params.bandwidth_mbps);
+  } else {
+    outcome.downtime =
+        SimDuration::Seconds(params.skeleton_mb / params.bandwidth_mbps);
+    // Demand paging plus the background prefetcher touch every page once.
+    outcome.degraded =
+        SimDuration::Seconds((params.memory_mb - params.skeleton_mb) /
+                             params.bandwidth_mbps);
+  }
+  return outcome;
+}
+
+bool FitsWithinWarning(const PreCopyPlan& plan, SimDuration warning) {
+  return plan.converged && plan.total <= warning;
+}
+
+}  // namespace spotcheck

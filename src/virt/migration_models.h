@@ -1,0 +1,106 @@
+// Analytic models of the migration mechanisms in Section 3.
+//
+// Each model turns (memory size, dirty rate, link bandwidth) into migration
+// latency, downtime, and degraded-performance windows:
+//
+//   * Pre-copy live migration [Clark et al., NSDI'05]: iterative rounds; each
+//     round retransmits the pages dirtied during the previous round; downtime
+//     is the final stop-and-copy of the residual dirty set. Latency grows
+//     with memory size, so large VMs cannot finish within a spot warning.
+//   * Bounded-time migration [Yank, NSDI'13]: a background process
+//     continuously checkpoints dirty pages to a backup server, keeping the
+//     stale (un-checkpointed) state below a threshold chosen so it can be
+//     committed within the time bound. On a warning, Yank pauses the VM and
+//     commits the stale state (downtime up to the bound); SpotCheck instead
+//     ramps the checkpoint frequency during the warning period, shrinking
+//     the final pause to milliseconds at the cost of degraded performance
+//     while the ramp runs.
+//   * Restoration: "full" reads the entire memory image before resuming
+//     (downtime = image / bandwidth); "lazy" resumes after reading only the
+//     ~5 MB skeleton state, then demand-pages the rest (sub-100 ms downtime,
+//     followed by a degraded window until all pages are resident).
+
+#ifndef SRC_VIRT_MIGRATION_MODELS_H_
+#define SRC_VIRT_MIGRATION_MODELS_H_
+
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+// --- Pre-copy live migration ------------------------------------------------
+
+struct PreCopyParams {
+  double memory_mb = 3072.0;
+  double dirty_rate_mbps = 10.0;
+  double bandwidth_mbps = 125.0;  // link between source and destination hosts
+  int max_rounds = 30;
+  // Stop iterating when the residual dirty set falls below this.
+  double stop_threshold_mb = 64.0;
+};
+
+struct PreCopyPlan {
+  SimDuration total;     // end-to-end migration latency (incl. downtime)
+  SimDuration downtime;  // final stop-and-copy pause
+  int rounds = 0;
+  bool converged = false;  // false when the dirty rate outruns the link
+};
+
+PreCopyPlan PlanPreCopy(const PreCopyParams& params);
+
+// --- Bounded-time migration ---------------------------------------------------
+
+struct BoundedTimeParams {
+  double dirty_rate_mbps = 10.0;
+  double backup_bandwidth_mbps = 125.0;  // VM -> backup server link
+  // SpotCheck uses a 30 s bound, well under EC2's 120 s warning.
+  SimDuration bound = SimDuration::Seconds(30);
+  SimDuration warning = SimDuration::Seconds(120);
+  // With the checkpoint-frequency ramp, the final checkpoint interval; the
+  // residual committed during the last pause is dirty_rate * this.
+  SimDuration ramp_final_interval = SimDuration::Millis(100);
+};
+
+struct BoundedTimePlan {
+  // Maximum stale state the background checkpointer tolerates (MB); chosen
+  // so a commit fits within the bound.
+  double stale_threshold_mb = 0.0;
+  // Pause to commit stale state on a warning, without the ramp (Yank).
+  SimDuration unoptimized_commit_downtime;
+  // Pause with SpotCheck's frequency ramp (millisecond scale).
+  SimDuration optimized_commit_downtime;
+  // Degraded window while the ramp runs (bounded by the warning period).
+  SimDuration ramp_degraded;
+  // True if even the unoptimized commit fits the warning period.
+  bool feasible = false;
+};
+
+BoundedTimePlan PlanBoundedTime(const BoundedTimeParams& params);
+
+// --- Restoration -------------------------------------------------------------
+
+enum class RestoreKind { kFull, kLazy };
+
+struct RestoreParams {
+  RestoreKind kind = RestoreKind::kLazy;
+  double memory_mb = 3072.0;
+  double skeleton_mb = 5.0;  // vCPU + page tables + hypervisor state
+  // Effective per-VM read bandwidth from the backup server (already accounts
+  // for concurrency and prefetch optimizations; see BackupServer).
+  double bandwidth_mbps = 125.0;
+};
+
+struct RestoreOutcome {
+  SimDuration downtime;  // VM not executing
+  SimDuration degraded;  // executing but demand-paging (lazy only)
+};
+
+RestoreOutcome ComputeRestore(const RestoreParams& params);
+
+// Whether a VM with this live-migration plan can evacuate within a warning
+// period. Section 3.2: only "small" nested VMs can rely on live migration
+// when a spot server is revoked.
+bool FitsWithinWarning(const PreCopyPlan& plan, SimDuration warning);
+
+}  // namespace spotcheck
+
+#endif  // SRC_VIRT_MIGRATION_MODELS_H_

@@ -1,0 +1,23 @@
+#include "src/virt/nested_vm.h"
+
+namespace spotcheck {
+
+std::string_view NestedVmStateName(NestedVmState state) {
+  switch (state) {
+    case NestedVmState::kProvisioning:
+      return "provisioning";
+    case NestedVmState::kRunning:
+      return "running";
+    case NestedVmState::kDegraded:
+      return "degraded";
+    case NestedVmState::kMigrating:
+      return "migrating";
+    case NestedVmState::kTerminated:
+      return "terminated";
+    case NestedVmState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,74 @@
+// Nested VM state.
+//
+// A NestedVm is the customer-visible server: it lives inside a host VM's
+// nested hypervisor, carries a stable private IP address and a
+// network-attached root volume, and (when hosted on a spot server) streams
+// checkpoints to a backup server. The migration engine and the controller
+// move it between hosts; this class is the bookkeeping record.
+
+#ifndef SRC_VIRT_NESTED_VM_H_
+#define SRC_VIRT_NESTED_VM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/virt/vm_spec.h"
+
+namespace spotcheck {
+
+enum class NestedVmState : uint8_t {
+  kProvisioning,  // waiting for a host
+  kRunning,
+  kDegraded,   // running with degraded performance (ramp / lazy restore)
+  kMigrating,  // paused or mid-evacuation
+  kTerminated, // customer-released
+  kFailed,     // state lost (live migration beaten by the termination)
+};
+
+std::string_view NestedVmStateName(NestedVmState state);
+
+class NestedVm {
+ public:
+  NestedVm(NestedVmId id, CustomerId customer, NestedVmSpec spec)
+      : id_(id), customer_(customer), spec_(spec) {}
+
+  NestedVmId id() const { return id_; }
+  CustomerId customer() const { return customer_; }
+  const NestedVmSpec& spec() const { return spec_; }
+
+  NestedVmState state() const { return state_; }
+  void set_state(NestedVmState state) { state_ = state; }
+  bool alive() const {
+    return state_ != NestedVmState::kTerminated && state_ != NestedVmState::kFailed;
+  }
+
+  // Current placement; invalid ids mean "none".
+  InstanceId host() const { return host_; }
+  void set_host(InstanceId host) { host_ = host; }
+  BackupServerId backup() const { return backup_; }
+  void set_backup(BackupServerId backup) { backup_ = backup; }
+  VolumeId root_volume() const { return root_volume_; }
+  void set_root_volume(VolumeId volume) { root_volume_ = volume; }
+  AddressId address() const { return address_; }
+  void set_address(AddressId address) { address_ = address; }
+
+  int64_t migrations() const { return migrations_; }
+  void count_migration() { ++migrations_; }
+
+ private:
+  NestedVmId id_;
+  CustomerId customer_;
+  NestedVmSpec spec_;
+  NestedVmState state_ = NestedVmState::kProvisioning;
+  InstanceId host_;
+  BackupServerId backup_;
+  VolumeId root_volume_;
+  AddressId address_;
+  int64_t migrations_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_VIRT_NESTED_VM_H_

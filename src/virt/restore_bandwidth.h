@@ -1,0 +1,37 @@
+// Interface through which the migration engine learns the effective restore
+// bandwidth a backup server can deliver. Defined here (rather than in the
+// backup module) so that the virtualization layer does not depend on the
+// backup layer; BackupServer implements it.
+
+#ifndef SRC_VIRT_RESTORE_BANDWIDTH_H_
+#define SRC_VIRT_RESTORE_BANDWIDTH_H_
+
+#include "src/virt/migration_models.h"
+
+namespace spotcheck {
+
+class RestoreBandwidthSource {
+ public:
+  virtual ~RestoreBandwidthSource() = default;
+
+  // Effective per-VM read bandwidth (MB/s) when `concurrent` restorations of
+  // `kind` run together, with or without the fadvise optimizations.
+  virtual double PerVmRestoreBandwidth(RestoreKind kind, bool optimized,
+                                       int concurrent) const = 0;
+};
+
+// Fixed-bandwidth source for tests and host-to-host live migrations.
+class FixedBandwidthSource final : public RestoreBandwidthSource {
+ public:
+  explicit FixedBandwidthSource(double mbps) : mbps_(mbps) {}
+  double PerVmRestoreBandwidth(RestoreKind, bool, int) const override {
+    return mbps_;
+  }
+
+ private:
+  double mbps_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_VIRT_RESTORE_BANDWIDTH_H_

@@ -1,0 +1,49 @@
+// Nested VM specification.
+//
+// A nested VM is the unit SpotCheck sells: a XenBlanket guest running inside
+// a native cloud instance. For migration modelling the interesting
+// characteristics are the memory footprint and the rate at which the resident
+// workload dirties memory pages (which governs live-migration convergence and
+// bounded-time checkpoint traffic).
+
+#ifndef SRC_VIRT_VM_SPEC_H_
+#define SRC_VIRT_VM_SPEC_H_
+
+#include <string>
+
+#include "src/market/instance_types.h"
+
+namespace spotcheck {
+
+struct NestedVmSpec {
+  // The instance type whose shape this nested VM mimics; memory defaults to
+  // the type's allotment minus nested-hypervisor overhead.
+  InstanceType type = InstanceType::kM3Medium;
+  double memory_mb = 3072.0;
+  int vcpus = 1;
+
+  // Workload memory behaviour.
+  double dirty_rate_mbps = 10.0;       // sustained page-dirtying rate
+  double checkpoint_demand_mbps = 3.0; // average dirty traffic shipped to backup
+
+  // Stateless services (e.g. one web server of a replicated tier) tolerate
+  // losing an instance: they need no backup server, and on a revocation a
+  // fresh replica is booted instead of migrating state (Section 4.2).
+  bool stateless = false;
+
+  static NestedVmSpec ForType(InstanceType type);
+};
+
+inline NestedVmSpec NestedVmSpec::ForType(InstanceType t) {
+  const InstanceTypeInfo& info = GetInstanceTypeInfo(t);
+  NestedVmSpec spec;
+  spec.type = t;
+  // Reserve ~20% of host memory for the nested hypervisor + dom0.
+  spec.memory_mb = info.memory_gb * 1024.0 * 0.8;
+  spec.vcpus = info.vcpus;
+  return spec;
+}
+
+}  // namespace spotcheck
+
+#endif  // SRC_VIRT_VM_SPEC_H_

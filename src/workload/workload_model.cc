@@ -1,0 +1,56 @@
+#include "src/workload/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotcheck {
+
+const WorkloadProfile& TpcwProfile() {
+  static constexpr WorkloadProfile kProfile{"tpc-w", 8.0, 3.0};
+  return kProfile;
+}
+
+const WorkloadProfile& SpecJbbProfile() {
+  static constexpr WorkloadProfile kProfile{"specjbb", 15.0, 3.3};
+  return kProfile;
+}
+
+NestedVmSpec MakeVmSpec(InstanceType type, const WorkloadProfile& profile) {
+  NestedVmSpec spec = NestedVmSpec::ForType(type);
+  spec.dirty_rate_mbps = profile.dirty_rate_mbps;
+  spec.checkpoint_demand_mbps = profile.checkpoint_demand_mbps;
+  return spec;
+}
+
+double TpcwModel::ResponseTimeMs(const RunConditions& conditions) const {
+  double rt = kBaseResponseMs;
+  if (conditions.checkpointing) {
+    rt *= 1.0 + kCheckpointOverhead;
+  }
+  if (conditions.backup_load_factor > 1.0) {
+    rt *= 1.0 + kOverloadSlope * (conditions.backup_load_factor - 1.0);
+  }
+  if (conditions.lazily_restoring) {
+    // Fault service is dominated by per-fault network latency; bandwidth
+    // partitioning keeps the penalty nearly flat across restore concurrency.
+    const double bw = std::max(conditions.restore_bandwidth_mbps, 1.0);
+    const double slowdown = 0.9 + 0.1 * std::sqrt(125.0 / bw);
+    rt += kRestorePenaltyMs * slowdown;
+  }
+  return rt;
+}
+
+double SpecJbbModel::ThroughputBops(const RunConditions& conditions) const {
+  double bops = kBaseThroughputBops;
+  // Checkpointing alone does not measurably slow SPECjbb (Section 6.1).
+  if (conditions.backup_load_factor > 1.0) {
+    bops /= 1.0 + kOverloadSlope * (conditions.backup_load_factor - 1.0);
+  }
+  if (conditions.lazily_restoring) {
+    // Demand paging stalls the JVM heap; throughput dips during the window.
+    bops *= 0.75;
+  }
+  return bops;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,77 @@
+// Application workload models (Section 6's benchmarks).
+//
+// The paper probes SpotCheck with two memory-intensive interactive
+// benchmarks: TPC-W (Tomcat + MySQL, "ordering" mix; the metric is response
+// time) and SPECjbb2005 (three-tier emulation; the metric is throughput in
+// bops). Rather than running Java stacks, these models reproduce the
+// observable metrics mechanistically from the conditions that drive them:
+//
+//   * continuous checkpointing adds a fixed overhead to TPC-W response time
+//     (+15% measured; SPECjbb is insensitive during normal operation),
+//   * an overloaded backup server (checkpoint demand above its ingest
+//     capacity) delays page flushes and backpressures the VMs: response time
+//     inflates and throughput collapses proportionally (Figure 7),
+//   * during a lazy restore, first-touch page faults are served across the
+//     network: TPC-W response time roughly doubles (29 ms -> ~60 ms), with
+//     only mild sensitivity to restore concurrency because the backup server
+//     partitions bandwidth per VM (Figure 9).
+
+#ifndef SRC_WORKLOAD_WORKLOAD_MODEL_H_
+#define SRC_WORKLOAD_WORKLOAD_MODEL_H_
+
+#include <string_view>
+
+#include "src/virt/vm_spec.h"
+
+namespace spotcheck {
+
+// Memory behaviour of the two benchmark workloads, used to parameterize
+// NestedVmSpec (dirty rate governs migration; checkpoint demand governs
+// backup-server load).
+struct WorkloadProfile {
+  std::string_view name;
+  double dirty_rate_mbps;
+  double checkpoint_demand_mbps;
+};
+
+const WorkloadProfile& TpcwProfile();     // latency-sensitive web workload
+const WorkloadProfile& SpecJbbProfile();  // memory-intensive server workload
+
+// Applies a profile to a VM spec.
+NestedVmSpec MakeVmSpec(InstanceType type, const WorkloadProfile& profile);
+
+// Conditions a VM currently runs under, gathered from the backup server and
+// migration engine.
+struct RunConditions {
+  bool checkpointing = false;
+  // BackupServer::CheckpointLoadFactor(); > 1 means the server is saturated.
+  double backup_load_factor = 0.0;
+  bool lazily_restoring = false;
+  // Per-VM restore bandwidth while lazily restoring (MB/s).
+  double restore_bandwidth_mbps = 125.0;
+};
+
+class TpcwModel {
+ public:
+  static constexpr double kBaseResponseMs = 29.0;
+  // "+15% response time" when checkpointing to a dedicated backup server.
+  static constexpr double kCheckpointOverhead = 0.15;
+  // Sensitivity of response time to backup-server saturation.
+  static constexpr double kOverloadSlope = 1.5;
+  // First-touch page faults during a lazy restore add ~31 ms.
+  static constexpr double kRestorePenaltyMs = 31.0;
+
+  double ResponseTimeMs(const RunConditions& conditions) const;
+};
+
+class SpecJbbModel {
+ public:
+  static constexpr double kBaseThroughputBops = 10000.0;
+  static constexpr double kOverloadSlope = 1.5;
+
+  double ThroughputBops(const RunConditions& conditions) const;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_WORKLOAD_WORKLOAD_MODEL_H_

@@ -1,0 +1,72 @@
+#include "src/cloud/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace spotcheck {
+namespace {
+
+TEST(LatencySpecTest, MatchesTable1) {
+  const LatencySpec& spot = PaperLatencySpec(CloudOperation::kStartSpotInstance);
+  EXPECT_DOUBLE_EQ(spot.median, 227.0);
+  EXPECT_DOUBLE_EQ(spot.mean, 224.0);
+  EXPECT_DOUBLE_EQ(spot.max, 409.0);
+  EXPECT_DOUBLE_EQ(spot.min, 100.0);
+  const LatencySpec& od = PaperLatencySpec(CloudOperation::kStartOnDemandInstance);
+  EXPECT_DOUBLE_EQ(od.median, 61.0);
+  const LatencySpec& eni = PaperLatencySpec(CloudOperation::kAttachInterface);
+  EXPECT_DOUBLE_EQ(eni.mean, 3.75);
+}
+
+TEST(LatencyModelTest, SamplesWithinObservedRange) {
+  OperationLatencyModel model{Rng(5)};
+  for (int op = 0; op <= static_cast<int>(CloudOperation::kDetachInterface); ++op) {
+    const auto operation = static_cast<CloudOperation>(op);
+    const LatencySpec& spec = PaperLatencySpec(operation);
+    for (int i = 0; i < 1000; ++i) {
+      const double s = model.Sample(operation).seconds();
+      EXPECT_GE(s, spec.min) << CloudOperationName(operation);
+      EXPECT_LE(s, spec.max) << CloudOperationName(operation);
+    }
+  }
+}
+
+TEST(LatencyModelTest, SampleMedianNearTable1Median) {
+  OperationLatencyModel model{Rng(5)};
+  for (CloudOperation op : {CloudOperation::kStartSpotInstance,
+                            CloudOperation::kStartOnDemandInstance,
+                            CloudOperation::kAttachInterface,
+                            CloudOperation::kDetachVolume}) {
+    EmpiricalDistribution dist;
+    for (int i = 0; i < 20'000; ++i) {
+      dist.Add(model.Sample(op).seconds());
+    }
+    const LatencySpec& spec = PaperLatencySpec(op);
+    EXPECT_NEAR(dist.Median(), spec.median, 0.15 * spec.median + 1.0)
+        << CloudOperationName(op);
+  }
+}
+
+TEST(LatencyModelTest, TypicalIsMedian) {
+  EXPECT_DOUBLE_EQ(
+      OperationLatencyModel::Typical(CloudOperation::kStartSpotInstance).seconds(),
+      227.0);
+  EXPECT_DOUBLE_EQ(
+      OperationLatencyModel::Typical(CloudOperation::kAttachVolume).seconds(), 5.0);
+}
+
+TEST(LatencyModelTest, MigrationDowntimeIs22_65Seconds) {
+  // Section 5: EBS + ENI operations cause an average downtime of 22.65 s.
+  EXPECT_NEAR(MigrationEc2OperationDowntime().seconds(), 22.65, 1e-9);
+}
+
+TEST(LatencyModelTest, OperationNamesAreDistinct) {
+  EXPECT_EQ(CloudOperationName(CloudOperation::kStartSpotInstance),
+            "start-spot-instance");
+  EXPECT_EQ(CloudOperationName(CloudOperation::kDetachInterface),
+            "detach-interface");
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,229 @@
+#include "src/cloud/native_cloud.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spotcheck {
+namespace {
+
+const MarketKey kMedium{InstanceType::kM3Medium, AvailabilityZone{0}};
+
+// A harness with a single hand-authored market trace so revocation timing is
+// exact: price 0.01 until t=1000s, spikes to 1.00 until t=5000s, then 0.01.
+class NativeCloudTest : public testing::Test {
+ protected:
+  NativeCloudTest() : markets_(&sim_) {
+    PriceTrace trace;
+    trace.Append(SimTime(), 0.01);
+    trace.Append(SimTime::FromSeconds(1000), 1.00);
+    trace.Append(SimTime::FromSeconds(5000), 0.01);
+    markets_.AddWithTrace(kMedium, std::move(trace));
+    NativeCloudConfig config;
+    config.sample_latencies = false;  // medians: spot start 227s, od 61s
+    cloud_ = std::make_unique<NativeCloud>(&sim_, &markets_, config);
+  }
+
+  Simulator sim_;
+  MarketPlace markets_;
+  std::unique_ptr<NativeCloud> cloud_;
+};
+
+TEST_F(NativeCloudTest, SpotInstanceStartsAfterTable1Latency) {
+  bool ready = false;
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070,
+                                              [&](InstanceId, bool ok) { ready = ok; });
+  sim_.RunUntil(SimTime::FromSeconds(226));
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kPending);
+  sim_.RunUntil(SimTime::FromSeconds(228));
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kRunning);
+}
+
+TEST_F(NativeCloudTest, OnDemandStartsFaster) {
+  bool ready = false;
+  cloud_->RequestOnDemandInstance(kMedium, [&](InstanceId, bool ok) { ready = ok; });
+  sim_.RunUntil(SimTime::FromSeconds(62));
+  EXPECT_TRUE(ready);
+}
+
+TEST_F(NativeCloudTest, SpotLaunchFailsWhenBidOutOfMoney) {
+  // Request at t=900; starts at t=1127, inside the spike; bid 0.07 < 1.00.
+  bool ok = true;
+  sim_.RunUntil(SimTime::FromSeconds(900));
+  cloud_->RequestSpotInstance(kMedium, 0.070,
+                              [&](InstanceId, bool success) { ok = success; });
+  sim_.RunUntil(SimTime::FromSeconds(1200));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(NativeCloudTest, RevocationWarningThenForcedTermination) {
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070);
+  std::vector<std::pair<InstanceId, double>> warnings;
+  cloud_->set_revocation_handler([&](InstanceId warned, SimTime deadline) {
+    warnings.emplace_back(warned, deadline.seconds());
+  });
+  sim_.RunUntil(SimTime::FromSeconds(999));
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kRunning);
+  // Spike at t=1000 -> warning at 1000, forced termination at 1120.
+  sim_.RunUntil(SimTime::FromSeconds(1001));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].first, id);
+  EXPECT_DOUBLE_EQ(warnings[0].second, 1120.0);
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kWarned);
+  sim_.RunUntil(SimTime::FromSeconds(1121));
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kTerminated);
+  EXPECT_EQ(cloud_->spot_revocations(), 1);
+}
+
+TEST_F(NativeCloudTest, CustomerTerminationDuringWarningAvoidsDoubleCount) {
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070);
+  cloud_->set_revocation_handler(
+      [&](InstanceId warned, SimTime) { cloud_->TerminateInstance(warned); });
+  sim_.RunUntil(SimTime::FromSeconds(2000));
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kTerminated);
+  EXPECT_EQ(cloud_->spot_revocations(), 1);
+}
+
+TEST_F(NativeCloudTest, OnDemandSurvivesSpike) {
+  InstanceId id = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(6000));
+  EXPECT_EQ(cloud_->GetInstance(id)->state, InstanceState::kRunning);
+}
+
+TEST_F(NativeCloudTest, SpotBilledAtMarketPrice) {
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070);
+  // Running from t=227; check accrual just before the t=1000 spike revokes it.
+  sim_.RunUntil(SimTime::FromSeconds(999));
+  EXPECT_NEAR(cloud_->AccruedCost(id), 0.01 * (999.0 - 227.0) / 3600.0, 1e-9);
+  // After the forced termination at t=1120, total cost includes the warning
+  // period billed at the spiked market price.
+  sim_.RunUntil(SimTime::FromSeconds(2000));
+  const double expected =
+      (0.01 * (1000.0 - 227.0) + 1.00 * 120.0) / 3600.0;
+  EXPECT_NEAR(cloud_->TotalCost(), expected, 1e-9);
+}
+
+TEST_F(NativeCloudTest, OnDemandBilledAtListPrice) {
+  InstanceId id = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(61 + 7200));
+  EXPECT_NEAR(cloud_->AccruedCost(id), 0.070 * 2.0, 1e-9);
+}
+
+TEST_F(NativeCloudTest, TerminateStopsBilling) {
+  InstanceId id = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(61 + 3600));
+  cloud_->TerminateInstance(id);
+  const double cost = cloud_->TotalCost();
+  sim_.RunUntil(SimTime::FromSeconds(20000));
+  EXPECT_NEAR(cloud_->TotalCost(), cost, 1e-12);
+}
+
+TEST_F(NativeCloudTest, TerminatePendingInstanceFailsLaunch) {
+  bool called = false;
+  bool ok = true;
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070,
+                                              [&](InstanceId, bool success) {
+                                                called = true;
+                                                ok = success;
+                                              });
+  cloud_->TerminateInstance(id);
+  sim_.RunUntil(SimTime::FromSeconds(500));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(NativeCloudTest, OnDemandCapacityFailure) {
+  NativeCloudConfig config;
+  config.sample_latencies = false;
+  config.on_demand_unavailable_probability = 1.0;
+  NativeCloud cloud(&sim_, &markets_, config);
+  bool ok = true;
+  cloud.RequestOnDemandInstance(kMedium, [&](InstanceId, bool success) { ok = success; });
+  sim_.RunUntil(SimTime::FromSeconds(100));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(NativeCloudTest, VolumeAttachDetachLifecycle) {
+  InstanceId instance = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(62));
+  const VolumeId volume = cloud_->CreateVolume(100.0);
+  bool attached = false;
+  cloud_->AttachVolume(volume, instance, [&](bool ok) { attached = ok; });
+  sim_.RunUntil(SimTime::FromSeconds(62 + 6));  // attach median 5s
+  EXPECT_TRUE(attached);
+  EXPECT_EQ(cloud_->VolumeAttachment(volume), instance);
+  bool detached = false;
+  cloud_->DetachVolume(volume, [&](bool ok) { detached = ok; });
+  sim_.RunUntil(SimTime::FromSeconds(62 + 6 + 11));  // detach median 10.3s
+  EXPECT_TRUE(detached);
+  EXPECT_FALSE(cloud_->VolumeAttachment(volume).valid());
+}
+
+TEST_F(NativeCloudTest, DoubleAttachFails) {
+  InstanceId instance = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(62));
+  const VolumeId volume = cloud_->CreateVolume(10.0);
+  cloud_->AttachVolume(volume, instance);
+  sim_.RunUntil(SimTime::FromSeconds(70));
+  bool second_ok = true;
+  cloud_->AttachVolume(volume, instance, [&](bool ok) { second_ok = ok; });
+  sim_.RunUntil(SimTime::FromSeconds(80));
+  EXPECT_FALSE(second_ok);
+}
+
+TEST_F(NativeCloudTest, AttachToPendingInstanceFails) {
+  InstanceId instance = cloud_->RequestSpotInstance(kMedium, 0.070);
+  const VolumeId volume = cloud_->CreateVolume(10.0);
+  bool ok = true;
+  cloud_->AttachVolume(volume, instance, [&](bool success) { ok = success; });
+  sim_.RunUntil(SimTime::FromSeconds(10));
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(NativeCloudTest, AddressReassignmentAcrossInstances) {
+  InstanceId a = cloud_->RequestOnDemandInstance(kMedium);
+  InstanceId b = cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(62));
+  const AddressId address = cloud_->AllocateAddress();
+  bool ok = false;
+  cloud_->AssignAddress(address, a, [&](bool success) { ok = success; });
+  sim_.RunUntil(SimTime::FromSeconds(70));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(cloud_->AddressAssignment(address), a);
+  // Move the address: unassign from a, assign to b (Fig. 4's flow).
+  cloud_->UnassignAddress(address);
+  sim_.RunUntil(SimTime::FromSeconds(75));
+  cloud_->AssignAddress(address, b);
+  sim_.RunUntil(SimTime::FromSeconds(85));
+  EXPECT_EQ(cloud_->AddressAssignment(address), b);
+}
+
+TEST_F(NativeCloudTest, ForcedTerminationReleasesAttachments) {
+  InstanceId id = cloud_->RequestSpotInstance(kMedium, 0.070);
+  sim_.RunUntil(SimTime::FromSeconds(300));
+  const VolumeId volume = cloud_->CreateVolume(10.0);
+  const AddressId address = cloud_->AllocateAddress();
+  cloud_->AttachVolume(volume, id);
+  cloud_->AssignAddress(address, id);
+  sim_.RunUntil(SimTime::FromSeconds(320));
+  EXPECT_EQ(cloud_->VolumeAttachment(volume), id);
+  // Spike at 1000 terminates at 1120; attachments must be released.
+  sim_.RunUntil(SimTime::FromSeconds(1200));
+  EXPECT_FALSE(cloud_->VolumeAttachment(volume).valid());
+  EXPECT_FALSE(cloud_->AddressAssignment(address).valid());
+}
+
+TEST_F(NativeCloudTest, InstancesQueryFiltersByState) {
+  cloud_->RequestSpotInstance(kMedium, 0.070);
+  cloud_->RequestOnDemandInstance(kMedium);
+  sim_.RunUntil(SimTime::FromSeconds(500));
+  EXPECT_EQ(cloud_->Instances(InstanceState::kRunning).size(), 2u);
+  sim_.RunUntil(SimTime::FromSeconds(1200));
+  EXPECT_EQ(cloud_->Instances(InstanceState::kRunning).size(), 1u);
+  EXPECT_EQ(cloud_->Instances(InstanceState::kTerminated).size(), 1u);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,75 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+TEST(FlagParserTest, EqualsForm) {
+  const FlagParser flags({"--policy=4P-ED", "--days=90", "--rate=0.5"});
+  EXPECT_EQ(flags.GetString("policy", ""), "4P-ED");
+  EXPECT_EQ(flags.GetInt("days", 0), 90);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.5);
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  const FlagParser flags({"--policy", "2P-ML", "--vms", "16"});
+  EXPECT_EQ(flags.GetString("policy", ""), "2P-ML");
+  EXPECT_EQ(flags.GetInt("vms", 0), 16);
+}
+
+TEST(FlagParserTest, Booleans) {
+  const FlagParser flags({"--staging", "--no-proactive", "--dump=false",
+                          "--verbose=1"});
+  EXPECT_TRUE(flags.GetBool("staging", false));
+  EXPECT_FALSE(flags.GetBool("proactive", true));
+  EXPECT_FALSE(flags.GetBool("dump", true));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+  EXPECT_FALSE(flags.GetBool("missing2", false));
+}
+
+TEST(FlagParserTest, BareBooleanBeforeAnotherFlag) {
+  const FlagParser flags({"--staging", "--vms=4"});
+  EXPECT_TRUE(flags.GetBool("staging", false));
+  EXPECT_EQ(flags.GetInt("vms", 0), 4);
+}
+
+TEST(FlagParserTest, Positional) {
+  const FlagParser flags({"run", "--vms=4", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, Defaults) {
+  const FlagParser flags(std::vector<std::string>{});
+  EXPECT_EQ(flags.GetString("x", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("y", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("z", 1.5), 1.5);
+}
+
+TEST(FlagParserTest, UnconsumedFlagsDetectTypos) {
+  const FlagParser flags({"--polcy=1P-M", "--days=30"});
+  (void)flags.GetString("policy", "");
+  (void)flags.GetInt("days", 0);
+  const auto typos = flags.UnconsumedFlags();
+  ASSERT_EQ(typos.size(), 1u);
+  EXPECT_EQ(typos[0], "polcy");
+}
+
+TEST(FlagParserTest, ArgcArgvConstructor) {
+  const char* argv[] = {"prog", "--vms=3", "pos"};
+  const FlagParser flags(3, argv);
+  EXPECT_EQ(flags.GetInt("vms", 0), 3);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  const FlagParser flags({"--vms=3", "--vms=9"});
+  EXPECT_EQ(flags.GetInt("vms", 0), 9);
+}
+
+}  // namespace
+}  // namespace spotcheck

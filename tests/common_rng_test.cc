@@ -1,0 +1,141 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace spotcheck {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SplitIsStableUnderConsumption) {
+  Rng a(7);
+  Rng b(7);
+  (void)b.NextU64();  // Consume from b only.
+  Rng child_a = a.Split(3);
+  Rng child_b = b.Split(3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_a.NextU64(), child_b.NextU64());
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(7);
+  Rng a = parent.Split(1);
+  Rng b = parent.Split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(13);
+  StreamingStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.Add(rng.Uniform(2.0, 4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+  EXPECT_GE(stats.min(), 2.0);
+  EXPECT_LT(stats.max(), 4.0);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.UniformInt(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  StreamingStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    stats.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  StreamingStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    stats.Add(rng.Exponential(0.5));
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianMatches) {
+  Rng rng(29);
+  EmpiricalDistribution dist;
+  for (int i = 0; i < 50'000; ++i) {
+    dist.Add(rng.LogNormal(1.0, 0.5));
+  }
+  EXPECT_NEAR(dist.Median(), std::exp(1.0), 0.05);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndMedian) {
+  Rng rng(31);
+  EmpiricalDistribution dist;
+  for (int i = 0; i < 50'000; ++i) {
+    dist.Add(rng.Pareto(2.0, 1.5));
+  }
+  EXPECT_GE(dist.Min(), 2.0);
+  // Median of Pareto(x_m, alpha) = x_m * 2^(1/alpha).
+  EXPECT_NEAR(dist.Median(), 2.0 * std::pow(2.0, 1.0 / 1.5), 0.1);
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,66 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+TEST(SimDurationTest, ConstructorsAgree) {
+  EXPECT_EQ(SimDuration::Seconds(1).micros(), 1'000'000);
+  EXPECT_EQ(SimDuration::Millis(1).micros(), 1'000);
+  EXPECT_EQ(SimDuration::Minutes(1), SimDuration::Seconds(60));
+  EXPECT_EQ(SimDuration::Hours(1), SimDuration::Minutes(60));
+  EXPECT_EQ(SimDuration::Days(1), SimDuration::Hours(24));
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const SimDuration a = SimDuration::Seconds(10);
+  const SimDuration b = SimDuration::Seconds(4);
+  EXPECT_EQ((a + b).seconds(), 14.0);
+  EXPECT_EQ((a - b).seconds(), 6.0);
+  EXPECT_EQ((-b).seconds(), -4.0);
+  EXPECT_EQ((a * 2.5).seconds(), 25.0);
+  EXPECT_EQ((a / 2.0).seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimDurationTest, CompoundAssignment) {
+  SimDuration d = SimDuration::Seconds(1);
+  d += SimDuration::Seconds(2);
+  EXPECT_EQ(d.seconds(), 3.0);
+  d -= SimDuration::Seconds(4);
+  EXPECT_EQ(d.seconds(), -1.0);
+}
+
+TEST(SimDurationTest, Comparisons) {
+  EXPECT_LT(SimDuration::Seconds(1), SimDuration::Seconds(2));
+  EXPECT_GT(SimDuration::Hours(1), SimDuration::Minutes(59));
+  EXPECT_EQ(SimDuration::Zero(), SimDuration::Micros(0));
+}
+
+TEST(SimTimeTest, OffsetArithmetic) {
+  const SimTime t0;
+  const SimTime t1 = t0 + SimDuration::Hours(2);
+  EXPECT_EQ((t1 - t0), SimDuration::Hours(2));
+  EXPECT_EQ(t1 - SimDuration::Hours(2), t0);
+  SimTime t = t0;
+  t += SimDuration::Seconds(5);
+  EXPECT_EQ(t.seconds(), 5.0);
+}
+
+TEST(SimTimeTest, UnitAccessors) {
+  const SimTime t = SimTime::FromSeconds(7200);
+  EXPECT_DOUBLE_EQ(t.hours(), 2.0);
+  EXPECT_EQ(t.micros(), 7'200'000'000);
+}
+
+TEST(FormatDurationTest, FormatsHmsAndDays) {
+  EXPECT_EQ(FormatDuration(SimDuration::Seconds(3723.5)), "01:02:03.500");
+  EXPECT_EQ(FormatDuration(SimDuration::Days(2) + SimDuration::Seconds(3)),
+            "2d 00:00:03.000");
+  EXPECT_EQ(FormatDuration(SimDuration::Zero()), "00:00:00.000");
+  EXPECT_EQ(FormatDuration(-SimDuration::Seconds(1)), "-00:00:01.000");
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,108 @@
+// Customer-resale accounting: the derivative cloud's business model.
+
+#include <gtest/gtest.h>
+
+#include "src/core/controller.h"
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+namespace {
+
+const MarketKey kMedium{InstanceType::kM3Medium, AvailabilityZone{0}};
+
+PriceTrace Flat(double price) {
+  PriceTrace trace;
+  trace.Append(SimTime(), price);
+  return trace;
+}
+
+class BillingTest : public testing::Test {
+ protected:
+  void Build(ControllerConfig config = {}, PriceTrace trace = Flat(0.008)) {
+    markets_ = std::make_unique<MarketPlace>(&sim_);
+    markets_->AddWithTrace(kMedium, std::move(trace));
+    NativeCloudConfig cloud_config;
+    cloud_config.sample_latencies = false;
+    cloud_ = std::make_unique<NativeCloud>(&sim_, markets_.get(), cloud_config);
+    controller_ = std::make_unique<SpotCheckController>(&sim_, cloud_.get(),
+                                                        markets_.get(), config);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<MarketPlace> markets_;
+  std::unique_ptr<NativeCloud> cloud_;
+  std::unique_ptr<SpotCheckController> controller_;
+};
+
+TEST_F(BillingTest, CustomerReportCountsOnlyThatCustomer) {
+  Build();
+  const CustomerId alice = controller_->RegisterCustomer("alice");
+  const CustomerId bob = controller_->RegisterCustomer("bob");
+  controller_->RequestServer(alice);
+  controller_->RequestServer(alice);
+  controller_->RequestServer(bob);
+  sim_.RunUntil(SimTime() + SimDuration::Days(2));
+  const auto alice_report = controller_->ComputeCustomerReport(alice);
+  const auto bob_report = controller_->ComputeCustomerReport(bob);
+  EXPECT_EQ(alice_report.vms, 2);
+  EXPECT_EQ(bob_report.vms, 1);
+  EXPECT_NEAR(alice_report.vm_hours, 2.0 * bob_report.vm_hours, 0.1);
+}
+
+TEST_F(BillingTest, RevenueAtResalePrice) {
+  ControllerConfig config;
+  config.resale_fraction_of_on_demand = 0.5;  // $0.035/hr for m3.medium
+  Build(config);
+  const CustomerId customer = controller_->RegisterCustomer("c");
+  controller_->RequestServer(customer);
+  sim_.RunUntil(SimTime() + SimDuration::Days(1));
+  const auto report = controller_->ComputeCustomerReport(customer);
+  // Running since t=227s; no downtime on the flat trace.
+  EXPECT_NEAR(report.revenue, report.vm_hours * 0.5 * 0.070, 1e-9);
+  EXPECT_DOUBLE_EQ(report.availability_pct, 100.0);
+}
+
+TEST_F(BillingTest, DowntimeIsNotBilled) {
+  PriceTrace trace;
+  trace.Append(SimTime(), 0.008);
+  trace.Append(SimTime::FromSeconds(10000), 0.50);
+  trace.Append(SimTime::FromSeconds(20000), 0.008);
+  Build(ControllerConfig{}, std::move(trace));
+  const CustomerId customer = controller_->RegisterCustomer("c");
+  controller_->RequestServer(customer);
+  sim_.RunUntil(SimTime::FromSeconds(40000));
+  const auto report = controller_->ComputeCustomerReport(customer);
+  EXPECT_GT(report.downtime.seconds(), 20.0);  // the evacuation blip
+  EXPECT_LT(report.availability_pct, 100.0);
+  const double resale = 0.6 * 0.070;
+  EXPECT_NEAR(report.revenue,
+              (report.vm_hours - report.downtime.hours()) * resale, 1e-9);
+}
+
+TEST_F(BillingTest, DerivativeCloudRunsAtAProfit) {
+  // The arbitrage the paper identifies: resell at 60% of on-demand while
+  // sourcing at ~25% -- even with the backup overhead, healthy margins.
+  Build();
+  const CustomerId customer = controller_->RegisterCustomer("c");
+  for (int i = 0; i < 40; ++i) {
+    controller_->RequestServer(customer);
+  }
+  sim_.RunUntil(SimTime() + SimDuration::Days(20));
+  const auto books = controller_->ComputeBusinessReport();
+  EXPECT_GT(books.revenue, 0.0);
+  EXPECT_GT(books.platform_cost, 0.0);
+  EXPECT_GT(books.margin, 0.0);
+  EXPECT_GT(books.margin_fraction, 0.4);  // resale 0.042 vs cost ~0.016
+  EXPECT_LT(books.margin_fraction, 0.8);
+}
+
+TEST_F(BillingTest, UnknownCustomerIsEmpty) {
+  Build();
+  const auto report = controller_->ComputeCustomerReport(CustomerId(99));
+  EXPECT_EQ(report.vms, 0);
+  EXPECT_EQ(report.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(report.availability_pct, 100.0);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,171 @@
+#include "src/core/mapping_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+namespace {
+
+constexpr uint64_t kSeed = 99;
+const AvailabilityZone kZone{0};
+
+class MappingPolicyTest : public testing::Test {
+ protected:
+  MappingPolicyTest() : markets_(&sim_) {}
+
+  // Registers a flat-price market for `type`.
+  void AddFlatMarket(InstanceType type, double price) {
+    PriceTrace trace;
+    trace.Append(SimTime(), price);
+    markets_.AddWithTrace(MarketKey{type, kZone}, std::move(trace));
+  }
+
+  // Registers a market with `crossings` brief spikes above on-demand.
+  void AddSpikyMarket(InstanceType type, double base, int crossings) {
+    PriceTrace trace;
+    trace.Append(SimTime(), base);
+    const double od = OnDemandPrice(type);
+    for (int i = 0; i < crossings; ++i) {
+      trace.Append(SimTime() + SimDuration::Hours(10.0 * i + 1), 2.0 * od);
+      trace.Append(SimTime() + SimDuration::Hours(10.0 * i + 2), base);
+    }
+    markets_.AddWithTrace(MarketKey{type, kZone}, std::move(trace));
+  }
+
+  MappingPolicy MakePolicy(MappingPolicyKind kind) {
+    return MappingPolicy(kind, InstanceType::kM3Medium, kZone, Rng(kSeed));
+  }
+
+  std::map<InstanceType, int> Draw(MappingPolicy& policy, int n, SimTime now) {
+    std::map<InstanceType, int> counts;
+    for (int i = 0; i < n; ++i) {
+      ++counts[policy.ChoosePool(markets_, BiddingPolicy::OnDemand(), now).type];
+    }
+    return counts;
+  }
+
+  Simulator sim_;
+  MarketPlace markets_;
+};
+
+TEST_F(MappingPolicyTest, Names) {
+  EXPECT_EQ(MappingPolicyName(MappingPolicyKind::k1PM), "1P-M");
+  EXPECT_EQ(MappingPolicyName(MappingPolicyKind::k2PML), "2P-ML");
+  EXPECT_EQ(MappingPolicyName(MappingPolicyKind::k4PED), "4P-ED");
+  EXPECT_EQ(MappingPolicyName(MappingPolicyKind::k4PCost), "4P-COST");
+  EXPECT_EQ(MappingPolicyName(MappingPolicyKind::k4PStability), "4P-ST");
+}
+
+TEST_F(MappingPolicyTest, CandidateCountsMatchTable2) {
+  EXPECT_EQ(MakePolicy(MappingPolicyKind::k1PM).candidates().size(), 1u);
+  EXPECT_EQ(MakePolicy(MappingPolicyKind::k2PML).candidates().size(), 2u);
+  EXPECT_EQ(MakePolicy(MappingPolicyKind::k4PED).candidates().size(), 4u);
+  EXPECT_EQ(MakePolicy(MappingPolicyKind::k4PCost).candidates().size(), 4u);
+}
+
+TEST_F(MappingPolicyTest, SinglePoolAlwaysMedium) {
+  AddFlatMarket(InstanceType::kM3Medium, 0.01);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k1PM);
+  const auto counts = Draw(policy, 20, SimTime());
+  EXPECT_EQ(counts.at(InstanceType::kM3Medium), 20);
+}
+
+TEST_F(MappingPolicyTest, EqualDistributionIsExact) {
+  AddFlatMarket(InstanceType::kM3Medium, 0.01);
+  AddFlatMarket(InstanceType::kM3Large, 0.02);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k2PML);
+  const auto counts = Draw(policy, 40, SimTime());
+  EXPECT_EQ(counts.at(InstanceType::kM3Medium), 20);
+  EXPECT_EQ(counts.at(InstanceType::kM3Large), 20);
+}
+
+TEST_F(MappingPolicyTest, FourPoolEqualCoversAllFour) {
+  for (InstanceType t : {InstanceType::kM3Medium, InstanceType::kM3Large,
+                         InstanceType::kM3Xlarge, InstanceType::kM32xlarge}) {
+    AddFlatMarket(t, 0.01);
+  }
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k4PED);
+  const auto counts = Draw(policy, 40, SimTime());
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [type, count] : counts) {
+    EXPECT_EQ(count, 10);
+  }
+}
+
+TEST_F(MappingPolicyTest, CostWeightedPrefersCheapPerSlotPools) {
+  // m3.large at 0.01 hosts two mediums -> 0.005/slot, far cheaper than the
+  // 0.05 medium pool; the other two pools are expensive.
+  AddFlatMarket(InstanceType::kM3Medium, 0.05);
+  AddFlatMarket(InstanceType::kM3Large, 0.01);
+  AddFlatMarket(InstanceType::kM3Xlarge, 0.25);
+  AddFlatMarket(InstanceType::kM32xlarge, 0.50);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k4PCost);
+  const SimTime later = SimTime() + SimDuration::Days(30);
+  auto counts = Draw(policy, 400, later);
+  EXPECT_GT(counts[InstanceType::kM3Large], counts[InstanceType::kM3Medium]);
+  EXPECT_GT(counts[InstanceType::kM3Large], counts[InstanceType::kM3Xlarge]);
+  EXPECT_GT(counts[InstanceType::kM3Large], counts[InstanceType::kM32xlarge]);
+}
+
+TEST_F(MappingPolicyTest, StabilityWeightedAvoidsVolatilePools) {
+  AddSpikyMarket(InstanceType::kM3Medium, 0.01, 0);   // rock solid
+  AddSpikyMarket(InstanceType::kM3Large, 0.01, 20);   // volatile
+  AddSpikyMarket(InstanceType::kM3Xlarge, 0.01, 20);
+  AddSpikyMarket(InstanceType::kM32xlarge, 0.01, 20);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k4PStability);
+  const SimTime later = SimTime() + SimDuration::Days(30);
+  auto counts = Draw(policy, 400, later);
+  EXPECT_GT(counts[InstanceType::kM3Medium], 200);  // weight 1 vs 1/21 each
+}
+
+TEST_F(MappingPolicyTest, GreedyPicksCheapestPerSlotNow) {
+  AddFlatMarket(InstanceType::kM3Medium, 0.010);
+  AddFlatMarket(InstanceType::kM3Large, 0.014);  // 0.007/slot: winner
+  AddFlatMarket(InstanceType::kM3Xlarge, 0.20);
+  AddFlatMarket(InstanceType::kM32xlarge, 0.40);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::kGreedyCheapest);
+  const auto counts = Draw(policy, 10, SimTime());
+  EXPECT_EQ(counts.at(InstanceType::kM3Large), 10);
+}
+
+TEST_F(MappingPolicyTest, StabilityFirstPicksFewestCrossings) {
+  AddSpikyMarket(InstanceType::kM3Medium, 0.01, 5);
+  AddSpikyMarket(InstanceType::kM3Large, 0.01, 1);  // most stable
+  AddSpikyMarket(InstanceType::kM3Xlarge, 0.01, 8);
+  AddSpikyMarket(InstanceType::kM32xlarge, 0.01, 9);
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::kStabilityFirst);
+  const SimTime later = SimTime() + SimDuration::Days(30);
+  const auto counts = Draw(policy, 10, later);
+  EXPECT_EQ(counts.at(InstanceType::kM3Large), 10);
+}
+
+TEST_F(MappingPolicyTest, PerSlotPriceDividesBySlots) {
+  AddFlatMarket(InstanceType::kM3Large, 0.02);
+  const SpotMarket* market = markets_.Find(MarketKey{InstanceType::kM3Large, kZone});
+  ASSERT_NE(market, nullptr);
+  EXPECT_DOUBLE_EQ(
+      MappingPolicy::PerSlotPrice(*market, InstanceType::kM3Medium, SimTime()),
+      0.01);
+  // A nested VM bigger than the host has no valid slot.
+  EXPECT_TRUE(std::isinf(
+      MappingPolicy::PerSlotPrice(*market, InstanceType::kM32xlarge, SimTime())));
+}
+
+TEST_F(MappingPolicyTest, WeightedPoliciesFallBackWithoutHistory) {
+  // At t=0 there is no history: weighted policies degrade to round-robin
+  // rather than crashing or always picking one pool.
+  for (InstanceType t : {InstanceType::kM3Medium, InstanceType::kM3Large,
+                         InstanceType::kM3Xlarge, InstanceType::kM32xlarge}) {
+    AddFlatMarket(t, 0.01);
+  }
+  MappingPolicy policy = MakePolicy(MappingPolicyKind::k4PCost);
+  const auto counts = Draw(policy, 40, SimTime());
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,78 @@
+#include "src/core/storm_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+SimTime At(double seconds) { return SimTime::FromSeconds(seconds); }
+
+TEST(StormTrackerTest, RecordsBatches) {
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(10), 5);
+  tracker.RecordBatch(At(20), 3);
+  tracker.RecordBatch(At(30), 0);  // ignored
+  EXPECT_EQ(tracker.total_batches(), 2);
+  EXPECT_EQ(tracker.total_revoked_vms(), 8);
+  EXPECT_EQ(tracker.max_batch(), 5);
+}
+
+TEST(StormTrackerTest, FullStormLandsInAllBucket) {
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(100), 40);
+  const auto probs =
+      tracker.Probabilities(40, SimDuration::Minutes(6), SimDuration::Hours(1));
+  // 10 windows of 6 min in 1 h; one had a full storm.
+  EXPECT_DOUBLE_EQ(probs.all, 0.1);
+  EXPECT_EQ(probs.quarter, 0.0);
+  EXPECT_EQ(probs.half, 0.0);
+  EXPECT_EQ(probs.three_quarters, 0.0);
+}
+
+TEST(StormTrackerTest, WindowCountsInHighestBucketOnly) {
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(100), 10);  // quarter of 40
+  tracker.RecordBatch(At(7200), 20);  // half
+  tracker.RecordBatch(At(14400), 30);  // three quarters
+  const auto probs =
+      tracker.Probabilities(40, SimDuration::Minutes(6), SimDuration::Hours(6));
+  const double per_window = 1.0 / 60.0;  // 60 windows
+  EXPECT_NEAR(probs.quarter, per_window, 1e-12);
+  EXPECT_NEAR(probs.half, per_window, 1e-12);
+  EXPECT_NEAR(probs.three_quarters, per_window, 1e-12);
+  EXPECT_EQ(probs.all, 0.0);
+}
+
+TEST(StormTrackerTest, BatchesInSameWindowAccumulate) {
+  // Two pools spiking within the same window add up to a full storm.
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(100), 20);
+  tracker.RecordBatch(At(130), 20);
+  const auto probs =
+      tracker.Probabilities(40, SimDuration::Minutes(6), SimDuration::Hours(1));
+  EXPECT_GT(probs.all, 0.0);
+  EXPECT_EQ(probs.half, 0.0);
+}
+
+TEST(StormTrackerTest, SmallBatchesBelowQuarterIgnored) {
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(100), 5);  // 12.5% of 40
+  const auto probs =
+      tracker.Probabilities(40, SimDuration::Minutes(6), SimDuration::Hours(1));
+  EXPECT_EQ(probs.quarter, 0.0);
+  EXPECT_EQ(probs.all, 0.0);
+}
+
+TEST(StormTrackerTest, DegenerateInputsAreSafe) {
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(10), 10);
+  const auto probs =
+      tracker.Probabilities(0, SimDuration::Minutes(6), SimDuration::Hours(1));
+  EXPECT_EQ(probs.all, 0.0);
+  const auto probs2 =
+      tracker.Probabilities(40, SimDuration::Zero(), SimDuration::Hours(1));
+  EXPECT_EQ(probs2.all, 0.0);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/market/market_analytics.h"
+#include "src/market/spot_price_process.h"
+
+namespace spotcheck {
+namespace {
+
+constexpr uint64_t kSeed = 2;
+const SimDuration kHorizon = SimDuration::Days(120);
+
+std::vector<MarketKey> FourPools() {
+  return {MarketKey{InstanceType::kM3Medium, AvailabilityZone{0}},
+          MarketKey{InstanceType::kM3Large, AvailabilityZone{0}},
+          MarketKey{InstanceType::kM3Xlarge, AvailabilityZone{0}},
+          MarketKey{InstanceType::kM32xlarge, AvailabilityZone{0}}};
+}
+
+// Counts windows in which at least `k` of the traces are above their
+// on-demand price simultaneously.
+int CoincidentSpikes(const std::vector<PriceTrace>& traces,
+                     const std::vector<MarketKey>& keys, int k) {
+  int coincidences = 0;
+  for (SimTime t = SimTime(); t < SimTime() + kHorizon; t += SimDuration::Minutes(6)) {
+    int above = 0;
+    for (size_t i = 0; i < traces.size(); ++i) {
+      if (traces[i].PriceAt(t) > OnDemandPrice(keys[i].type)) {
+        ++above;
+      }
+    }
+    if (above >= k) {
+      ++coincidences;
+    }
+  }
+  return coincidences;
+}
+
+TEST(CorrelatedTracesTest, ZeroCouplingMatchesIndependentGeneration) {
+  const auto keys = FourPools();
+  const auto correlated = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 1.0, 0.0);
+  ASSERT_EQ(correlated.size(), 4u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const PriceTrace independent = GenerateMarketTrace(keys[i], kHorizon, kSeed);
+    ASSERT_EQ(correlated[i].size(), independent.size()) << i;
+    for (size_t p = 0; p < independent.size(); ++p) {
+      EXPECT_EQ(correlated[i].points()[p].time, independent.points()[p].time);
+      EXPECT_DOUBLE_EQ(correlated[i].points()[p].price,
+                       independent.points()[p].price);
+    }
+  }
+}
+
+TEST(CorrelatedTracesTest, FullCouplingCreatesCoincidentStorms) {
+  const auto keys = FourPools();
+  const auto independent = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 0.0);
+  const auto coupled = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 1.0);
+  // All four markets above on-demand at once: essentially never when
+  // independent, routinely with shared regional events.
+  EXPECT_EQ(CoincidentSpikes(independent, keys, 4), 0);
+  EXPECT_GT(CoincidentSpikes(coupled, keys, 4), 5);
+}
+
+TEST(CorrelatedTracesTest, CouplingAddsCrossings) {
+  const auto keys = FourPools();
+  const auto base = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 1.0, 0.0);
+  const auto coupled = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 1.0, 1.0);
+  // ~120 shared events over the horizon add crossings to the calm medium
+  // market in particular.
+  const int base_crossings = CountBidCrossings(
+      base[0], OnDemandPrice(keys[0].type), SimTime(), SimTime() + kHorizon);
+  const int coupled_crossings = CountBidCrossings(
+      coupled[0], OnDemandPrice(keys[0].type), SimTime(), SimTime() + kHorizon);
+  EXPECT_GT(coupled_crossings, base_crossings + 50);
+}
+
+TEST(CorrelatedTracesTest, PartialCouplingIsIntermediate) {
+  const auto keys = FourPools();
+  const auto half = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 0.5);
+  const auto full = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 1.0);
+  const int half_coincident = CoincidentSpikes(half, keys, 3);
+  const int full_coincident = CoincidentSpikes(full, keys, 3);
+  EXPECT_GT(full_coincident, half_coincident);
+  EXPECT_GT(half_coincident, 0);
+}
+
+TEST(CorrelatedTracesTest, TracesRemainWellFormed) {
+  const auto keys = FourPools();
+  const auto traces = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 2.0, 0.7);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const auto& points = traces[i].points();
+    ASSERT_FALSE(points.empty());
+    for (size_t p = 1; p < points.size(); ++p) {
+      EXPECT_LE(points[p - 1].time, points[p].time);
+      EXPECT_GT(points[p].price, 0.0);
+    }
+  }
+}
+
+TEST(CorrelatedTracesTest, Deterministic) {
+  const auto keys = FourPools();
+  const auto a = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 0.8);
+  const auto b = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 0.8);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    EXPECT_DOUBLE_EQ(a[i].points().back().price, b[i].points().back().price);
+  }
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,73 @@
+#include "src/market/instance_types.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+TEST(InstanceCatalogTest, HasFifteenTypes) {
+  // Figure 6(d) of the paper correlates 15 instance types.
+  EXPECT_EQ(InstanceCatalog().size(), 15u);
+}
+
+TEST(InstanceCatalogTest, IndexMatchesEnum) {
+  for (const auto& info : InstanceCatalog()) {
+    EXPECT_EQ(GetInstanceTypeInfo(info.type).name, info.name);
+  }
+}
+
+TEST(InstanceCatalogTest, PaperPrices) {
+  // On-demand prices quoted in the paper (US-East, 2014).
+  EXPECT_DOUBLE_EQ(OnDemandPrice(InstanceType::kM1Small), 0.060);
+  EXPECT_DOUBLE_EQ(OnDemandPrice(InstanceType::kM3Medium), 0.070);
+  EXPECT_DOUBLE_EQ(OnDemandPrice(InstanceType::kM3Xlarge), 0.280);
+}
+
+TEST(InstanceCatalogTest, OnDemandPriceRoughlyProportionalToSize) {
+  // Section 4.2: on-demand pricing is roughly proportional to allotment.
+  EXPECT_DOUBLE_EQ(OnDemandPrice(InstanceType::kM3Large),
+                   2 * OnDemandPrice(InstanceType::kM3Medium));
+  EXPECT_DOUBLE_EQ(OnDemandPrice(InstanceType::kM32xlarge),
+                   8 * OnDemandPrice(InstanceType::kM3Medium));
+}
+
+TEST(InstanceCatalogTest, ParseRoundTrips) {
+  for (const auto& info : InstanceCatalog()) {
+    const auto parsed = ParseInstanceType(info.name);
+    ASSERT_TRUE(parsed.has_value()) << info.name;
+    EXPECT_EQ(*parsed, info.type);
+  }
+  EXPECT_FALSE(ParseInstanceType("t2.nano").has_value());
+}
+
+TEST(InstanceCatalogTest, HvmCapability) {
+  // XenBlanket requires HVM; m1.small is the lone PV-only type here.
+  const auto hvm = HvmCapableTypes();
+  EXPECT_EQ(hvm.size(), 14u);
+  for (InstanceType t : hvm) {
+    EXPECT_NE(t, InstanceType::kM1Small);
+  }
+}
+
+TEST(NestedSlotsTest, MemoryBasedSlicing) {
+  // m3.large (7.5 GB) fits two m3.medium (3.75 GB) nested VMs -- the
+  // arbitrage case in Section 4.2.
+  EXPECT_EQ(NestedSlotsPerHost(InstanceType::kM3Large, InstanceType::kM3Medium), 2);
+  EXPECT_EQ(NestedSlotsPerHost(InstanceType::kM3Xlarge, InstanceType::kM3Medium), 4);
+  EXPECT_EQ(NestedSlotsPerHost(InstanceType::kM32xlarge, InstanceType::kM3Medium), 8);
+  EXPECT_EQ(NestedSlotsPerHost(InstanceType::kM3Medium, InstanceType::kM3Medium), 1);
+  // A smaller host fits zero larger nested VMs.
+  EXPECT_EQ(NestedSlotsPerHost(InstanceType::kM3Medium, InstanceType::kM3Large), 0);
+}
+
+TEST(MarketKeyTest, OrderingAndNames) {
+  const MarketKey a{InstanceType::kM3Medium, AvailabilityZone{0}};
+  const MarketKey b{InstanceType::kM3Medium, AvailabilityZone{1}};
+  const MarketKey c{InstanceType::kM3Large, AvailabilityZone{0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.ToString(), "m3.medium@zone-0");
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,118 @@
+#include "src/market/revocation_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/market/market_analytics.h"
+#include "src/market/spot_price_process.h"
+
+namespace spotcheck {
+namespace {
+
+constexpr double kOd = 0.070;  // m3.medium on-demand price
+
+SimTime At(double seconds) { return SimTime::FromSeconds(seconds); }
+
+TEST(RevocationPredictorTest, QuietAtTheFloor) {
+  RevocationPredictor predictor(PredictorConfig{}, kOd);
+  EXPECT_EQ(predictor.RiskScore(), 0.0);  // before any observation
+  for (int i = 0; i < 50; ++i) {
+    predictor.Observe(At(i * 300.0), 0.10 * kOd);
+  }
+  EXPECT_LT(predictor.RiskScore(), 0.05);
+  EXPECT_FALSE(predictor.AtRisk());
+}
+
+TEST(RevocationPredictorTest, ElevatedLevelRaisesRisk) {
+  RevocationPredictor predictor(PredictorConfig{}, kOd);
+  for (int i = 0; i < 50; ++i) {
+    predictor.Observe(At(i * 300.0), 0.70 * kOd);  // smoothed near 0.7
+  }
+  EXPECT_TRUE(predictor.AtRisk());
+  EXPECT_NEAR(predictor.smoothed_ratio(), 0.70, 0.02);
+}
+
+TEST(RevocationPredictorTest, SteepClimbFiresBeforeTheCrossing) {
+  // The precursor ramp: 0.35 -> 0.55 -> 0.80 of the on-demand price within
+  // 15 minutes must raise the alarm before the price crosses.
+  RevocationPredictor predictor(PredictorConfig{}, kOd);
+  for (int i = 0; i < 10; ++i) {
+    predictor.Observe(At(i * 300.0), 0.10 * kOd);
+  }
+  EXPECT_FALSE(predictor.AtRisk());
+  predictor.Observe(At(3000), 0.35 * kOd);
+  predictor.Observe(At(3300), 0.55 * kOd);
+  predictor.Observe(At(3600), 0.80 * kOd);
+  EXPECT_TRUE(predictor.AtRisk());
+}
+
+TEST(RevocationPredictorTest, RiskDecaysAfterTheSpikeEnds) {
+  RevocationPredictor predictor(PredictorConfig{}, kOd);
+  predictor.Observe(At(0), 0.10 * kOd);
+  predictor.Observe(At(300), 5.0 * kOd);  // spike
+  EXPECT_TRUE(predictor.AtRisk());
+  for (int i = 2; i < 40; ++i) {
+    predictor.Observe(At(i * 300.0), 0.10 * kOd);
+  }
+  EXPECT_FALSE(predictor.AtRisk());
+}
+
+TEST(RevocationPredictorTest, RiskScoreStaysInUnitInterval) {
+  RevocationPredictor predictor(PredictorConfig{}, kOd);
+  for (int i = 0; i < 100; ++i) {
+    predictor.Observe(At(i * 60.0), (i % 7) * 2.0 * kOd);
+    EXPECT_GE(predictor.RiskScore(), 0.0);
+    EXPECT_LE(predictor.RiskScore(), 1.0);
+  }
+}
+
+TEST(EvaluatePredictorTest, HandAuthoredRampIsPredicted) {
+  PriceTrace trace;
+  trace.Append(At(0), 0.10 * kOd);
+  // Ramp then spike.
+  trace.Append(At(10000), 0.35 * kOd);
+  trace.Append(At(10300), 0.55 * kOd);
+  trace.Append(At(10600), 0.80 * kOd);
+  trace.Append(At(10900), 5.0 * kOd);
+  // Back to the floor, with enough quiet observations for the smoothed
+  // level to decay (as the ~10-minute market updates provide in practice).
+  for (int i = 0; i < 26; ++i) {
+    trace.Append(At(14000 + 600.0 * i), 0.10 * kOd);
+  }
+  // Abrupt spike with no warning.
+  trace.Append(At(30000), 6.0 * kOd);
+  trace.Append(At(33000), 0.10 * kOd);
+  const PredictorScore score =
+      EvaluatePredictor(PredictorConfig{}, trace, kOd, kOd, At(0), At(40000));
+  EXPECT_EQ(score.crossings, 2);
+  EXPECT_EQ(score.predicted, 1);  // the ramped one, not the abrupt one
+  EXPECT_NEAR(score.recall, 0.5, 1e-9);
+  EXPECT_GT(score.signal_up_fraction, 0.0);
+  EXPECT_LT(score.signal_up_fraction, 0.7);
+}
+
+TEST(EvaluatePredictorTest, RecallMatchesPrecursorRateOnSyntheticMarkets) {
+  // The calibrated process announces ~half of its spikes with a ramp; the
+  // predictor should catch most of those and almost nothing else.
+  const PriceTrace trace = GenerateMarketTrace(
+      MarketKey{InstanceType::kM3Large, AvailabilityZone{0}},
+      SimDuration::Days(180), 2);
+  const PredictorScore score =
+      EvaluatePredictor(PredictorConfig{}, trace, OnDemandPrice(InstanceType::kM3Large),
+                        OnDemandPrice(InstanceType::kM3Large), SimTime(),
+                        SimTime() + SimDuration::Days(180));
+  EXPECT_GT(score.crossings, 30);
+  EXPECT_GT(score.recall, 0.30);
+  EXPECT_LT(score.recall, 0.85);
+  // The alarm is selective: raised a small fraction of the time.
+  EXPECT_LT(score.signal_up_fraction, 0.15);
+}
+
+TEST(EvaluatePredictorTest, EmptyTraceIsSafe) {
+  const PredictorScore score = EvaluatePredictor(PredictorConfig{}, PriceTrace{},
+                                                 kOd, kOd, At(0), At(1000));
+  EXPECT_EQ(score.crossings, 0);
+  EXPECT_EQ(score.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,130 @@
+#include "src/market/spot_price_process.h"
+
+#include <gtest/gtest.h>
+
+#include "src/market/market_analytics.h"
+
+namespace spotcheck {
+namespace {
+
+constexpr uint64_t kSeed = 1234;
+
+TEST(SpotPriceProcessTest, DeterministicForSameSeed) {
+  SpotPriceProcess a(CalibratedParams(InstanceType::kM3Medium), Rng(kSeed));
+  SpotPriceProcess b(CalibratedParams(InstanceType::kM3Medium), Rng(kSeed));
+  const PriceTrace ta = a.Generate(SimDuration::Days(10));
+  const PriceTrace tb = b.Generate(SimDuration::Days(10));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta.points()[i].time, tb.points()[i].time);
+    EXPECT_DOUBLE_EQ(ta.points()[i].price, tb.points()[i].price);
+  }
+}
+
+TEST(SpotPriceProcessTest, PricesArePositive) {
+  SpotPriceProcess process(CalibratedParams(InstanceType::kM3Large), Rng(kSeed));
+  const PriceTrace trace = process.Generate(SimDuration::Days(30));
+  for (const auto& p : trace.points()) {
+    EXPECT_GT(p.price, 0.0);
+  }
+}
+
+TEST(SpotPriceProcessTest, MeanPriceFarBelowOnDemand) {
+  // Figure 6(a): spot prices are extremely low on average.
+  const auto params = CalibratedParams(InstanceType::kM3Medium);
+  SpotPriceProcess process(params, Rng(kSeed));
+  const PriceTrace trace = process.Generate(SimDuration::Days(180));
+  const double mean =
+      trace.MeanPrice(SimTime(), SimTime() + SimDuration::Days(180));
+  EXPECT_LT(mean, 0.35 * params.on_demand_price);
+  EXPECT_GT(mean, 0.05 * params.on_demand_price);
+}
+
+TEST(SpotPriceProcessTest, M3MediumIsHighlyStable) {
+  // The paper's six months saw only a handful of m3.medium revocations at an
+  // on-demand-price bid.
+  const auto params = CalibratedParams(InstanceType::kM3Medium);
+  SpotPriceProcess process(params, Rng(kSeed));
+  const PriceTrace trace = process.Generate(SimDuration::Days(180));
+  const int crossings =
+      CountBidCrossings(trace, params.on_demand_price, SimTime(),
+                        SimTime() + SimDuration::Days(180));
+  EXPECT_GE(crossings, 1);
+  EXPECT_LE(crossings, 30);
+}
+
+TEST(SpotPriceProcessTest, LargerTypesSpikeEveryFewDays) {
+  const auto params = CalibratedParams(InstanceType::kM3Large);
+  SpotPriceProcess process(params, Rng(kSeed));
+  const PriceTrace trace = process.Generate(SimDuration::Days(180));
+  const int crossings = CountBidCrossings(
+      trace, params.on_demand_price, SimTime(), SimTime() + SimDuration::Days(180));
+  // ~0.45 spikes/day calibrated (roughly 80 over six months); wide slack.
+  EXPECT_GT(crossings, 40);
+  EXPECT_LT(crossings, 160);
+}
+
+TEST(SpotPriceProcessTest, SpikesExceedOnDemandPrice) {
+  const auto params = CalibratedParams(InstanceType::kM1Small);
+  SpotPriceProcess process(params, Rng(kSeed));
+  const PriceTrace trace = process.Generate(SimDuration::Days(10));
+  double max_price = 0.0;
+  for (const auto& p : trace.points()) {
+    max_price = std::max(max_price, p.price);
+  }
+  // Figure 1 shows spikes far above the $0.06 on-demand price.
+  EXPECT_GT(max_price, 2.0 * params.on_demand_price);
+  EXPECT_LE(max_price, params.spike_cap_multiple * params.on_demand_price + 1e-9);
+}
+
+TEST(SpotPriceProcessTest, AvailabilityAtOnDemandBidInPaperBand) {
+  // Figure 6(a): availability at bid == on-demand price is between ~0.9
+  // and ~0.995 across m3 types.
+  for (InstanceType type : {InstanceType::kM3Medium, InstanceType::kM3Large,
+                            InstanceType::kM3Xlarge, InstanceType::kM32xlarge}) {
+    const auto params = CalibratedParams(type);
+    SpotPriceProcess process(params, Rng(kSeed).Split(static_cast<uint64_t>(type)));
+    const PriceTrace trace = process.Generate(SimDuration::Days(180));
+    const double availability = trace.FractionAtOrBelow(
+        params.on_demand_price, SimTime(), SimTime() + SimDuration::Days(180));
+    EXPECT_GE(availability, 0.85) << InstanceTypeName(type);
+    EXPECT_LE(availability, 0.9999) << InstanceTypeName(type);
+  }
+}
+
+TEST(SpotPriceProcessTest, ZoneCalibrationPerturbsButPreservesScale) {
+  const auto base = CalibratedParams(InstanceType::kM3Large);
+  const auto zoned =
+      CalibratedParams(MarketKey{InstanceType::kM3Large, AvailabilityZone{5}});
+  EXPECT_NE(zoned.spikes_per_day, base.spikes_per_day);
+  EXPECT_GE(zoned.spikes_per_day, 0.8 * base.spikes_per_day - 1e-12);
+  EXPECT_LE(zoned.spikes_per_day, 1.2 * base.spikes_per_day + 1e-12);
+  EXPECT_GE(zoned.base_ratio, 0.9 * base.base_ratio - 1e-12);
+  EXPECT_LE(zoned.base_ratio, 1.1 * base.base_ratio + 1e-12);
+}
+
+TEST(GenerateMarketTraceTest, DistinctMarketsDistinctTraces) {
+  const MarketKey a{InstanceType::kM3Medium, AvailabilityZone{0}};
+  const MarketKey b{InstanceType::kM3Medium, AvailabilityZone{1}};
+  const PriceTrace ta = GenerateMarketTrace(a, SimDuration::Days(5), kSeed);
+  const PriceTrace tb = GenerateMarketTrace(b, SimDuration::Days(5), kSeed);
+  ASSERT_FALSE(ta.empty());
+  ASSERT_FALSE(tb.empty());
+  // Same seed, different zone -> different stream.
+  bool differs = ta.size() != tb.size();
+  for (size_t i = 0; !differs && i < std::min(ta.size(), tb.size()); ++i) {
+    differs = ta.points()[i].price != tb.points()[i].price;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateMarketTraceTest, ReproducibleAcrossCalls) {
+  const MarketKey key{InstanceType::kC3Xlarge, AvailabilityZone{3}};
+  const PriceTrace t1 = GenerateMarketTrace(key, SimDuration::Days(5), kSeed);
+  const PriceTrace t2 = GenerateMarketTrace(key, SimDuration::Days(5), kSeed);
+  ASSERT_EQ(t1.size(), t2.size());
+  EXPECT_DOUBLE_EQ(t1.points().back().price, t2.points().back().price);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,105 @@
+#include "src/market/trace_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+namespace {
+
+class TraceCatalogTest : public testing::Test {
+ protected:
+  TraceCatalogTest() {
+    dir_ = testing::TempDir() + "/spotcheck_traces_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TraceCatalogTest() override { std::filesystem::remove_all(dir_); }
+
+  PriceTrace MakeTrace() {
+    PriceTrace trace;
+    trace.Append(SimTime(), 0.009);
+    trace.Append(SimTime::FromSeconds(3600), 0.25);
+    trace.Append(SimTime::FromSeconds(7200), 0.009);
+    return trace;
+  }
+
+  std::string dir_;
+};
+
+TEST(ParseMarketKeyTest, ValidNames) {
+  const auto key = ParseMarketKey("m3.medium@zone-0");
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->type, InstanceType::kM3Medium);
+  EXPECT_EQ(key->zone.index, 0);
+  const auto key17 = ParseMarketKey("r3.8xlarge@zone-17");
+  ASSERT_TRUE(key17.has_value());
+  EXPECT_EQ(key17->type, InstanceType::kR38xlarge);
+  EXPECT_EQ(key17->zone.index, 17);
+}
+
+TEST(ParseMarketKeyTest, InvalidNames) {
+  EXPECT_FALSE(ParseMarketKey("m3.medium").has_value());
+  EXPECT_FALSE(ParseMarketKey("t2.nano@zone-0").has_value());
+  EXPECT_FALSE(ParseMarketKey("m3.medium@az-0").has_value());
+  EXPECT_FALSE(ParseMarketKey("m3.medium@zone--1").has_value());
+  EXPECT_FALSE(ParseMarketKey("m3.medium@zone-x").has_value());
+  EXPECT_FALSE(ParseMarketKey("").has_value());
+}
+
+TEST_F(TraceCatalogTest, SaveThenLoadRoundTrip) {
+  const MarketKey key{InstanceType::kM3Medium, AvailabilityZone{0}};
+  ASSERT_TRUE(SaveTrace(key, MakeTrace(), dir_));
+
+  Simulator sim;
+  MarketPlace markets(&sim);
+  const TraceLoadReport report = LoadTraceDirectory(markets, dir_);
+  ASSERT_EQ(report.loaded.size(), 1u);
+  EXPECT_EQ(report.loaded[0], key);
+  EXPECT_TRUE(report.skipped.empty());
+
+  const SpotMarket* market = markets.Find(key);
+  ASSERT_NE(market, nullptr);
+  EXPECT_DOUBLE_EQ(market->PriceAt(SimTime::FromSeconds(5000)), 0.25);
+  EXPECT_DOUBLE_EQ(market->PriceAt(SimTime::FromSeconds(8000)), 0.009);
+}
+
+TEST_F(TraceCatalogTest, SkipsGarbageFiles) {
+  std::ofstream(dir_ + "/not-a-market.csv") << "0,0.01\n";
+  std::ofstream(dir_ + "/m3.medium@zone-0.txt") << "ignored extension\n";
+  std::ofstream(dir_ + "/m3.large@zone-1.csv") << "";  // empty -> skipped
+  Simulator sim;
+  MarketPlace markets(&sim);
+  const TraceLoadReport report = LoadTraceDirectory(markets, dir_);
+  EXPECT_TRUE(report.loaded.empty());
+  // The .txt file is ignored outright; the two bad .csv files are reported.
+  EXPECT_EQ(report.skipped.size(), 2u);
+}
+
+TEST_F(TraceCatalogTest, MissingDirectoryYieldsEmptyReport) {
+  Simulator sim;
+  MarketPlace markets(&sim);
+  const TraceLoadReport report =
+      LoadTraceDirectory(markets, dir_ + "/does-not-exist");
+  EXPECT_TRUE(report.loaded.empty());
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST_F(TraceCatalogTest, MultipleMarkets) {
+  SaveTrace(MarketKey{InstanceType::kM3Medium, AvailabilityZone{0}}, MakeTrace(),
+            dir_);
+  SaveTrace(MarketKey{InstanceType::kM3Large, AvailabilityZone{2}}, MakeTrace(),
+            dir_);
+  Simulator sim;
+  MarketPlace markets(&sim);
+  const TraceLoadReport report = LoadTraceDirectory(markets, dir_);
+  EXPECT_EQ(report.loaded.size(), 2u);
+  EXPECT_EQ(markets.All().size(), 2u);
+}
+
+}  // namespace
+}  // namespace spotcheck

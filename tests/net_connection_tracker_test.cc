@@ -1,0 +1,67 @@
+#include "src/net/connection_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+const NestedVmId kVm(1);
+
+TEST(ConnectionTrackerTest, OpenClose) {
+  ConnectionTracker tracker;
+  tracker.Open(kVm, 10);
+  EXPECT_EQ(tracker.OpenConnections(kVm), 10);
+  tracker.Close(kVm, 4);
+  EXPECT_EQ(tracker.OpenConnections(kVm), 6);
+  tracker.Close(kVm, 100);  // clamped at zero
+  EXPECT_EQ(tracker.OpenConnections(kVm), 0);
+  tracker.Open(kVm, -5);  // ignored
+  EXPECT_EQ(tracker.OpenConnections(kVm), 0);
+}
+
+TEST(ConnectionTrackerTest, SpotCheckMigrationOutageSurvives) {
+  // Section 5: the ~23 s downtime from EC2 operations "is not long enough to
+  // break TCP connections, which generally requires a timeout of greater
+  // than one minute".
+  ConnectionTracker tracker;
+  tracker.Open(kVm, 50);
+  EXPECT_EQ(tracker.ApplyOutage(kVm, SimDuration::Seconds(23)), 0);
+  EXPECT_EQ(tracker.OpenConnections(kVm), 50);
+  EXPECT_EQ(tracker.total_survived_outages(), 1);
+  EXPECT_EQ(tracker.total_broken(), 0);
+}
+
+TEST(ConnectionTrackerTest, LongOutageBreaksEverything) {
+  ConnectionTracker tracker;
+  tracker.Open(kVm, 50);
+  EXPECT_EQ(tracker.ApplyOutage(kVm, SimDuration::Seconds(90)), 50);
+  EXPECT_EQ(tracker.OpenConnections(kVm), 0);
+  EXPECT_EQ(tracker.total_broken(), 50);
+}
+
+TEST(ConnectionTrackerTest, BoundaryAtTimeout) {
+  ConnectionTracker tracker(SimDuration::Seconds(60));
+  tracker.Open(kVm, 5);
+  // Exactly the timeout: connections just barely survive.
+  EXPECT_EQ(tracker.ApplyOutage(kVm, SimDuration::Seconds(60)), 0);
+  EXPECT_EQ(tracker.ApplyOutage(kVm, SimDuration::Micros(60'000'001)), 5);
+}
+
+TEST(ConnectionTrackerTest, OutageOnIdleVmIsNoop) {
+  ConnectionTracker tracker;
+  EXPECT_EQ(tracker.ApplyOutage(kVm, SimDuration::Seconds(999)), 0);
+  EXPECT_EQ(tracker.total_broken(), 0);
+  EXPECT_EQ(tracker.total_survived_outages(), 0);
+}
+
+TEST(ConnectionTrackerTest, PerVmIsolation) {
+  ConnectionTracker tracker;
+  tracker.Open(kVm, 10);
+  tracker.Open(NestedVmId(2), 20);
+  tracker.ApplyOutage(kVm, SimDuration::Seconds(120));
+  EXPECT_EQ(tracker.OpenConnections(kVm), 0);
+  EXPECT_EQ(tracker.OpenConnections(NestedVmId(2)), 20);
+}
+
+}  // namespace
+}  // namespace spotcheck

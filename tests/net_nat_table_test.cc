@@ -1,0 +1,85 @@
+#include "src/net/nat_table.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+const PrivateIp kIp{1, 10};
+const PrivateIp kOtherIp{1, 11};
+const InstanceId kHostA(1);
+const InstanceId kHostB(2);
+const NestedVmId kVm(1);
+
+TEST(NatTableTest, InstallLookupRemove) {
+  NatTable table;
+  EXPECT_TRUE(table.Install(kIp, InterfaceId(1), kVm));
+  EXPECT_EQ(table.Lookup(kIp), kVm);
+  EXPECT_EQ(table.InterfaceFor(kIp), InterfaceId(1));
+  EXPECT_FALSE(table.Lookup(kOtherIp).has_value());
+  table.Remove(kIp);
+  EXPECT_FALSE(table.Lookup(kIp).has_value());
+  EXPECT_EQ(table.num_rules(), 0);
+}
+
+TEST(NatTableTest, DuplicateInstallRejected) {
+  NatTable table;
+  EXPECT_TRUE(table.Install(kIp, InterfaceId(1), kVm));
+  EXPECT_FALSE(table.Install(kIp, InterfaceId(2), NestedVmId(2)));
+  EXPECT_EQ(table.Lookup(kIp), kVm);
+}
+
+TEST(NatTableTest, RemoveVmDropsAllItsRules) {
+  NatTable table;
+  table.Install(kIp, InterfaceId(1), kVm);
+  table.Install(kOtherIp, InterfaceId(2), kVm);
+  table.Install(PrivateIp{1, 12}, InterfaceId(3), NestedVmId(2));
+  table.RemoveVm(kVm);
+  EXPECT_EQ(table.num_rules(), 1);
+  EXPECT_FALSE(table.Lookup(kIp).has_value());
+}
+
+TEST(HostNetworkPlaneTest, RoutesToCurrentHost) {
+  HostNetworkPlane plane;
+  plane.MoveAddress(kIp, kHostA, kVm);
+  EXPECT_EQ(plane.Route(kIp), kVm);
+  EXPECT_EQ(plane.HostFor(kIp), kHostA);
+}
+
+TEST(HostNetworkPlaneTest, MoveDetachesFromOldHost) {
+  // Figure 4: detach from the source host, reattach to a fresh interface on
+  // the destination; the address (and therefore client endpoints) never
+  // changes.
+  HostNetworkPlane plane;
+  const InterfaceId first = plane.MoveAddress(kIp, kHostA, kVm);
+  const InterfaceId second = plane.MoveAddress(kIp, kHostB, kVm);
+  EXPECT_NE(first, second);  // fresh interface on the destination
+  EXPECT_EQ(plane.Route(kIp), kVm);
+  EXPECT_EQ(plane.HostFor(kIp), kHostB);
+  // The source host no longer forwards the address.
+  ASSERT_NE(plane.TableOf(kHostA), nullptr);
+  EXPECT_FALSE(plane.TableOf(kHostA)->Lookup(kIp).has_value());
+  EXPECT_EQ(plane.moves(), 2);
+}
+
+TEST(HostNetworkPlaneTest, UnboundAddressDrops) {
+  HostNetworkPlane plane;
+  EXPECT_FALSE(plane.Route(kIp).has_value());
+  plane.MoveAddress(kIp, kHostA, kVm);
+  plane.ReleaseAddress(kIp);
+  EXPECT_FALSE(plane.Route(kIp).has_value());
+  EXPECT_FALSE(plane.HostFor(kIp).has_value());
+}
+
+TEST(HostNetworkPlaneTest, MultipleVmsPerHost) {
+  // Slicing: several nested VMs behind one host, each with its own address.
+  HostNetworkPlane plane;
+  plane.MoveAddress(kIp, kHostA, kVm);
+  plane.MoveAddress(kOtherIp, kHostA, NestedVmId(2));
+  EXPECT_EQ(plane.Route(kIp), kVm);
+  EXPECT_EQ(plane.Route(kOtherIp), NestedVmId(2));
+  EXPECT_EQ(plane.TableOf(kHostA)->num_rules(), 2);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,101 @@
+#include "src/net/vpc.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+const CustomerId kAlice(1);
+const CustomerId kBob(2);
+
+TEST(PrivateIpTest, Formatting) {
+  EXPECT_EQ((PrivateIp{3, 17}.ToString()), "10.0.3.17");
+  EXPECT_EQ((PrivateIp{0, 1}.ToString()), "10.0.0.1");
+}
+
+TEST(VpcTest, SubnetPerCustomerIsStable) {
+  VirtualPrivateCloud vpc;
+  const auto a1 = vpc.SubnetFor(kAlice);
+  const auto b = vpc.SubnetFor(kBob);
+  const auto a2 = vpc.SubnetFor(kAlice);
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a1, *a2);
+  EXPECT_NE(*a1, *b);
+}
+
+TEST(VpcTest, AssignIsIdempotentPerVm) {
+  VirtualPrivateCloud vpc;
+  const auto first = vpc.AssignPrivateIp(kAlice, NestedVmId(1));
+  const auto second = vpc.AssignPrivateIp(kAlice, NestedVmId(1));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(vpc.num_assigned(), 1);
+}
+
+TEST(VpcTest, CustomersGetDistinctSubnets) {
+  VirtualPrivateCloud vpc;
+  const auto a = vpc.AssignPrivateIp(kAlice, NestedVmId(1));
+  const auto b = vpc.AssignPrivateIp(kBob, NestedVmId(2));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->subnet, b->subnet);
+}
+
+TEST(VpcTest, ReverseLookup) {
+  VirtualPrivateCloud vpc;
+  const auto ip = vpc.AssignPrivateIp(kAlice, NestedVmId(7));
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(vpc.VmAt(*ip), NestedVmId(7));
+  EXPECT_EQ(vpc.IpOf(NestedVmId(7)), *ip);
+  EXPECT_FALSE(vpc.VmAt(PrivateIp{250, 250}).has_value());
+}
+
+TEST(VpcTest, ReleaseAllowsReuse) {
+  VirtualPrivateCloud vpc;
+  const auto ip = vpc.AssignPrivateIp(kAlice, NestedVmId(1));
+  ASSERT_TRUE(ip.has_value());
+  vpc.ReleasePrivateIp(NestedVmId(1));
+  EXPECT_FALSE(vpc.IpOf(NestedVmId(1)).has_value());
+  EXPECT_FALSE(vpc.VmAt(*ip).has_value());
+  // The freed address is eventually handed out again.
+  bool reused = false;
+  for (int i = 0; i < VirtualPrivateCloud::kHostsPerSubnet; ++i) {
+    const auto next = vpc.AssignPrivateIp(kAlice, NestedVmId(100 + i));
+    ASSERT_TRUE(next.has_value());
+    reused |= (*next == *ip);
+  }
+  EXPECT_TRUE(reused);
+}
+
+TEST(VpcTest, SubnetExhaustion) {
+  VirtualPrivateCloud vpc;
+  for (int i = 0; i < VirtualPrivateCloud::kHostsPerSubnet; ++i) {
+    ASSERT_TRUE(vpc.AssignPrivateIp(kAlice, NestedVmId(i + 1)).has_value());
+  }
+  EXPECT_FALSE(vpc.AssignPrivateIp(kAlice, NestedVmId(9999)).has_value());
+  // Another customer's subnet is unaffected.
+  EXPECT_TRUE(vpc.AssignPrivateIp(kBob, NestedVmId(10000)).has_value());
+}
+
+TEST(VpcTest, PublicHead) {
+  VirtualPrivateCloud vpc;
+  EXPECT_FALSE(vpc.PublicHead(kAlice).has_value());
+  vpc.SetPublicHead(kAlice, NestedVmId(1));
+  EXPECT_EQ(vpc.PublicHead(kAlice), NestedVmId(1));
+  vpc.SetPublicHead(kAlice, NestedVmId(2));
+  EXPECT_EQ(vpc.PublicHead(kAlice), NestedVmId(2));
+}
+
+TEST(VpcTest, UniqueAddressesAcrossManyVms) {
+  VirtualPrivateCloud vpc;
+  std::set<std::string> seen;
+  for (int i = 1; i <= 200; ++i) {
+    const auto ip = vpc.AssignPrivateIp(kAlice, NestedVmId(i));
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_TRUE(seen.insert(ip->ToString()).second) << ip->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,89 @@
+// Property-style sweeps over the backup-server bandwidth model.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/backup/backup_server.h"
+
+namespace spotcheck {
+namespace {
+
+using BackupPoint = std::tuple<RestoreKind, bool>;  // (kind, optimized)
+
+class BackupBandwidthPropertyTest : public testing::TestWithParam<BackupPoint> {
+ protected:
+  BackupBandwidthPropertyTest()
+      : server_(BackupServerId(1), InstanceType::kM3Xlarge, BackupServerPerf{}, 40),
+        kind_(std::get<0>(GetParam())),
+        optimized_(std::get<1>(GetParam())) {}
+
+  BackupServer server_;
+  RestoreKind kind_;
+  bool optimized_;
+};
+
+TEST_P(BackupBandwidthPropertyTest, PositiveAndMonotoneDecreasing) {
+  double last = 1e18;
+  for (int n = 1; n <= 64; ++n) {
+    const double bw = server_.PerVmRestoreBandwidth(kind_, optimized_, n);
+    EXPECT_GT(bw, 0.0) << "n=" << n;
+    EXPECT_LE(bw, last) << "n=" << n;
+    last = bw;
+  }
+}
+
+TEST_P(BackupBandwidthPropertyTest, NeverExceedsNetworkShare) {
+  for (int n : {1, 2, 5, 10, 40}) {
+    EXPECT_LE(server_.PerVmRestoreBandwidth(kind_, optimized_, n),
+              server_.perf().network_mbps / n + 1e-9);
+  }
+}
+
+TEST_P(BackupBandwidthPropertyTest, OptimizationNeverHurts) {
+  for (int n : {1, 5, 10, 40}) {
+    EXPECT_GE(server_.PerVmRestoreBandwidth(kind_, true, n),
+              server_.PerVmRestoreBandwidth(kind_, false, n) - 1e-9);
+  }
+}
+
+TEST_P(BackupBandwidthPropertyTest, SequentialAtLeastRandom) {
+  for (int n : {1, 5, 10, 40}) {
+    EXPECT_GE(server_.PerVmRestoreBandwidth(RestoreKind::kFull, optimized_, n),
+              server_.PerVmRestoreBandwidth(RestoreKind::kLazy, optimized_, n) -
+                  1e-9);
+  }
+}
+
+TEST_P(BackupBandwidthPropertyTest, ZeroOrNegativeConcurrencyClamped) {
+  EXPECT_DOUBLE_EQ(server_.PerVmRestoreBandwidth(kind_, optimized_, 0),
+                   server_.PerVmRestoreBandwidth(kind_, optimized_, 1));
+  EXPECT_DOUBLE_EQ(server_.PerVmRestoreBandwidth(kind_, optimized_, -3),
+                   server_.PerVmRestoreBandwidth(kind_, optimized_, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BackupBandwidthPropertyTest,
+                         testing::Combine(testing::Values(RestoreKind::kFull,
+                                                          RestoreKind::kLazy),
+                                          testing::Bool()));
+
+// Aggregate disk throughput must not grow when streams are added (the thrash
+// model can reduce aggregate, never increase it).
+TEST(BackupBandwidthAggregateTest, AggregateNonIncreasing) {
+  const BackupServer server(BackupServerId(1), InstanceType::kM3Xlarge,
+                            BackupServerPerf{}, 40);
+  for (RestoreKind kind : {RestoreKind::kFull, RestoreKind::kLazy}) {
+    for (bool optimized : {false, true}) {
+      double last_aggregate = 1e18;
+      for (int n = 1; n <= 32; ++n) {
+        const double aggregate =
+            server.PerVmRestoreBandwidth(kind, optimized, n) * n;
+        EXPECT_LE(aggregate, last_aggregate + 1e-9);
+        last_aggregate = aggregate;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spotcheck

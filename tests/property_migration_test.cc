@@ -1,0 +1,171 @@
+// Property-style sweeps over the migration-mechanism models: invariants that
+// must hold for every (memory size, dirty rate, bandwidth) combination, not
+// just the calibrated operating point.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/virt/migration_models.h"
+
+namespace spotcheck {
+namespace {
+
+// (memory_mb, dirty_mbps, bandwidth_mbps)
+using MigrationPoint = std::tuple<double, double, double>;
+
+class PreCopyPropertyTest : public testing::TestWithParam<MigrationPoint> {
+ protected:
+  PreCopyParams Params() const {
+    PreCopyParams params;
+    std::tie(params.memory_mb, params.dirty_rate_mbps, params.bandwidth_mbps) =
+        GetParam();
+    return params;
+  }
+};
+
+TEST_P(PreCopyPropertyTest, TotalAtLeastOneFullPass) {
+  const PreCopyParams params = Params();
+  const PreCopyPlan plan = PlanPreCopy(params);
+  EXPECT_GE(plan.total.seconds(),
+            params.memory_mb / params.bandwidth_mbps - 1e-9);
+}
+
+TEST_P(PreCopyPropertyTest, DowntimeWithinTotal) {
+  const PreCopyPlan plan = PlanPreCopy(Params());
+  EXPECT_LE(plan.downtime, plan.total);
+  EXPECT_GE(plan.downtime, SimDuration::Zero());
+}
+
+TEST_P(PreCopyPropertyTest, ConvergedPlansHaveBoundedDowntime) {
+  const PreCopyParams params = Params();
+  const PreCopyPlan plan = PlanPreCopy(params);
+  if (plan.converged && params.dirty_rate_mbps < params.bandwidth_mbps) {
+    // The residual the final stop-and-copy ships is at most one round's
+    // dirtying, which itself is bounded by the stop threshold or dirty/bw
+    // geometry.
+    EXPECT_LE(plan.downtime.seconds(),
+              std::max(params.stop_threshold_mb,
+                       params.memory_mb * params.dirty_rate_mbps /
+                           params.bandwidth_mbps) /
+                      params.bandwidth_mbps +
+                  1e-9);
+  }
+}
+
+TEST_P(PreCopyPropertyTest, MoreMemoryNeverFaster) {
+  PreCopyParams params = Params();
+  const PreCopyPlan small = PlanPreCopy(params);
+  params.memory_mb *= 2.0;
+  const PreCopyPlan big = PlanPreCopy(params);
+  EXPECT_GE(big.total, small.total);
+}
+
+TEST_P(PreCopyPropertyTest, MoreBandwidthNeverWorse) {
+  PreCopyParams params = Params();
+  const PreCopyPlan base = PlanPreCopy(params);
+  params.bandwidth_mbps *= 2.0;
+  const PreCopyPlan fast = PlanPreCopy(params);
+  // Convergence can only improve with bandwidth...
+  EXPECT_GE(fast.converged, base.converged);
+  // ...and among converged plans, latency can only drop. (A diverging plan's
+  // `total` is the time until the model gives up, not a completed migration,
+  // so it is not comparable.)
+  if (base.converged) {
+    EXPECT_LE(fast.total, base.total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PreCopyPropertyTest,
+    testing::Combine(testing::Values(512.0, 3072.0, 15360.0, 65536.0),
+                     testing::Values(0.0, 10.0, 60.0, 200.0),
+                     testing::Values(50.0, 125.0, 1250.0)));
+
+class BoundedTimePropertyTest
+    : public testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  BoundedTimeParams Params() const {
+    BoundedTimeParams params;
+    std::tie(params.dirty_rate_mbps, params.backup_bandwidth_mbps) = GetParam();
+    return params;
+  }
+};
+
+TEST_P(BoundedTimePropertyTest, CommitNeverExceedsBound) {
+  // The defining guarantee of bounded-time migration (Section 3.2).
+  const BoundedTimeParams params = Params();
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_LE(plan.unoptimized_commit_downtime, params.bound);
+}
+
+TEST_P(BoundedTimePropertyTest, RampNeverHurts) {
+  const BoundedTimePlan plan = PlanBoundedTime(Params());
+  EXPECT_LE(plan.optimized_commit_downtime, plan.unoptimized_commit_downtime);
+}
+
+TEST_P(BoundedTimePropertyTest, RampDegradationWithinWarning) {
+  const BoundedTimeParams params = Params();
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_LE(plan.ramp_degraded, params.warning);
+  EXPECT_GE(plan.ramp_degraded, SimDuration::Zero());
+}
+
+TEST_P(BoundedTimePropertyTest, FeasibleWheneverBoundFitsWarning) {
+  const BoundedTimeParams params = Params();
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_EQ(plan.feasible, params.bound <= params.warning);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedTimePropertyTest,
+                         testing::Combine(testing::Values(1.0, 10.0, 50.0, 120.0),
+                                          testing::Values(62.5, 125.0, 1250.0)));
+
+// (memory_mb, bandwidth_mbps)
+class RestorePropertyTest
+    : public testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  RestoreParams Params(RestoreKind kind) const {
+    RestoreParams params;
+    params.kind = kind;
+    std::tie(params.memory_mb, params.bandwidth_mbps) = GetParam();
+    return params;
+  }
+};
+
+TEST_P(RestorePropertyTest, LazyAlwaysResumesFaster) {
+  const RestoreOutcome full = ComputeRestore(Params(RestoreKind::kFull));
+  const RestoreOutcome lazy = ComputeRestore(Params(RestoreKind::kLazy));
+  EXPECT_LT(lazy.downtime, full.downtime);
+}
+
+TEST_P(RestorePropertyTest, TotalDisruptionComparable) {
+  // Lazy restoration trades downtime for degradation; it does not create or
+  // destroy work (the same bytes cross the same link).
+  const RestoreOutcome full = ComputeRestore(Params(RestoreKind::kFull));
+  const RestoreOutcome lazy = ComputeRestore(Params(RestoreKind::kLazy));
+  EXPECT_NEAR((lazy.downtime + lazy.degraded).seconds(), full.downtime.seconds(),
+              full.downtime.seconds() * 0.01 + 0.1);
+}
+
+TEST_P(RestorePropertyTest, FullRestoreHasNoDegradedWindow) {
+  EXPECT_EQ(ComputeRestore(Params(RestoreKind::kFull)).degraded,
+            SimDuration::Zero());
+}
+
+TEST_P(RestorePropertyTest, LazyDowntimeIndependentOfMemorySize) {
+  RestoreParams params = Params(RestoreKind::kLazy);
+  const RestoreOutcome base = ComputeRestore(params);
+  params.memory_mb *= 8.0;
+  const RestoreOutcome big = ComputeRestore(params);
+  EXPECT_EQ(base.downtime, big.downtime);  // skeleton-only
+  EXPECT_GT(big.degraded, base.degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RestorePropertyTest,
+    testing::Combine(testing::Values(1024.0, 3072.0, 24576.0),
+                     testing::Values(2.0, 12.5, 125.0)));
+
+}  // namespace
+}  // namespace spotcheck

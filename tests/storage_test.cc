@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/disk_mirror.h"
+#include "src/storage/volume_image.h"
+
+namespace spotcheck {
+namespace {
+
+// --- VolumeImage --------------------------------------------------------------
+
+TEST(VolumeImageTest, Geometry) {
+  const VolumeImage volume(VolumeId(1), 8.0);
+  // 8 GB / 4 MB blocks = 2048 blocks.
+  EXPECT_EQ(volume.num_blocks(), 2048);
+  EXPECT_DOUBLE_EQ(volume.size_gb(), 8.0);
+}
+
+TEST(VolumeImageTest, ReadYourWrites) {
+  VolumeImage volume(VolumeId(1), 8.0);
+  EXPECT_EQ(volume.ReadBlock(100), 0u);  // unwritten reads as zero
+  volume.WriteBlock(100, 0xdeadbeef);
+  EXPECT_EQ(volume.ReadBlock(100), 0xdeadbeefu);
+  volume.WriteBlock(100, 0xcafe);
+  EXPECT_EQ(volume.ReadBlock(100), 0xcafeu);
+}
+
+TEST(VolumeImageTest, GenerationBumpsPerWrite) {
+  VolumeImage volume(VolumeId(1), 8.0);
+  EXPECT_EQ(volume.generation(), 0);
+  volume.WriteBlock(1, 1);
+  volume.WriteBlock(2, 2);
+  EXPECT_EQ(volume.generation(), 2);
+}
+
+TEST(VolumeImageTest, OutOfRangeClamps) {
+  VolumeImage volume(VolumeId(1), 8.0);
+  volume.WriteBlock(1'000'000, 7);
+  EXPECT_EQ(volume.ReadBlock(volume.num_blocks() - 1), 7u);
+  volume.WriteBlock(-5, 9);
+  EXPECT_EQ(volume.ReadBlock(0), 9u);
+}
+
+TEST(VolumeImageTest, DigestDetectsContentChange) {
+  VolumeImage a(VolumeId(1), 8.0);
+  VolumeImage b(VolumeId(2), 8.0);
+  a.WriteBlock(1, 42);
+  b.WriteBlock(1, 42);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  b.WriteBlock(2, 43);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(VolumeImageTest, DigestIsOrderIndependent) {
+  VolumeImage a(VolumeId(1), 8.0);
+  VolumeImage b(VolumeId(2), 8.0);
+  a.WriteBlock(1, 10);
+  a.WriteBlock(2, 20);
+  b.WriteBlock(2, 20);
+  b.WriteBlock(1, 10);
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+// --- DiskMirror ---------------------------------------------------------------
+
+TEST(DiskMirrorTest, KeepsUpWhenWritesBelowBandwidth) {
+  DiskMirror mirror;  // 100 MB/s replication
+  const double throttled =
+      mirror.Advance(SimDuration::Seconds(60), /*write_mbps=*/40.0);
+  EXPECT_EQ(throttled, 0.0);
+  EXPECT_DOUBLE_EQ(mirror.lag_mb(), 0.0);
+  EXPECT_NEAR(mirror.total_written_mb(), 2400.0, 1e-9);
+  EXPECT_NEAR(mirror.total_replicated_mb(), 2400.0, 1e-9);
+}
+
+TEST(DiskMirrorTest, LagAccumulatesUnderBurst) {
+  DiskMirror mirror;
+  mirror.Advance(SimDuration::Seconds(10), /*write_mbps=*/150.0);
+  // 1500 written, 1000 drained -> 500 MB behind.
+  EXPECT_NEAR(mirror.lag_mb(), 500.0, 1e-9);
+  EXPECT_NEAR(mirror.FinalSyncDuration().seconds(), 5.0, 1e-9);
+}
+
+TEST(DiskMirrorTest, SyncsWithinWarningAfterModerateBurst) {
+  // The paper's claim: local-disk mirroring can reach consistency within the
+  // two-minute warning because disk speeds are comparable.
+  DiskMirror mirror;
+  mirror.Advance(SimDuration::Seconds(30), 200.0);  // 3000 MB lag... capped
+  EXPECT_TRUE(mirror.CanSyncWithin(SimDuration::Seconds(120)));
+}
+
+TEST(DiskMirrorTest, ThrottlesAtLagCeiling) {
+  DiskMirrorConfig config;
+  config.max_lag_mb = 1000.0;
+  DiskMirror mirror(config);
+  const double throttled = mirror.Advance(SimDuration::Seconds(100), 500.0);
+  EXPECT_GT(throttled, 0.0);
+  EXPECT_LE(mirror.lag_mb(), 1000.0 + 1e-9);
+}
+
+TEST(DiskMirrorTest, LagDrainsWhenWritesStop) {
+  DiskMirror mirror;
+  mirror.Advance(SimDuration::Seconds(10), 150.0);
+  EXPECT_GT(mirror.lag_mb(), 0.0);
+  mirror.Advance(SimDuration::Seconds(10), 0.0);
+  EXPECT_DOUBLE_EQ(mirror.lag_mb(), 0.0);
+}
+
+TEST(DiskMirrorTest, ZeroDtIsNoop) {
+  DiskMirror mirror;
+  EXPECT_EQ(mirror.Advance(SimDuration::Zero(), 100.0), 0.0);
+  EXPECT_EQ(mirror.total_written_mb(), 0.0);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,167 @@
+#include "src/virt/migration_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/virt/restore_bandwidth.h"
+
+namespace spotcheck {
+namespace {
+
+class MigrationEngineTest : public testing::Test {
+ protected:
+  MigrationEngineTest()
+      : engine_(&sim_, &log_),
+        vm_(NestedVmId(1), CustomerId(1), NestedVmSpec::ForType(InstanceType::kM3Medium)) {
+    vm_.set_state(NestedVmState::kRunning);
+  }
+
+  Simulator sim_;
+  ActivityLog log_;
+  MigrationEngine engine_;
+  NestedVm vm_;
+  FixedBandwidthSource bw_{125.0};
+};
+
+TEST_F(MigrationEngineTest, MechanismPredicates) {
+  EXPECT_FALSE(MechanismNeedsBackup(MigrationMechanism::kXenLiveMigration));
+  EXPECT_TRUE(MechanismNeedsBackup(MigrationMechanism::kYankFullRestore));
+  EXPECT_TRUE(MechanismUsesLazyRestore(MigrationMechanism::kSpotCheckLazyRestore));
+  EXPECT_FALSE(MechanismUsesLazyRestore(MigrationMechanism::kSpotCheckFullRestore));
+  EXPECT_TRUE(MechanismIsOptimized(MigrationMechanism::kSpotCheckFullRestore));
+  EXPECT_FALSE(MechanismIsOptimized(MigrationMechanism::kUnoptimizedLazyRestore));
+  EXPECT_EQ(MigrationMechanismName(MigrationMechanism::kSpotCheckLazyRestore),
+            "spotcheck-lazy-restore");
+}
+
+TEST_F(MigrationEngineTest, LiveMigrateCompletesAndCountsDowntime) {
+  MigrationOutcome outcome;
+  engine_.LiveMigrate(vm_, [&](const MigrationOutcome& out) { outcome = out; });
+  EXPECT_EQ(vm_.state(), NestedVmState::kMigrating);
+  sim_.Run();
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(vm_.state(), NestedVmState::kRunning);
+  EXPECT_EQ(vm_.migrations(), 1);
+  // 3 GB at 125 MB/s with a 10 MB/s dirty rate: seconds of total latency,
+  // sub-second stop-and-copy.
+  EXPECT_LT(outcome.downtime.seconds(), 1.0);
+  EXPECT_GT(sim_.Now().seconds(), 20.0);
+  EXPECT_EQ(engine_.live_migrations(), 1);
+}
+
+TEST_F(MigrationEngineTest, LiveEvacuateSucceedsForSmallVm) {
+  MigrationOutcome outcome;
+  engine_.LiveEvacuate(vm_, sim_.Now() + SimDuration::Seconds(120),
+                       [&](const MigrationOutcome& out) { outcome = out; });
+  sim_.Run();
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(engine_.failed_migrations(), 0);
+}
+
+TEST_F(MigrationEngineTest, LiveEvacuateLosesLargeVm) {
+  NestedVm big(NestedVmId(2), CustomerId(1),
+               NestedVmSpec::ForType(InstanceType::kR3Xlarge));  // 24 GB
+  big.set_state(NestedVmState::kRunning);
+  MigrationOutcome outcome;
+  outcome.success = true;
+  engine_.LiveEvacuate(big, sim_.Now() + SimDuration::Seconds(120),
+                       [&](const MigrationOutcome& out) { outcome = out; });
+  sim_.Run();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(big.state(), NestedVmState::kFailed);
+  EXPECT_EQ(engine_.failed_migrations(), 1);
+}
+
+TEST_F(MigrationEngineTest, OptimizedEvacuationPausesJustBeforeDeadline) {
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  bool committed = false;
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, deadline,
+                          [&]() { committed = true; });
+  EXPECT_EQ(vm_.state(), NestedVmState::kMigrating);
+  sim_.RunUntil(deadline - SimDuration::Seconds(1));
+  EXPECT_FALSE(committed);  // commit lands milliseconds before the deadline
+  sim_.RunUntil(deadline);
+  EXPECT_TRUE(committed);
+  // The ramp degraded the VM for (nearly) the whole warning period.
+  const SimDuration degraded =
+      log_.Total(vm_.id(), ActivityKind::kDegraded, SimTime(), deadline);
+  EXPECT_GT(degraded.seconds(), 115.0);
+}
+
+TEST_F(MigrationEngineTest, YankEvacuationPausesImmediately) {
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  bool committed = false;
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kYankFullRestore, deadline,
+                          [&]() { committed = true; });
+  // Commit = stale threshold / bandwidth = the 30 s bound, starting now.
+  sim_.RunUntil(sim_.Now() + SimDuration::Seconds(31));
+  EXPECT_TRUE(committed);
+  // No ramp degradation for the unoptimized variant.
+  EXPECT_EQ(log_.Total(vm_.id(), ActivityKind::kDegraded, SimTime(), deadline),
+            SimDuration::Zero());
+}
+
+TEST_F(MigrationEngineTest, CompleteEvacuationChargesEndToEndDowntime) {
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  bool committed = false;
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, deadline,
+                          [&]() { committed = true; });
+  sim_.RunUntil(deadline);
+  ASSERT_TRUE(committed);
+  MigrationOutcome outcome;
+  engine_.CompleteEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, &bw_,
+                             1, [&](const MigrationOutcome& out) { outcome = out; });
+  sim_.Run();
+  EXPECT_TRUE(outcome.success);
+  // Downtime = ms-scale commit + 22.65 s EC2 ops + 5 MB skeleton read.
+  EXPECT_GT(outcome.downtime.seconds(), 22.0);
+  EXPECT_LT(outcome.downtime.seconds(), 25.0);
+  EXPECT_GT(outcome.degraded.seconds(), 10.0);  // lazy page-in window
+  EXPECT_EQ(vm_.migrations(), 1);
+}
+
+TEST_F(MigrationEngineTest, YankFullRestoreDowntimeIsMuchLarger) {
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kYankFullRestore, deadline,
+                          [&]() {
+                            engine_.CompleteEvacuation(
+                                vm_, MigrationMechanism::kYankFullRestore, &bw_, 1,
+                                [&](const MigrationOutcome& out) {
+                                  // 30 s commit + 22.65 s ops + ~25 s full read.
+                                  EXPECT_GT(out.downtime.seconds(), 70.0);
+                                  EXPECT_EQ(out.degraded, SimDuration::Zero());
+                                });
+                          });
+  sim_.Run();
+  EXPECT_EQ(vm_.migrations(), 1);
+}
+
+TEST_F(MigrationEngineTest, DegradedStateClearsAfterLazyWindow) {
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, deadline,
+                          [&]() {
+                            engine_.CompleteEvacuation(
+                                vm_, MigrationMechanism::kSpotCheckLazyRestore,
+                                &bw_, 1, {});
+                          });
+  sim_.RunUntil(deadline + SimDuration::Seconds(25));
+  EXPECT_EQ(vm_.state(), NestedVmState::kDegraded);
+  sim_.Run();
+  EXPECT_EQ(vm_.state(), NestedVmState::kRunning);
+}
+
+TEST_F(MigrationEngineTest, DelayedDestinationExtendsDowntime) {
+  // The destination only becomes available 200 s after the commit: the VM
+  // stays down while it waits.
+  const SimTime deadline = sim_.Now() + SimDuration::Seconds(120);
+  engine_.BeginEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, deadline,
+                          {});
+  sim_.RunUntil(deadline + SimDuration::Seconds(200));
+  MigrationOutcome outcome;
+  engine_.CompleteEvacuation(vm_, MigrationMechanism::kSpotCheckLazyRestore, &bw_,
+                             1, [&](const MigrationOutcome& out) { outcome = out; });
+  sim_.Run();
+  EXPECT_GT(outcome.downtime.seconds(), 200.0);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -1,0 +1,171 @@
+#include "src/virt/migration_models.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+// --- Pre-copy live migration ---------------------------------------------------
+
+TEST(PreCopyTest, SmallIdleVmMigratesInOnePassPlusResiduals) {
+  PreCopyParams params;
+  params.memory_mb = 1024.0;
+  params.dirty_rate_mbps = 0.0;
+  params.bandwidth_mbps = 128.0;
+  const PreCopyPlan plan = PlanPreCopy(params);
+  EXPECT_TRUE(plan.converged);
+  EXPECT_EQ(plan.rounds, 1);
+  EXPECT_NEAR(plan.total.seconds(), 8.0, 1e-9);
+  EXPECT_NEAR(plan.downtime.seconds(), 0.0, 1e-9);
+}
+
+TEST(PreCopyTest, LatencyProportionalToMemorySize) {
+  // Section 3.2: total live-migration latency is proportional to memory.
+  PreCopyParams small;
+  small.memory_mb = 2048.0;
+  PreCopyParams large = small;
+  large.memory_mb = 16384.0;
+  EXPECT_GT(PlanPreCopy(large).total.seconds(),
+            3.0 * PlanPreCopy(small).total.seconds());
+}
+
+TEST(PreCopyTest, DirtyRateInflatesRoundsAndDowntime) {
+  PreCopyParams idle;
+  idle.memory_mb = 4096.0;
+  idle.dirty_rate_mbps = 1.0;
+  PreCopyParams busy = idle;
+  busy.dirty_rate_mbps = 60.0;
+  const PreCopyPlan idle_plan = PlanPreCopy(idle);
+  const PreCopyPlan busy_plan = PlanPreCopy(busy);
+  EXPECT_GT(busy_plan.rounds, idle_plan.rounds);
+  EXPECT_GT(busy_plan.total, idle_plan.total);
+  EXPECT_GE(busy_plan.downtime, idle_plan.downtime);
+}
+
+TEST(PreCopyTest, DirtyRateAboveBandwidthNeverConverges) {
+  PreCopyParams params;
+  params.memory_mb = 4096.0;
+  params.dirty_rate_mbps = 200.0;
+  params.bandwidth_mbps = 125.0;
+  const PreCopyPlan plan = PlanPreCopy(params);
+  EXPECT_FALSE(plan.converged);
+  // The final stop-and-copy must ship the entire re-dirtied image.
+  EXPECT_NEAR(plan.downtime.seconds(), 4096.0 / 125.0, 1e-6);
+}
+
+TEST(PreCopyTest, DegenerateInputsAreSafe) {
+  PreCopyParams params;
+  params.bandwidth_mbps = 0.0;
+  const PreCopyPlan plan = PlanPreCopy(params);
+  EXPECT_FALSE(plan.converged);
+  EXPECT_EQ(plan.rounds, 0);
+}
+
+TEST(PreCopyTest, LargeVmMissesWarningSmallVmMakesIt) {
+  // Section 3.2: small nested VMs can evacuate with a plain live migration;
+  // large ones cannot.
+  const SimDuration warning = SimDuration::Seconds(120);
+  PreCopyParams small;
+  small.memory_mb = 3072.0;
+  small.dirty_rate_mbps = 10.0;
+  EXPECT_TRUE(FitsWithinWarning(PlanPreCopy(small), warning));
+  PreCopyParams large = small;
+  large.memory_mb = 24576.0;  // r3.large-class memory
+  EXPECT_FALSE(FitsWithinWarning(PlanPreCopy(large), warning));
+}
+
+// --- Bounded-time migration ------------------------------------------------------
+
+TEST(BoundedTimeTest, ThresholdMatchesBoundTimesBandwidth) {
+  BoundedTimeParams params;
+  params.backup_bandwidth_mbps = 125.0;
+  params.bound = SimDuration::Seconds(30);
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_NEAR(plan.stale_threshold_mb, 3750.0, 1e-9);
+  EXPECT_NEAR(plan.unoptimized_commit_downtime.seconds(), 30.0, 1e-9);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(BoundedTimeTest, CommitDowntimeIndependentOfMemorySize) {
+  // The defining property vs. live migration (Section 3.2): the bound holds
+  // regardless of VM memory size (memory size does not appear in the params).
+  BoundedTimeParams params;
+  params.dirty_rate_mbps = 50.0;
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_LE(plan.unoptimized_commit_downtime, params.bound);
+}
+
+TEST(BoundedTimeTest, RampShrinksCommitToMilliseconds) {
+  BoundedTimeParams params;
+  params.dirty_rate_mbps = 10.0;
+  params.backup_bandwidth_mbps = 125.0;
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  // ~1 MB residual at 125 MB/s plus the 100 ms final interval.
+  EXPECT_LT(plan.optimized_commit_downtime.seconds(), 0.5);
+  EXPECT_GT(plan.optimized_commit_downtime.seconds(), 0.05);
+  EXPECT_LT(plan.optimized_commit_downtime,
+            plan.unoptimized_commit_downtime / 10.0);
+}
+
+TEST(BoundedTimeTest, RampDegradationBoundedByWarning) {
+  BoundedTimeParams params;
+  params.dirty_rate_mbps = 124.0;  // nearly saturates the backup link
+  const BoundedTimePlan plan = PlanBoundedTime(params);
+  EXPECT_LE(plan.ramp_degraded, params.warning);
+}
+
+TEST(BoundedTimeTest, InfeasibleWhenBoundExceedsWarning) {
+  BoundedTimeParams params;
+  params.bound = SimDuration::Seconds(300);
+  params.warning = SimDuration::Seconds(120);
+  EXPECT_FALSE(PlanBoundedTime(params).feasible);
+}
+
+// --- Restoration -------------------------------------------------------------------
+
+TEST(RestoreTest, FullRestoreDowntimeIsImageOverBandwidth) {
+  RestoreParams params;
+  params.kind = RestoreKind::kFull;
+  params.memory_mb = 3072.0;
+  params.bandwidth_mbps = 125.0;
+  const RestoreOutcome outcome = ComputeRestore(params);
+  EXPECT_NEAR(outcome.downtime.seconds(), 3072.0 / 125.0, 1e-9);
+  EXPECT_EQ(outcome.degraded, SimDuration::Zero());
+}
+
+TEST(RestoreTest, LazyRestoreResumesInUnder100Ms) {
+  // Section 5: lazy on-demand fetching reduces restoration time to < 0.1 s.
+  RestoreParams params;
+  params.kind = RestoreKind::kLazy;
+  params.memory_mb = 3072.0;
+  params.skeleton_mb = 5.0;
+  params.bandwidth_mbps = 125.0;
+  const RestoreOutcome outcome = ComputeRestore(params);
+  EXPECT_LT(outcome.downtime.seconds(), 0.1);
+  EXPECT_GT(outcome.degraded.seconds(), 10.0);
+}
+
+TEST(RestoreTest, LazyTradesDowntimeForDegradation) {
+  RestoreParams params;
+  params.memory_mb = 3072.0;
+  params.bandwidth_mbps = 50.0;
+  params.kind = RestoreKind::kFull;
+  const RestoreOutcome full = ComputeRestore(params);
+  params.kind = RestoreKind::kLazy;
+  const RestoreOutcome lazy = ComputeRestore(params);
+  EXPECT_LT(lazy.downtime, full.downtime);
+  EXPECT_GT(lazy.degraded, full.degraded);
+  // Total disruption window is comparable.
+  EXPECT_NEAR((lazy.downtime + lazy.degraded).seconds(), full.downtime.seconds(),
+              1.0);
+}
+
+TEST(RestoreTest, ZeroBandwidthIsSafe) {
+  RestoreParams params;
+  params.bandwidth_mbps = 0.0;
+  const RestoreOutcome outcome = ComputeRestore(params);
+  EXPECT_EQ(outcome.downtime, SimDuration::Zero());
+}
+
+}  // namespace
+}  // namespace spotcheck

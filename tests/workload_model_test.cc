@@ -1,0 +1,100 @@
+#include "src/workload/workload_model.h"
+
+#include <gtest/gtest.h>
+
+namespace spotcheck {
+namespace {
+
+TEST(WorkloadProfileTest, SpecJbbDirtiesMemoryFaster) {
+  // Section 6: SPECjbb is the more memory-intensive benchmark.
+  EXPECT_GT(SpecJbbProfile().dirty_rate_mbps, TpcwProfile().dirty_rate_mbps);
+}
+
+TEST(WorkloadProfileTest, MakeVmSpecAppliesProfile) {
+  const NestedVmSpec spec = MakeVmSpec(InstanceType::kM3Medium, SpecJbbProfile());
+  EXPECT_EQ(spec.type, InstanceType::kM3Medium);
+  EXPECT_DOUBLE_EQ(spec.dirty_rate_mbps, SpecJbbProfile().dirty_rate_mbps);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_demand_mbps,
+                   SpecJbbProfile().checkpoint_demand_mbps);
+  EXPECT_NEAR(spec.memory_mb, 3.75 * 1024 * 0.8, 1e-9);
+}
+
+TEST(TpcwModelTest, BaselineIs29Ms) {
+  const TpcwModel model;
+  EXPECT_DOUBLE_EQ(model.ResponseTimeMs(RunConditions{}), 29.0);
+}
+
+TEST(TpcwModelTest, CheckpointingAddsFifteenPercent) {
+  // Figure 7, columns "0" vs "1".
+  const TpcwModel model;
+  RunConditions conditions;
+  conditions.checkpointing = true;
+  EXPECT_NEAR(model.ResponseTimeMs(conditions), 29.0 * 1.15, 1e-9);
+}
+
+TEST(TpcwModelTest, BackupSaturationInflatesResponseTime) {
+  const TpcwModel model;
+  RunConditions fine;
+  fine.checkpointing = true;
+  fine.backup_load_factor = 0.9;
+  RunConditions saturated = fine;
+  saturated.backup_load_factor = 1.2;  // ~50 VMs x 3 MB/s vs 125 MB/s
+  const double rt_fine = model.ResponseTimeMs(fine);
+  const double rt_saturated = model.ResponseTimeMs(saturated);
+  EXPECT_DOUBLE_EQ(rt_fine, 29.0 * 1.15);  // below saturation: no penalty
+  // Figure 7: ~30% above the checkpointing baseline at 50 VMs.
+  EXPECT_NEAR(rt_saturated / rt_fine, 1.30, 0.02);
+}
+
+TEST(TpcwModelTest, LazyRestoreDoublesResponseTime) {
+  // Figure 9: 29 ms -> ~60 ms while lazily restoring.
+  const TpcwModel model;
+  RunConditions conditions;
+  conditions.lazily_restoring = true;
+  conditions.restore_bandwidth_mbps = 125.0;
+  EXPECT_NEAR(model.ResponseTimeMs(conditions), 60.0, 1.0);
+}
+
+TEST(TpcwModelTest, RestorePenaltyNearlyFlatAcrossConcurrency) {
+  // Figure 9: additional concurrent restorations do not significantly
+  // degrade response time thanks to per-VM bandwidth partitioning.
+  const TpcwModel model;
+  RunConditions one;
+  one.lazily_restoring = true;
+  one.restore_bandwidth_mbps = 125.0;
+  RunConditions ten = one;
+  ten.restore_bandwidth_mbps = 12.5;  // a tenth of the bandwidth
+  const double rt1 = model.ResponseTimeMs(one);
+  const double rt10 = model.ResponseTimeMs(ten);
+  EXPECT_GT(rt10, rt1);
+  EXPECT_LT(rt10 / rt1, 1.25);  // far sublinear in 10x less bandwidth
+}
+
+TEST(SpecJbbModelTest, BaselineAndCheckpointInsensitivity) {
+  // Section 6.1: SPECjbb shows no noticeable degradation from checkpointing.
+  const SpecJbbModel model;
+  EXPECT_DOUBLE_EQ(model.ThroughputBops(RunConditions{}), 10000.0);
+  RunConditions checkpointing;
+  checkpointing.checkpointing = true;
+  EXPECT_DOUBLE_EQ(model.ThroughputBops(checkpointing), 10000.0);
+}
+
+TEST(SpecJbbModelTest, ThroughputCollapsesUnderBackupSaturation) {
+  const SpecJbbModel model;
+  RunConditions saturated;
+  saturated.checkpointing = true;
+  saturated.backup_load_factor = 1.2;
+  // Figure 7: ~30% throughput loss at 50 VMs per backup server.
+  EXPECT_NEAR(model.ThroughputBops(saturated), 10000.0 / 1.3, 1.0);
+}
+
+TEST(SpecJbbModelTest, LazyRestoreDipsThroughput) {
+  const SpecJbbModel model;
+  RunConditions restoring;
+  restoring.lazily_restoring = true;
+  EXPECT_LT(model.ThroughputBops(restoring), 10000.0);
+  EXPECT_GT(model.ThroughputBops(restoring), 5000.0);
+}
+
+}  // namespace
+}  // namespace spotcheck
