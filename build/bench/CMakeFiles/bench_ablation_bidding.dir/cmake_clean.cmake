@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bidding.dir/bench_ablation_bidding.cpp.o"
+  "CMakeFiles/bench_ablation_bidding.dir/bench_ablation_bidding.cpp.o.d"
+  "bench_ablation_bidding"
+  "bench_ablation_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

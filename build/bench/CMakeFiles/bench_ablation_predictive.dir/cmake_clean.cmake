@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_predictive.dir/bench_ablation_predictive.cpp.o"
+  "CMakeFiles/bench_ablation_predictive.dir/bench_ablation_predictive.cpp.o.d"
+  "bench_ablation_predictive"
+  "bench_ablation_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

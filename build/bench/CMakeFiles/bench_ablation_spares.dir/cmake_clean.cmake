@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spares.dir/bench_ablation_spares.cpp.o"
+  "CMakeFiles/bench_ablation_spares.dir/bench_ablation_spares.cpp.o.d"
+  "bench_ablation_spares"
+  "bench_ablation_spares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

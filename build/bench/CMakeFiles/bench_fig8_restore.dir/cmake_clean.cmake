@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_restore.dir/bench_fig8_restore.cpp.o"
+  "CMakeFiles/bench_fig8_restore.dir/bench_fig8_restore.cpp.o.d"
+  "bench_fig8_restore"
+  "bench_fig8_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_storms.dir/bench_table3_storms.cpp.o"
+  "CMakeFiles/bench_table3_storms.dir/bench_table3_storms.cpp.o.d"
+  "bench_table3_storms"
+  "bench_table3_storms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_storms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivative_cloud.dir/derivative_cloud.cpp.o"
+  "CMakeFiles/derivative_cloud.dir/derivative_cloud.cpp.o.d"
+  "derivative_cloud"
+  "derivative_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivative_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_portfolio.dir/policy_portfolio.cpp.o"
+  "CMakeFiles/policy_portfolio.dir/policy_portfolio.cpp.o.d"
+  "policy_portfolio"
+  "policy_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_arbitrage.dir/spot_arbitrage.cpp.o"
+  "CMakeFiles/spot_arbitrage.dir/spot_arbitrage.cpp.o.d"
+  "spot_arbitrage"
+  "spot_arbitrage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_arbitrage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

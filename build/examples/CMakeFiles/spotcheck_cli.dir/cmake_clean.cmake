@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_cli.dir/spotcheck_cli.cpp.o"
+  "CMakeFiles/spotcheck_cli.dir/spotcheck_cli.cpp.o.d"
+  "spotcheck_cli"
+  "spotcheck_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

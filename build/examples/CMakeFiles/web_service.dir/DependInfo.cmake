@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/web_service.cpp" "examples/CMakeFiles/web_service.dir/web_service.cpp.o" "gcc" "examples/CMakeFiles/web_service.dir/web_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spotcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/spotcheck_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcheck_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spotcheck_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spotcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/spotcheck_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/spotcheck_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/backup_pool.cc" "src/backup/CMakeFiles/spotcheck_backup.dir/backup_pool.cc.o" "gcc" "src/backup/CMakeFiles/spotcheck_backup.dir/backup_pool.cc.o.d"
+  "/root/repo/src/backup/backup_server.cc" "src/backup/CMakeFiles/spotcheck_backup.dir/backup_server.cc.o" "gcc" "src/backup/CMakeFiles/spotcheck_backup.dir/backup_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/spotcheck_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/spotcheck_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

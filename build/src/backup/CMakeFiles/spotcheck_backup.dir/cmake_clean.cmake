@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_backup.dir/backup_pool.cc.o"
+  "CMakeFiles/spotcheck_backup.dir/backup_pool.cc.o.d"
+  "CMakeFiles/spotcheck_backup.dir/backup_server.cc.o"
+  "CMakeFiles/spotcheck_backup.dir/backup_server.cc.o.d"
+  "libspotcheck_backup.a"
+  "libspotcheck_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/billing.cc.o" "gcc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/billing.cc.o.d"
+  "/root/repo/src/cloud/latency_model.cc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/latency_model.cc.o" "gcc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/latency_model.cc.o.d"
+  "/root/repo/src/cloud/native_cloud.cc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/native_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/spotcheck_cloud.dir/native_cloud.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/spotcheck_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_cloud.dir/billing.cc.o"
+  "CMakeFiles/spotcheck_cloud.dir/billing.cc.o.d"
+  "CMakeFiles/spotcheck_cloud.dir/latency_model.cc.o"
+  "CMakeFiles/spotcheck_cloud.dir/latency_model.cc.o.d"
+  "CMakeFiles/spotcheck_cloud.dir/native_cloud.cc.o"
+  "CMakeFiles/spotcheck_cloud.dir/native_cloud.cc.o.d"
+  "libspotcheck_cloud.a"
+  "libspotcheck_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

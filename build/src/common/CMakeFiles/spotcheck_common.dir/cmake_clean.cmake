@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_common.dir/csv.cc.o"
+  "CMakeFiles/spotcheck_common.dir/csv.cc.o.d"
+  "CMakeFiles/spotcheck_common.dir/flags.cc.o"
+  "CMakeFiles/spotcheck_common.dir/flags.cc.o.d"
+  "CMakeFiles/spotcheck_common.dir/log.cc.o"
+  "CMakeFiles/spotcheck_common.dir/log.cc.o.d"
+  "CMakeFiles/spotcheck_common.dir/rng.cc.o"
+  "CMakeFiles/spotcheck_common.dir/rng.cc.o.d"
+  "CMakeFiles/spotcheck_common.dir/stats.cc.o"
+  "CMakeFiles/spotcheck_common.dir/stats.cc.o.d"
+  "libspotcheck_common.a"
+  "libspotcheck_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

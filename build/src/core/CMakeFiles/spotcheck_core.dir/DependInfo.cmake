@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bidding_policy.cc" "src/core/CMakeFiles/spotcheck_core.dir/bidding_policy.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/bidding_policy.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/spotcheck_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/spotcheck_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/spotcheck_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/event_log.cc" "src/core/CMakeFiles/spotcheck_core.dir/event_log.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/event_log.cc.o.d"
+  "/root/repo/src/core/mapping_policy.cc" "src/core/CMakeFiles/spotcheck_core.dir/mapping_policy.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/mapping_policy.cc.o.d"
+  "/root/repo/src/core/storm_tracker.cc" "src/core/CMakeFiles/spotcheck_core.dir/storm_tracker.cc.o" "gcc" "src/core/CMakeFiles/spotcheck_core.dir/storm_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backup/CMakeFiles/spotcheck_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/spotcheck_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spotcheck_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/spotcheck_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spotcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/spotcheck_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_core.dir/bidding_policy.cc.o"
+  "CMakeFiles/spotcheck_core.dir/bidding_policy.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/controller.cc.o"
+  "CMakeFiles/spotcheck_core.dir/controller.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/cost_model.cc.o"
+  "CMakeFiles/spotcheck_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/evaluation.cc.o"
+  "CMakeFiles/spotcheck_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/event_log.cc.o"
+  "CMakeFiles/spotcheck_core.dir/event_log.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/mapping_policy.cc.o"
+  "CMakeFiles/spotcheck_core.dir/mapping_policy.cc.o.d"
+  "CMakeFiles/spotcheck_core.dir/storm_tracker.cc.o"
+  "CMakeFiles/spotcheck_core.dir/storm_tracker.cc.o.d"
+  "libspotcheck_core.a"
+  "libspotcheck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

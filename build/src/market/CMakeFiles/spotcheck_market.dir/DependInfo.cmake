@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/instance_types.cc" "src/market/CMakeFiles/spotcheck_market.dir/instance_types.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/instance_types.cc.o.d"
+  "/root/repo/src/market/market_analytics.cc" "src/market/CMakeFiles/spotcheck_market.dir/market_analytics.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/market_analytics.cc.o.d"
+  "/root/repo/src/market/price_trace.cc" "src/market/CMakeFiles/spotcheck_market.dir/price_trace.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/price_trace.cc.o.d"
+  "/root/repo/src/market/revocation_predictor.cc" "src/market/CMakeFiles/spotcheck_market.dir/revocation_predictor.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/revocation_predictor.cc.o.d"
+  "/root/repo/src/market/spot_market.cc" "src/market/CMakeFiles/spotcheck_market.dir/spot_market.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/spot_market.cc.o.d"
+  "/root/repo/src/market/spot_price_process.cc" "src/market/CMakeFiles/spotcheck_market.dir/spot_price_process.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/spot_price_process.cc.o.d"
+  "/root/repo/src/market/trace_catalog.cc" "src/market/CMakeFiles/spotcheck_market.dir/trace_catalog.cc.o" "gcc" "src/market/CMakeFiles/spotcheck_market.dir/trace_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

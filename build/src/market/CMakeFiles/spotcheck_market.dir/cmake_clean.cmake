@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_market.dir/instance_types.cc.o"
+  "CMakeFiles/spotcheck_market.dir/instance_types.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/market_analytics.cc.o"
+  "CMakeFiles/spotcheck_market.dir/market_analytics.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/price_trace.cc.o"
+  "CMakeFiles/spotcheck_market.dir/price_trace.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/revocation_predictor.cc.o"
+  "CMakeFiles/spotcheck_market.dir/revocation_predictor.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/spot_market.cc.o"
+  "CMakeFiles/spotcheck_market.dir/spot_market.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/spot_price_process.cc.o"
+  "CMakeFiles/spotcheck_market.dir/spot_price_process.cc.o.d"
+  "CMakeFiles/spotcheck_market.dir/trace_catalog.cc.o"
+  "CMakeFiles/spotcheck_market.dir/trace_catalog.cc.o.d"
+  "libspotcheck_market.a"
+  "libspotcheck_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

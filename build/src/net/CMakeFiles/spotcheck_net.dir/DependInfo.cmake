@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/connection_tracker.cc" "src/net/CMakeFiles/spotcheck_net.dir/connection_tracker.cc.o" "gcc" "src/net/CMakeFiles/spotcheck_net.dir/connection_tracker.cc.o.d"
+  "/root/repo/src/net/nat_table.cc" "src/net/CMakeFiles/spotcheck_net.dir/nat_table.cc.o" "gcc" "src/net/CMakeFiles/spotcheck_net.dir/nat_table.cc.o.d"
+  "/root/repo/src/net/vpc.cc" "src/net/CMakeFiles/spotcheck_net.dir/vpc.cc.o" "gcc" "src/net/CMakeFiles/spotcheck_net.dir/vpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_net.dir/connection_tracker.cc.o"
+  "CMakeFiles/spotcheck_net.dir/connection_tracker.cc.o.d"
+  "CMakeFiles/spotcheck_net.dir/nat_table.cc.o"
+  "CMakeFiles/spotcheck_net.dir/nat_table.cc.o.d"
+  "CMakeFiles/spotcheck_net.dir/vpc.cc.o"
+  "CMakeFiles/spotcheck_net.dir/vpc.cc.o.d"
+  "libspotcheck_net.a"
+  "libspotcheck_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_sim.dir/simulator.cc.o"
+  "CMakeFiles/spotcheck_sim.dir/simulator.cc.o.d"
+  "libspotcheck_sim.a"
+  "libspotcheck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_storage.dir/disk_mirror.cc.o"
+  "CMakeFiles/spotcheck_storage.dir/disk_mirror.cc.o.d"
+  "CMakeFiles/spotcheck_storage.dir/volume_image.cc.o"
+  "CMakeFiles/spotcheck_storage.dir/volume_image.cc.o.d"
+  "libspotcheck_storage.a"
+  "libspotcheck_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/activity_log.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/activity_log.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/activity_log.cc.o.d"
+  "/root/repo/src/virt/checkpoint_stream.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/checkpoint_stream.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/checkpoint_stream.cc.o.d"
+  "/root/repo/src/virt/memory_image.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/memory_image.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/memory_image.cc.o.d"
+  "/root/repo/src/virt/migration_engine.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/migration_engine.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/migration_engine.cc.o.d"
+  "/root/repo/src/virt/migration_models.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/migration_models.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/migration_models.cc.o.d"
+  "/root/repo/src/virt/nested_vm.cc" "src/virt/CMakeFiles/spotcheck_virt.dir/nested_vm.cc.o" "gcc" "src/virt/CMakeFiles/spotcheck_virt.dir/nested_vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spotcheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/spotcheck_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spotcheck_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

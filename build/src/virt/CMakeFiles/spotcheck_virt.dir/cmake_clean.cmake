@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_virt.dir/activity_log.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/activity_log.cc.o.d"
+  "CMakeFiles/spotcheck_virt.dir/checkpoint_stream.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/checkpoint_stream.cc.o.d"
+  "CMakeFiles/spotcheck_virt.dir/memory_image.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/memory_image.cc.o.d"
+  "CMakeFiles/spotcheck_virt.dir/migration_engine.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/migration_engine.cc.o.d"
+  "CMakeFiles/spotcheck_virt.dir/migration_models.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/migration_models.cc.o.d"
+  "CMakeFiles/spotcheck_virt.dir/nested_vm.cc.o"
+  "CMakeFiles/spotcheck_virt.dir/nested_vm.cc.o.d"
+  "libspotcheck_virt.a"
+  "libspotcheck_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotcheck_workload.dir/workload_model.cc.o"
+  "CMakeFiles/spotcheck_workload.dir/workload_model.cc.o.d"
+  "libspotcheck_workload.a"
+  "libspotcheck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotcheck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_server_test.dir/backup_server_test.cc.o"
+  "CMakeFiles/backup_server_test.dir/backup_server_test.cc.o.d"
+  "backup_server_test"
+  "backup_server_test.pdb"
+  "backup_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

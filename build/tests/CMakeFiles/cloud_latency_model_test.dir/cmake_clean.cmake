@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_latency_model_test.dir/cloud_latency_model_test.cc.o"
+  "CMakeFiles/cloud_latency_model_test.dir/cloud_latency_model_test.cc.o.d"
+  "cloud_latency_model_test"
+  "cloud_latency_model_test.pdb"
+  "cloud_latency_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_latency_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

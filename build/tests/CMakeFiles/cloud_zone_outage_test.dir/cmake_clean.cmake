@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_zone_outage_test.dir/cloud_zone_outage_test.cc.o"
+  "CMakeFiles/cloud_zone_outage_test.dir/cloud_zone_outage_test.cc.o.d"
+  "cloud_zone_outage_test"
+  "cloud_zone_outage_test.pdb"
+  "cloud_zone_outage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_zone_outage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

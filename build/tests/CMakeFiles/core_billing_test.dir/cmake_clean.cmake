@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_billing_test.dir/core_billing_test.cc.o"
+  "CMakeFiles/core_billing_test.dir/core_billing_test.cc.o.d"
+  "core_billing_test"
+  "core_billing_test.pdb"
+  "core_billing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_billing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

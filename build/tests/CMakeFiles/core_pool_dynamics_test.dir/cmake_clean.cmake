@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pool_dynamics_test.dir/core_pool_dynamics_test.cc.o"
+  "CMakeFiles/core_pool_dynamics_test.dir/core_pool_dynamics_test.cc.o.d"
+  "core_pool_dynamics_test"
+  "core_pool_dynamics_test.pdb"
+  "core_pool_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pool_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

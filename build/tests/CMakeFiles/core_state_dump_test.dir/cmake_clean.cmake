@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_state_dump_test.dir/core_state_dump_test.cc.o"
+  "CMakeFiles/core_state_dump_test.dir/core_state_dump_test.cc.o.d"
+  "core_state_dump_test"
+  "core_state_dump_test.pdb"
+  "core_state_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_state_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_analytics_test.dir/market_analytics_test.cc.o"
+  "CMakeFiles/market_analytics_test.dir/market_analytics_test.cc.o.d"
+  "market_analytics_test"
+  "market_analytics_test.pdb"
+  "market_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

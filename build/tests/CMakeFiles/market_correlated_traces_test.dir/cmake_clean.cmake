@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_correlated_traces_test.dir/market_correlated_traces_test.cc.o"
+  "CMakeFiles/market_correlated_traces_test.dir/market_correlated_traces_test.cc.o.d"
+  "market_correlated_traces_test"
+  "market_correlated_traces_test.pdb"
+  "market_correlated_traces_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_correlated_traces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_instance_types_test.dir/market_instance_types_test.cc.o"
+  "CMakeFiles/market_instance_types_test.dir/market_instance_types_test.cc.o.d"
+  "market_instance_types_test"
+  "market_instance_types_test.pdb"
+  "market_instance_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_instance_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_predictor_test.dir/market_predictor_test.cc.o"
+  "CMakeFiles/market_predictor_test.dir/market_predictor_test.cc.o.d"
+  "market_predictor_test"
+  "market_predictor_test.pdb"
+  "market_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_price_trace_test.dir/market_price_trace_test.cc.o"
+  "CMakeFiles/market_price_trace_test.dir/market_price_trace_test.cc.o.d"
+  "market_price_trace_test"
+  "market_price_trace_test.pdb"
+  "market_price_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_price_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

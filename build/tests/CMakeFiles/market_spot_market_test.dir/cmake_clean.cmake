@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_spot_market_test.dir/market_spot_market_test.cc.o"
+  "CMakeFiles/market_spot_market_test.dir/market_spot_market_test.cc.o.d"
+  "market_spot_market_test"
+  "market_spot_market_test.pdb"
+  "market_spot_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_spot_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_trace_catalog_test.dir/market_trace_catalog_test.cc.o"
+  "CMakeFiles/market_trace_catalog_test.dir/market_trace_catalog_test.cc.o.d"
+  "market_trace_catalog_test"
+  "market_trace_catalog_test.pdb"
+  "market_trace_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_trace_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

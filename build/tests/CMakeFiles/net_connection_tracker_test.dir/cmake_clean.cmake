@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_connection_tracker_test.dir/net_connection_tracker_test.cc.o"
+  "CMakeFiles/net_connection_tracker_test.dir/net_connection_tracker_test.cc.o.d"
+  "net_connection_tracker_test"
+  "net_connection_tracker_test.pdb"
+  "net_connection_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_connection_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_nat_table_test.dir/net_nat_table_test.cc.o"
+  "CMakeFiles/net_nat_table_test.dir/net_nat_table_test.cc.o.d"
+  "net_nat_table_test"
+  "net_nat_table_test.pdb"
+  "net_nat_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_nat_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

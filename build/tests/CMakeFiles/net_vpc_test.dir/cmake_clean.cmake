@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_vpc_test.dir/net_vpc_test.cc.o"
+  "CMakeFiles/net_vpc_test.dir/net_vpc_test.cc.o.d"
+  "net_vpc_test"
+  "net_vpc_test.pdb"
+  "net_vpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_vpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

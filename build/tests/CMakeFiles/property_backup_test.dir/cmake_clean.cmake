@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_backup_test.dir/property_backup_test.cc.o"
+  "CMakeFiles/property_backup_test.dir/property_backup_test.cc.o.d"
+  "property_backup_test"
+  "property_backup_test.pdb"
+  "property_backup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_backup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

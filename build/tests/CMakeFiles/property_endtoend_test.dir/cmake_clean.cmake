@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_endtoend_test.dir/property_endtoend_test.cc.o"
+  "CMakeFiles/property_endtoend_test.dir/property_endtoend_test.cc.o.d"
+  "property_endtoend_test"
+  "property_endtoend_test.pdb"
+  "property_endtoend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_endtoend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

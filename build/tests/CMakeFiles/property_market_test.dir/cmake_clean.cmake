@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_market_test.dir/property_market_test.cc.o"
+  "CMakeFiles/property_market_test.dir/property_market_test.cc.o.d"
+  "property_market_test"
+  "property_market_test.pdb"
+  "property_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_migration_test.dir/property_migration_test.cc.o"
+  "CMakeFiles/property_migration_test.dir/property_migration_test.cc.o.d"
+  "property_migration_test"
+  "property_migration_test.pdb"
+  "property_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

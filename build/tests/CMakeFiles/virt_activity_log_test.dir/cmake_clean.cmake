@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_activity_log_test.dir/virt_activity_log_test.cc.o"
+  "CMakeFiles/virt_activity_log_test.dir/virt_activity_log_test.cc.o.d"
+  "virt_activity_log_test"
+  "virt_activity_log_test.pdb"
+  "virt_activity_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_activity_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

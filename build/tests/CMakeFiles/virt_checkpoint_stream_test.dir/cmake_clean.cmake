@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_checkpoint_stream_test.dir/virt_checkpoint_stream_test.cc.o"
+  "CMakeFiles/virt_checkpoint_stream_test.dir/virt_checkpoint_stream_test.cc.o.d"
+  "virt_checkpoint_stream_test"
+  "virt_checkpoint_stream_test.pdb"
+  "virt_checkpoint_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_checkpoint_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

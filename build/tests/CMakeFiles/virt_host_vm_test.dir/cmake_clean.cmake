@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_host_vm_test.dir/virt_host_vm_test.cc.o"
+  "CMakeFiles/virt_host_vm_test.dir/virt_host_vm_test.cc.o.d"
+  "virt_host_vm_test"
+  "virt_host_vm_test.pdb"
+  "virt_host_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_host_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

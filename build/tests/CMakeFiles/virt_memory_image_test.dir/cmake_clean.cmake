@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_memory_image_test.dir/virt_memory_image_test.cc.o"
+  "CMakeFiles/virt_memory_image_test.dir/virt_memory_image_test.cc.o.d"
+  "virt_memory_image_test"
+  "virt_memory_image_test.pdb"
+  "virt_memory_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_memory_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

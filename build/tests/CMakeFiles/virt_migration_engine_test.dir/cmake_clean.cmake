@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virt_migration_engine_test.dir/virt_migration_engine_test.cc.o"
+  "CMakeFiles/virt_migration_engine_test.dir/virt_migration_engine_test.cc.o.d"
+  "virt_migration_engine_test"
+  "virt_migration_engine_test.pdb"
+  "virt_migration_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virt_migration_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
