@@ -8,10 +8,11 @@
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseGridBenchArgs(argc, argv);
   std::printf("=== Figure 11: unavailability under various policies ===\n");
   PrintGrid("unavailability", "percent of VM lifetime", "fig11_unavailability",
-            [](const EvaluationResult& r) { return r.unavailability_pct; });
+            [](const EvaluationResult& r) { return r.unavailability_pct; }, jobs);
   std::printf("\npaper: 1P-M with lazy restore reaches 99.9989%% availability"
               " (~10x better than native spot's 90-99%%); unoptimized full\n"
               "restore stays below 0.25%% unavailability; live migration is"

@@ -8,10 +8,11 @@
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseGridBenchArgs(argc, argv);
   std::printf("=== Figure 12: performance degradation during migration ===\n");
   PrintGrid("degraded time", "percent of VM lifetime", "fig12_degradation",
-            [](const EvaluationResult& r) { return r.degradation_pct; });
+            [](const EvaluationResult& r) { return r.degradation_pct; }, jobs);
   std::printf("\npaper: lazy restore is the most available but most degraded"
               " variant; 1P-M degrades only ~0.02%% of the time (2.85 min\n"
               "over six months) and the worst policy (4P-ED) stays near"

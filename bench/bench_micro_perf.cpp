@@ -1,11 +1,16 @@
 // Microbenchmarks (google-benchmark) for the building blocks: event-queue
-// throughput, price-trace generation, migration planning, and a full
-// six-month end-to-end policy evaluation.
+// throughput, price-trace generation and lookup, trace-catalog caching,
+// migration planning, and end-to-end policy evaluations (single-cell and
+// parallel grid). Results are also emitted as BENCH_micro.json (see
+// emit_bench_json.h) so the perf trajectory is machine-diffable across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/emit_bench_json.h"
 #include "src/core/evaluation.h"
+#include "src/core/parallel_evaluation.h"
 #include "src/market/spot_price_process.h"
+#include "src/market/trace_catalog.h"
 #include "src/sim/simulator.h"
 #include "src/virt/migration_models.h"
 
@@ -49,6 +54,42 @@ void BM_PriceLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PriceLookup);
 
+// The simulator's access pattern: prices queried at (mostly) non-decreasing
+// times through a PriceTrace::Cursor instead of per-call binary search.
+void BM_PriceLookupMonotone(benchmark::State& state) {
+  const PriceTrace trace = GenerateMarketTrace(
+      MarketKey{InstanceType::kM3Large, AvailabilityZone{0}}, SimDuration::Days(180),
+      42);
+  const int64_t end_seconds = 15'000'000;
+  PriceTrace::Cursor cursor(&trace);
+  int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cursor.PriceAt(SimTime::FromSeconds(static_cast<double>(t))));
+    t += 37;  // ~1000 queries per change point: the simulator's regime
+    if (t >= end_seconds) {
+      t = 0;  // wraps: one amortized re-seek per sweep
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PriceLookupMonotone);
+
+void BM_CachedTraceLookup(benchmark::State& state) {
+  TraceCatalog& catalog = TraceCatalog::Global();
+  catalog.Clear();
+  const MarketKey key{InstanceType::kM3Large, AvailabilityZone{7}};
+  // Prime the entry; the loop then measures the steady-state hit path the
+  // 20 grid cells (and repeated figure benches) ride on.
+  catalog.GetOrGenerate(key, SimDuration::Days(180), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        catalog.GetOrGenerate(key, SimDuration::Days(180), 42));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedTraceLookup);
+
 void BM_PreCopyPlanning(benchmark::State& state) {
   PreCopyParams params;
   params.memory_mb = static_cast<double>(state.range(0));
@@ -72,7 +113,48 @@ void BM_SixMonthPolicyEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_SixMonthPolicyEvaluation)->Unit(benchmark::kMillisecond);
 
+// A small policy x mechanism grid (4 cells, one simulated month each) on the
+// parallel runner. Arg = worker count; compare Arg(1) vs Arg(4) to see the
+// parallel scaling on this machine (cells share cached traces either way).
+void BM_ParallelEvaluationGrid(benchmark::State& state) {
+  std::vector<EvaluationConfig> configs;
+  for (MappingPolicyKind policy :
+       {MappingPolicyKind::k1PM, MappingPolicyKind::k4PED}) {
+    for (MigrationMechanism mechanism :
+         {MigrationMechanism::kSpotCheckFullRestore,
+          MigrationMechanism::kSpotCheckLazyRestore}) {
+      EvaluationConfig config;
+      config.policy = policy;
+      config.mechanism = mechanism;
+      config.num_vms = 16;
+      config.horizon = SimDuration::Days(30);
+      config.seed = 2;
+      configs.push_back(config);
+    }
+  }
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPolicyEvaluationGrid(configs, jobs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(configs.size()));
+}
+BENCHMARK(BM_ParallelEvaluationGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();  // workers burn CPU off the main thread; report wall clock
+
 }  // namespace
 }  // namespace spotcheck
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  spotcheck::JsonEmitReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,24 +4,43 @@
 // price of more frequent, smaller migrations.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench/grid_util.h"
 
 using namespace spotcheck;
 
-int main() {
-  std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
-  std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");
+int main(int argc, char** argv) {
+  const int jobs = ParseGridBenchArgs(argc, argv);
   const struct {
     const char* label;
     MappingPolicyKind policy;
   } kRows[] = {{"1-Pool", MappingPolicyKind::k1PM},
                {"2-Pool", MappingPolicyKind::k2PML},
                {"4-Pool", MappingPolicyKind::k4PED}};
+
+  // Both table variants (independent and regionally-coupled markets) are one
+  // batch for the parallel grid runner: six independent six-month cells.
+  std::vector<EvaluationConfig> configs;
   for (const auto& row : kRows) {
-    const EvaluationResult result = RunPolicyEvaluation(
+    configs.push_back(
         GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore));
-    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", row.label,
+  }
+  for (const auto& row : kRows) {
+    EvaluationConfig config =
+        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore);
+    config.market_coupling = 0.5;
+    config.shared_events_per_day = 0.1;
+    configs.push_back(config);
+  }
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, jobs);
+
+  std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
+  std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    const EvaluationResult& result = results[i];
+    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", kRows[i].label,
                 result.storms.quarter, result.storms.half,
                 result.storms.three_quarters, result.storms.all);
   }
@@ -36,13 +55,9 @@ int main() {
   std::printf("\n=== variant: regionally-coupled markets (coupling 0.5,"
               " 0.1 shared events/day) ===\n");
   std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");
-  for (const auto& row : kRows) {
-    EvaluationConfig config =
-        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore);
-    config.market_coupling = 0.5;
-    config.shared_events_per_day = 0.1;
-    const EvaluationResult result = RunPolicyEvaluation(config);
-    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", row.label,
+  for (size_t i = 0; i < std::size(kRows); ++i) {
+    const EvaluationResult& result = results[std::size(kRows) + i];
+    std::printf("%-8s  %12.2e  %12.2e  %12.2e  %12.2e\n", kRows[i].label,
                 result.storms.quarter, result.storms.half,
                 result.storms.three_quarters, result.storms.all);
   }

@@ -1,0 +1,85 @@
+// Machine-readable microbenchmark output.
+//
+// JsonEmitReporter wraps the normal console reporter and additionally
+// records every benchmark run as {name -> {ns_per_op, items_per_second,
+// iterations}} in a JSON file (default BENCH_micro.json in the working
+// directory, overridable via the SPOTCHECK_BENCH_JSON environment
+// variable). Future PRs diff this file to track the perf trajectory.
+
+#ifndef BENCH_EMIT_BENCH_JSON_H_
+#define BENCH_EMIT_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spotcheck {
+
+class JsonEmitReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonEmitReporter() {
+    const char* env = std::getenv("SPOTCHECK_BENCH_JSON");
+    path_ = (env != nullptr && env[0] != '\0') ? env : "BENCH_micro.json";
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.ns_per_op = run.iterations > 0
+                            ? run.real_accumulated_time /
+                                  static_cast<double>(run.iterations) * 1e9
+                            : 0.0;
+      const auto items = run.counters.find("items_per_second");
+      entry.items_per_second =
+          items != run.counters.end() ? static_cast<double>(items->second.value)
+                                      : 0.0;
+      entry.iterations = static_cast<int64_t>(run.iterations);
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "[could not write %s]\n", path_.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(out,
+                   "  \"%s\": {\"ns_per_op\": %.3f, \"items_per_second\": "
+                   "%.3f, \"iterations\": %lld}%s\n",
+                   e.name.c_str(), e.ns_per_op, e.items_per_second,
+                   static_cast<long long>(e.iterations),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::fprintf(stderr, "[benchmark json written to %s]\n", path_.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+    int64_t iterations = 0;
+  };
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spotcheck
+
+#endif  // BENCH_EMIT_BENCH_JSON_H_

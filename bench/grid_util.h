@@ -10,7 +10,8 @@
 #include <vector>
 
 #include "bench/csv_out.h"
-#include "src/core/evaluation.h"
+#include "src/common/flags.h"
+#include "src/core/parallel_evaluation.h"
 
 namespace spotcheck {
 
@@ -36,11 +37,35 @@ inline EvaluationConfig GridConfig(MappingPolicyKind policy,
   return config;
 }
 
+// Parses the shared grid-bench flags: --jobs=N (0 = SPOTCHECK_JOBS env, then
+// hardware concurrency) and rejects unknown flags with a usage message.
+// Returns the jobs value to pass to RunPolicyEvaluationGrid.
+inline int ParseGridBenchArgs(int argc, const char* const* argv) {
+  const FlagParser flags(argc, argv);
+  const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  for (const std::string& flag : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s (supported: --jobs=N)\n",
+                 flag.c_str());
+  }
+  return jobs;
+}
+
 // Prints one figure's grid and exports it to bench_out/<csv_name>.csv;
-// `metric` extracts the plotted value.
+// `metric` extracts the plotted value. All 20 cells run up front on the
+// parallel grid runner (`jobs` workers; 0 = auto), then print in plot order.
 template <typename MetricFn>
 void PrintGrid(const char* header, const char* unit, const char* csv_name,
-               MetricFn metric) {
+               MetricFn metric, int jobs = 0) {
+  std::vector<EvaluationConfig> configs;
+  configs.reserve(kGridPolicies.size() * kGridMechanisms.size());
+  for (MappingPolicyKind policy : kGridPolicies) {
+    for (MigrationMechanism mechanism : kGridMechanisms) {
+      configs.push_back(GridConfig(policy, mechanism));
+    }
+  }
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, jobs);
+
   std::vector<std::string> csv_header = {"policy"};
   std::printf("%-10s", "policy");
   for (MigrationMechanism mechanism : kGridMechanisms) {
@@ -49,12 +74,12 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
   }
   std::printf("\n");
   std::vector<std::vector<std::string>> csv_rows;
+  size_t cell = 0;
   for (MappingPolicyKind policy : kGridPolicies) {
     std::printf("%-10s", std::string(MappingPolicyName(policy)).c_str());
     std::vector<std::string> csv_row = {std::string(MappingPolicyName(policy))};
-    for (MigrationMechanism mechanism : kGridMechanisms) {
-      const EvaluationResult result =
-          RunPolicyEvaluation(GridConfig(policy, mechanism));
+    for (size_t m = 0; m < kGridMechanisms.size(); ++m) {
+      const EvaluationResult& result = results[cell++];
       std::printf("  %24.6f", metric(result));
       csv_row.push_back(FormatCell(metric(result)));
     }

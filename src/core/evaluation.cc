@@ -86,6 +86,8 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   result.stagings = controller.stagings();
   result.stateless_respawns = controller.stateless_respawns();
   result.num_backup_servers = controller.backup_pool().num_servers();
+  result.trace_cache_hits = markets.trace_cache_hits();
+  result.trace_cache_misses = markets.trace_cache_misses();
   return result;
 }
 

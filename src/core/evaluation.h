@@ -56,6 +56,12 @@ struct EvaluationResult {
   double native_cost = 0.0;
   double backup_cost = 0.0;
   double vm_hours = 0.0;
+  // Diagnostics: how many of this run's synthetic-trace fetches were served
+  // from the process-wide TraceCatalog vs freshly generated. Scheduling-order
+  // dependent when cells run concurrently (whoever asks first generates), so
+  // excluded from determinism comparisons.
+  int64_t trace_cache_hits = 0;
+  int64_t trace_cache_misses = 0;
 };
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);

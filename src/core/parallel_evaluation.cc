@@ -1,0 +1,80 @@
+#include "src/core/parallel_evaluation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace spotcheck {
+
+int ResolveEvaluationJobs(int jobs) {
+  if (jobs > 0) {
+    return jobs;
+  }
+  if (const char* env = std::getenv("SPOTCHECK_JOBS")) {
+    try {
+      const int parsed = std::stoi(env);
+      if (parsed > 0) {
+        return parsed;
+      }
+    } catch (...) {
+      // Unparsable value: fall through to hardware concurrency.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<EvaluationResult> RunPolicyEvaluationGrid(
+    const std::vector<EvaluationConfig>& configs, int jobs) {
+  std::vector<EvaluationResult> results(configs.size());
+  const int workers = std::min(ResolveEvaluationJobs(jobs),
+                               static_cast<int>(configs.size()));
+  if (workers <= 1) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      results[i] = RunPolicyEvaluation(configs[i]);
+    }
+    return results;
+  }
+
+  // Work queue: an atomic cursor over the config list. Each worker claims
+  // the next unstarted cell, so long cells (multi-pool policies simulate
+  // more markets) don't leave a statically-partitioned thread idle.
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) {
+        return;
+      }
+      try {
+        results[i] = RunPolicyEvaluation(configs[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  return results;
+}
+
+}  // namespace spotcheck

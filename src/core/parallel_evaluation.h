@@ -1,0 +1,34 @@
+// Parallel policy-evaluation grid runner.
+//
+// The paper's headline figures (10-12, Table 3) are grids of independent
+// six-month simulations: one cell per (mapping policy, migration mechanism)
+// pair. Cells share no mutable state -- each owns its Simulator, MarketPlace,
+// controller, and RNG streams; the only cross-cell structure is the
+// process-wide TraceCatalog, which memoizes immutable price traces -- so the
+// grid is embarrassingly parallel and results are bit-identical to a serial
+// run regardless of worker count or scheduling order.
+
+#ifndef SRC_CORE_PARALLEL_EVALUATION_H_
+#define SRC_CORE_PARALLEL_EVALUATION_H_
+
+#include <vector>
+
+#include "src/core/evaluation.h"
+
+namespace spotcheck {
+
+// Resolves a worker count: `jobs` if positive, else the SPOTCHECK_JOBS
+// environment variable if set to a positive integer, else
+// std::thread::hardware_concurrency() (at least 1).
+int ResolveEvaluationJobs(int jobs = 0);
+
+// Runs one evaluation per config on a pool of ResolveEvaluationJobs(jobs)
+// worker threads and returns the results in config order. With one worker
+// (or one config) it runs inline on the calling thread. If a cell throws,
+// the remaining cells still complete and the first exception is rethrown.
+std::vector<EvaluationResult> RunPolicyEvaluationGrid(
+    const std::vector<EvaluationConfig>& configs, int jobs = 0);
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_PARALLEL_EVALUATION_H_

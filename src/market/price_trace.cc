@@ -31,6 +31,29 @@ double PriceTrace::PriceAt(SimTime t) const {
   return std::prev(it)->price;
 }
 
+double PriceTrace::Cursor::PriceAt(SimTime t) {
+  const std::vector<PricePoint>& pts = trace_->points_;
+  if (pts.empty()) {
+    return 0.0;
+  }
+  if (index_ >= pts.size() || t < pts[index_].time) {
+    // Backwards jump (or trace replaced under us): re-locate by binary
+    // search, keeping the invariant that pts[index_] is the last change
+    // point at or before t (index 0 also covers "before the first point").
+    const auto it = std::upper_bound(
+        pts.begin(), pts.end(), t,
+        [](SimTime value, const PricePoint& p) { return value < p.time; });
+    index_ = it == pts.begin() ? 0 : static_cast<size_t>(it - pts.begin()) - 1;
+    return pts[index_].price;
+  }
+  // Forward: advance change point by change point. Under the monotone sweep
+  // pattern every point is visited once, so the walk is amortized O(1).
+  while (index_ + 1 < pts.size() && pts[index_ + 1].time <= t) {
+    ++index_;
+  }
+  return pts[index_].price;
+}
+
 void PriceTrace::Append(SimTime t, double price) {
   if (!points_.empty() && t < points_.back().time) {
     return;  // Ignore out-of-order appends.
@@ -44,13 +67,14 @@ double PriceTrace::MeanPrice(SimTime from, SimTime to) const {
   }
   double weighted = 0.0;
   SimTime cursor = from;
+  Cursor price_cursor(this);
   // Walk change points inside (from, to).
   auto it = std::upper_bound(
       points_.begin(), points_.end(), from,
       [](SimTime value, const PricePoint& p) { return value < p.time; });
   while (cursor < to) {
     const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
-    weighted += PriceAt(cursor) * (next - cursor).seconds();
+    weighted += price_cursor.PriceAt(cursor) * (next - cursor).seconds();
     cursor = next;
     if (it != points_.end() && it->time <= cursor) {
       ++it;
@@ -65,12 +89,13 @@ double PriceTrace::FractionAtOrBelow(double bid, SimTime from, SimTime to) const
   }
   double covered = 0.0;
   SimTime cursor = from;
+  Cursor price_cursor(this);
   auto it = std::upper_bound(
       points_.begin(), points_.end(), from,
       [](SimTime value, const PricePoint& p) { return value < p.time; });
   while (cursor < to) {
     const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
-    if (PriceAt(cursor) <= bid) {
+    if (price_cursor.PriceAt(cursor) <= bid) {
       covered += (next - cursor).seconds();
     }
     cursor = next;
@@ -84,17 +109,19 @@ double PriceTrace::FractionAtOrBelow(double bid, SimTime from, SimTime to) const
 std::vector<double> PriceTrace::SampleGrid(SimTime from, SimTime to,
                                            SimDuration step) const {
   std::vector<double> samples;
+  Cursor cursor(this);
   for (SimTime t = from; t < to; t += step) {
-    samples.push_back(PriceAt(t));
+    samples.push_back(cursor.PriceAt(t));
   }
   return samples;
 }
 
 PriceTrace::JumpSeries PriceTrace::HourlyJumps(SimTime from, SimTime to) const {
   JumpSeries jumps;
-  double prev = PriceAt(from);
+  Cursor cursor(this);
+  double prev = cursor.PriceAt(from);
   for (SimTime t = from + SimDuration::Hours(1); t <= to; t += SimDuration::Hours(1)) {
-    const double cur = PriceAt(t);
+    const double cur = cursor.PriceAt(t);
     if (prev > 0.0 && cur != prev) {
       const double pct = std::abs(cur / prev - 1.0) * 100.0;
       if (cur > prev) {

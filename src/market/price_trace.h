@@ -36,6 +36,24 @@ class PriceTrace {
   // the first point, returns the first price; on an empty trace, returns 0.
   double PriceAt(SimTime t) const;
 
+  // Amortized-O(1) lookup for the forward-in-time access pattern the
+  // simulator exhibits (prices queried at non-decreasing times). The cursor
+  // remembers the change point in effect at the last query and advances
+  // linearly; a query earlier than the previous one falls back to binary
+  // search. The referenced trace must outlive the cursor and must not be
+  // appended to while the cursor is in use.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const PriceTrace* trace) : trace_(trace) {}
+
+    double PriceAt(SimTime t);
+
+   private:
+    const PriceTrace* trace_ = nullptr;
+    size_t index_ = 0;  // last change point with time <= previous query
+  };
+
   // Appends a change point; must not go backwards in time.
   void Append(SimTime t, double price);
 

@@ -2,18 +2,21 @@
 
 #include <utility>
 
-#include "src/market/spot_price_process.h"
+#include "src/market/trace_catalog.h"
 
 namespace spotcheck {
 
 SpotMarket::SpotMarket(MarketKey key, PriceTrace trace)
-    : key_(key), trace_(std::move(trace)) {}
+    : SpotMarket(key, std::make_shared<const PriceTrace>(std::move(trace))) {}
+
+SpotMarket::SpotMarket(MarketKey key, std::shared_ptr<const PriceTrace> trace)
+    : key_(key), trace_(std::move(trace)), now_cursor_(trace_.get()) {}
 
 double SpotMarket::CurrentPrice() const {
   if (sim_ == nullptr) {
-    return trace_.empty() ? 0.0 : trace_.points().front().price;
+    return trace_->empty() ? 0.0 : trace_->points().front().price;
   }
-  return trace_.PriceAt(sim_->Now());
+  return now_cursor_.PriceAt(sim_->Now());
 }
 
 int64_t SpotMarket::Subscribe(PriceListener listener) {
@@ -26,7 +29,7 @@ void SpotMarket::Unsubscribe(int64_t id) { listeners_.erase(id); }
 
 void SpotMarket::Attach(Simulator* sim) {
   sim_ = sim;
-  for (const PricePoint& point : trace_.points()) {
+  for (const PricePoint& point : trace_->points()) {
     if (point.time < sim->Now()) {
       continue;
     }
@@ -50,8 +53,10 @@ SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
                                      uint64_t seed) {
   auto it = markets_.find(key);
   if (it == markets_.end()) {
-    auto market =
-        std::make_unique<SpotMarket>(key, GenerateMarketTrace(key, horizon, seed));
+    bool was_hit = false;
+    auto market = std::make_unique<SpotMarket>(
+        key, TraceCatalog::Global().GetOrGenerate(key, horizon, seed, &was_hit));
+    ++(was_hit ? trace_cache_hits_ : trace_cache_misses_);
     market->Attach(sim_);
     it = markets_.emplace(key, std::move(market)).first;
   }

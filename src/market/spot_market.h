@@ -27,15 +27,19 @@ class SpotMarket {
   using PriceListener = std::function<void(const SpotMarket&, double)>;
 
   SpotMarket(MarketKey key, PriceTrace trace);
+  // Shares an immutable trace (e.g. from the TraceCatalog) instead of owning
+  // a private copy; `trace` must be non-null.
+  SpotMarket(MarketKey key, std::shared_ptr<const PriceTrace> trace);
 
   const MarketKey& key() const { return key_; }
-  const PriceTrace& trace() const { return trace_; }
+  const PriceTrace& trace() const { return *trace_; }
   double on_demand_price() const { return OnDemandPrice(key_.type); }
 
   // Current price according to the attached simulator's clock (or the trace
-  // start price if not attached).
+  // start price if not attached). Simulation time only moves forward, so
+  // this is served by a monotone cursor in amortized O(1).
   double CurrentPrice() const;
-  double PriceAt(SimTime t) const { return trace_.PriceAt(t); }
+  double PriceAt(SimTime t) const { return trace_->PriceAt(t); }
 
   // Registers a listener; returns an id usable with Unsubscribe.
   int64_t Subscribe(PriceListener listener);
@@ -49,20 +53,25 @@ class SpotMarket {
   void FireListeners(double price);
 
   MarketKey key_;
-  PriceTrace trace_;
+  std::shared_ptr<const PriceTrace> trace_;
   Simulator* sim_ = nullptr;
+  mutable PriceTrace::Cursor now_cursor_;
   int64_t next_listener_id_ = 0;
   std::map<int64_t, PriceListener> listeners_;
 };
 
 // Owns the set of markets for a simulation and builds them from calibrated
-// synthetic traces (or caller-provided ones).
+// synthetic traces (or caller-provided ones). Synthetic traces are fetched
+// through the process-wide TraceCatalog, so concurrent simulations with the
+// same (key, horizon, seed) share one immutable trace instead of each
+// generating its own.
 class MarketPlace {
  public:
   explicit MarketPlace(Simulator* sim) : sim_(sim) {}
 
-  // Creates (or returns the existing) market for `key`, generating a
-  // calibrated trace over `horizon` with `seed` if it does not exist yet.
+  // Creates (or returns the existing) market for `key`, fetching the
+  // calibrated trace over `horizon` with `seed` from the TraceCatalog (which
+  // generates it on first use anywhere in the process).
   SpotMarket& GetOrCreate(MarketKey key, SimDuration horizon, uint64_t seed);
 
   // Registers a market with an explicit trace (e.g. loaded from CSV).
@@ -72,9 +81,16 @@ class MarketPlace {
   const SpotMarket* Find(MarketKey key) const;
   std::vector<SpotMarket*> All();
 
+  // How many GetOrCreate trace fetches were served from the TraceCatalog vs
+  // freshly generated, for this MarketPlace only.
+  int64_t trace_cache_hits() const { return trace_cache_hits_; }
+  int64_t trace_cache_misses() const { return trace_cache_misses_; }
+
  private:
   Simulator* sim_;
   std::map<MarketKey, std::unique_ptr<SpotMarket>> markets_;
+  int64_t trace_cache_hits_ = 0;
+  int64_t trace_cache_misses_ = 0;
 };
 
 }  // namespace spotcheck

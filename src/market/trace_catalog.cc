@@ -3,8 +3,59 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "src/market/spot_price_process.h"
 
 namespace spotcheck {
+
+TraceCatalog& TraceCatalog::Global() {
+  static TraceCatalog* catalog = new TraceCatalog();  // never destroyed
+  return *catalog;
+}
+
+std::shared_ptr<const PriceTrace> TraceCatalog::GetOrGenerate(MarketKey key,
+                                                              SimDuration horizon,
+                                                              uint64_t seed,
+                                                              bool* was_hit) {
+  const Key cache_key{key, horizon.micros(), seed};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(cache_key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    if (was_hit != nullptr) {
+      *was_hit = true;
+    }
+    return it->second;
+  }
+  // Generation runs under the lock: it is deterministic, happens once per
+  // key for the process lifetime, and holding the lock keeps concurrent
+  // first-lookups of the same market from generating twice.
+  auto trace = std::make_shared<const PriceTrace>(
+      GenerateMarketTrace(key, horizon, seed));
+  cache_.emplace(cache_key, trace);
+  ++stats_.misses;
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  return trace;
+}
+
+TraceCatalog::Stats TraceCatalog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t TraceCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void TraceCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  stats_ = Stats{};
+}
 
 std::optional<MarketKey> ParseMarketKey(const std::string& stem) {
   const size_t at = stem.find('@');

@@ -10,9 +10,18 @@
 // with one "seconds,price" row per change point (PriceTrace::FromCsv's
 // format). Files with unknown type names are reported and skipped.
 
+// This module also hosts the process-wide TraceCatalog: a thread-safe memo
+// of generated synthetic traces keyed by (market, horizon, seed), so that
+// the 20 cells of an evaluation grid (and repeated figure benches) generate
+// each market's six-month trace exactly once and share one immutable copy.
+
 #ifndef SRC_MARKET_TRACE_CATALOG_H_
 #define SRC_MARKET_TRACE_CATALOG_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +29,47 @@
 #include "src/market/spot_market.h"
 
 namespace spotcheck {
+
+// Process-wide memo of synthetic market traces. GenerateMarketTrace is a
+// pure function of (key, horizon, seed), so caching is invisible to
+// simulation results; it only removes redundant generation work and lets
+// concurrent evaluation cells share one immutable trace in memory.
+class TraceCatalog {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  // The singleton shared by every MarketPlace in the process.
+  static TraceCatalog& Global();
+
+  // Returns the trace for (key, horizon, seed), generating it on first use.
+  // Thread-safe. If `was_hit` is non-null it reports whether the trace was
+  // already cached.
+  std::shared_ptr<const PriceTrace> GetOrGenerate(MarketKey key,
+                                                  SimDuration horizon,
+                                                  uint64_t seed,
+                                                  bool* was_hit = nullptr);
+
+  Stats stats() const;
+  size_t size() const;
+
+  // Drops all entries and resets the counters (tests, memory pressure).
+  void Clear();
+
+ private:
+  struct Key {
+    MarketKey market;
+    int64_t horizon_us = 0;
+    uint64_t seed = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const PriceTrace>> cache_;
+  Stats stats_;
+};
 
 // Parses "<type>@zone-<n>" (the stem of a trace file name).
 std::optional<MarketKey> ParseMarketKey(const std::string& stem);

@@ -1,0 +1,126 @@
+// Move-only callable with small-buffer-optimized storage.
+//
+// The simulator schedules millions of short-lived callbacks per run;
+// std::function's copyability requirement and small inline buffer (16 bytes
+// in libstdc++) push most simulation closures -- which capture `this`
+// pointers, prices, ids -- onto the heap. UniqueCallback is the minimal
+// replacement the event queue actually needs: void(), move-only, with enough
+// inline storage (32 bytes) that the common closures in the codebase are
+// stored in-place inside their pooled event slot, and the whole slot fits a
+// 64-byte cache line. Larger or non-nothrow-movable callables still work;
+// they fall back to a heap allocation.
+
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spotcheck {
+
+class UniqueCallback {
+ public:
+  // Inline capacity. 32 bytes holds a lambda capturing up to four pointers
+  // (or a shared_ptr plus two words) without touching the heap.
+  static constexpr size_t kInlineSize = 32;
+
+  UniqueCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(f));
+      invoke_ = &InlineInvoke<Decayed>;
+      manage_ = &InlineManage<Decayed>;
+    } else {
+      *reinterpret_cast<Decayed**>(storage_) = new Decayed(std::forward<F>(f));
+      invoke_ = &HeapInvoke<Decayed>;
+      manage_ = &HeapManage<Decayed>;
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& other) noexcept { MoveFrom(other); }
+
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  enum class ManageOp { kMoveTo, kDestroy };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(ManageOp, void* self, void* dest);
+
+  template <typename F>
+  static void InlineInvoke(void* s) {
+    (*std::launder(reinterpret_cast<F*>(s)))();
+  }
+  template <typename F>
+  static void InlineManage(ManageOp op, void* self, void* dest) {
+    F* f = std::launder(reinterpret_cast<F*>(self));
+    if (op == ManageOp::kMoveTo) {
+      ::new (dest) F(std::move(*f));
+    }
+    f->~F();
+  }
+
+  template <typename F>
+  static void HeapInvoke(void* s) {
+    (**reinterpret_cast<F**>(s))();
+  }
+  template <typename F>
+  static void HeapManage(ManageOp op, void* self, void* dest) {
+    F** p = reinterpret_cast<F**>(self);
+    if (op == ManageOp::kMoveTo) {
+      *reinterpret_cast<F**>(dest) = *p;
+    } else {
+      delete *p;
+    }
+  }
+
+  void MoveFrom(UniqueCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(ManageOp::kMoveTo, other.storage_, storage_);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(ManageOp::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_SIM_CALLBACK_H_

@@ -1,17 +1,98 @@
 #include "src/sim/simulator.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace spotcheck {
+
+uint32_t Simulator::AllocSlot(EventCallback callback) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slots_.emplace_back();
+    slot = static_cast<uint32_t>(slots_.size());
+  }
+  Slot& s = slots_[slot - 1];
+  s.callback = std::move(callback);
+  s.period = SimDuration::Zero();
+  s.live = true;
+  s.cancelled = false;
+  s.periodic = false;
+  return slot;
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot - 1];
+  ++s.generation;  // Invalidate every handle issued under the old generation.
+  s.callback = EventCallback();
+  s.live = false;
+  s.cancelled = false;
+  s.periodic = false;
+  free_slots_.push_back(slot);
+}
+
+// 4-ary layout: children of node i are 4i+1 .. 4i+4. Half the levels of a
+// binary heap, and sibling groups sit in adjacent cache lines.
+void Simulator::SiftUp(size_t i) {
+  const QueuedEvent ev = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Earlier(ev, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+void Simulator::SiftDown(size_t i) {
+  const QueuedEvent ev = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t first_child = i * 4 + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (Earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier(heap_[best], ev)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = ev;
+}
+
+void Simulator::PopHeapTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+}
+
+void Simulator::PushEvent(SimTime when, uint32_t slot, uint32_t generation) {
+  heap_.push_back(QueuedEvent{when, next_seq_++, slot, generation});
+  SiftUp(heap_.size() - 1);
+}
 
 EventHandle Simulator::ScheduleAt(SimTime when, EventCallback callback) {
   if (when < now_) {
     when = now_;
   }
-  const EventId id = event_ids_.Next();
-  queue_.push(QueuedEvent{when, next_seq_++, id, std::move(callback)});
-  return EventHandle(id);
+  const uint32_t slot = AllocSlot(std::move(callback));
+  const uint32_t generation = slots_[slot - 1].generation;
+  PushEvent(when, slot, generation);
+  return EventHandle(slot, generation);
 }
 
 EventHandle Simulator::ScheduleAfter(SimDuration delay, EventCallback callback) {
@@ -19,57 +100,63 @@ EventHandle Simulator::ScheduleAfter(SimDuration delay, EventCallback callback) 
 }
 
 EventHandle Simulator::SchedulePeriodic(SimDuration period, EventCallback callback) {
-  // The periodic task re-arms itself under a stable EventId so a single
-  // handle cancels all future ticks. State (including the recursive tick
-  // closure) is shared between ticks via shared_ptr.
-  struct PeriodicState {
-    SimDuration period;
-    EventCallback callback;
-    EventId id;
-    // Builds the closure for one tick; each queued tick holds a strong
-    // reference to the state, and the state itself holds none (no cycle).
-    static std::function<void()> MakeTick(Simulator* sim,
-                                          std::shared_ptr<PeriodicState> self) {
-      return [sim, self = std::move(self)]() {
-        // Cancellation of the stable id is checked (and consumed) by RunOne()
-        // before this closure runs, so reaching here means the task is live.
-        self->callback();
-        sim->queue_.push(QueuedEvent{sim->now_ + self->period, sim->next_seq_++,
-                                     self->id, MakeTick(sim, self)});
-      };
-    }
-  };
-  auto state = std::make_shared<PeriodicState>();
-  state->period = period;
-  state->callback = std::move(callback);
-  state->id = event_ids_.Next();
-  const EventId id = state->id;
-  queue_.push(QueuedEvent{now_ + period, next_seq_++, id,
-                          PeriodicState::MakeTick(this, std::move(state))});
-  return EventHandle(id);
+  // A periodic task keeps its slot (and callback) alive across pops; RunOne
+  // re-arms the next tick under the same slot and generation, so the single
+  // returned handle cancels all future ticks.
+  const uint32_t slot = AllocSlot(std::move(callback));
+  Slot& s = slots_[slot - 1];
+  s.period = period;
+  s.periodic = true;
+  const uint32_t generation = s.generation;
+  PushEvent(now_ + period, slot, generation);
+  return EventHandle(slot, generation);
 }
 
 void Simulator::Cancel(EventHandle handle) {
-  if (handle.valid()) {
-    cancelled_.insert(handle.id_);
+  if (!handle.valid() || handle.slot_ > slots_.size()) {
+    return;
   }
+  Slot& s = slots_[handle.slot_ - 1];
+  // A stale handle (event already ran -> generation bumped) or a double
+  // cancel is an exact no-op, so heap_.size() - cancelled_pending_ stays
+  // truthful.
+  if (!s.live || s.generation != handle.generation_ || s.cancelled) {
+    return;
+  }
+  s.cancelled = true;
+  ++cancelled_pending_;
 }
 
 void Simulator::RunOne() {
-  QueuedEvent ev = queue_.top();
-  queue_.pop();
-  if (cancelled_.contains(ev.id)) {
-    cancelled_.erase(ev.id);
+  const QueuedEvent ev = heap_.front();
+  PopHeapTop();
+  Slot& s = slots_[ev.slot - 1];
+  if (s.cancelled) {
+    --cancelled_pending_;
+    ReleaseSlot(ev.slot);
     return;
   }
   now_ = ev.when;
   ++events_executed_;
-  ev.callback();
+  // The callback is moved out before invocation: it may schedule new events
+  // (growing or reusing the slot pool, which would invalidate in-place
+  // storage) or Cancel() its own now-stale handle (a no-op).
+  EventCallback callback = std::move(s.callback);
+  if (s.periodic) {
+    PushEvent(ev.when + s.period, ev.slot, ev.generation);
+    callback();
+    // Re-lookup: the pool may have reallocated during the callback. The slot
+    // is still this task's (its tick is queued), even if just cancelled.
+    slots_[ev.slot - 1].callback = std::move(callback);
+  } else {
+    ReleaseSlot(ev.slot);
+    callback();
+  }
 }
 
 int64_t Simulator::Run() {
   int64_t ran = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     const int64_t before = events_executed_;
     RunOne();
     ran += events_executed_ - before;
@@ -79,7 +166,7 @@ int64_t Simulator::Run() {
 
 int64_t Simulator::RunUntil(SimTime deadline) {
   int64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (!heap_.empty() && heap_.front().when <= deadline) {
     const int64_t before = events_executed_;
     RunOne();
     ran += events_executed_ - before;
@@ -91,7 +178,7 @@ int64_t Simulator::RunUntil(SimTime deadline) {
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     const int64_t before = events_executed_;
     RunOne();
     if (events_executed_ > before) {

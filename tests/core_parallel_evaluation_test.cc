@@ -1,0 +1,116 @@
+#include "src/core/parallel_evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/market/trace_catalog.h"
+
+namespace spotcheck {
+namespace {
+
+std::vector<EvaluationConfig> SmallGrid() {
+  std::vector<EvaluationConfig> configs;
+  for (MappingPolicyKind policy :
+       {MappingPolicyKind::k1PM, MappingPolicyKind::k4PED}) {
+    for (MigrationMechanism mechanism :
+         {MigrationMechanism::kSpotCheckFullRestore,
+          MigrationMechanism::kSpotCheckLazyRestore}) {
+      EvaluationConfig config;
+      config.policy = policy;
+      config.mechanism = mechanism;
+      config.num_vms = 12;
+      config.horizon = SimDuration::Days(45);
+      config.seed = 5;
+      configs.push_back(config);
+    }
+  }
+  return configs;
+}
+
+// Everything a cell's simulation computes must match bit-for-bit between the
+// serial and parallel paths. The TraceCatalog hit/miss diagnostics are the
+// deliberate exception: they depend on which cell asks for a trace first,
+// which is scheduling order under concurrency.
+void ExpectIdenticalResults(const EvaluationResult& a, const EvaluationResult& b) {
+  EXPECT_EQ(a.avg_cost_per_vm_hour, b.avg_cost_per_vm_hour);
+  EXPECT_EQ(a.unavailability_pct, b.unavailability_pct);
+  EXPECT_EQ(a.degradation_pct, b.degradation_pct);
+  EXPECT_EQ(a.storms.quarter, b.storms.quarter);
+  EXPECT_EQ(a.storms.half, b.storms.half);
+  EXPECT_EQ(a.storms.three_quarters, b.storms.three_quarters);
+  EXPECT_EQ(a.storms.all, b.storms.all);
+  EXPECT_EQ(a.revocation_events, b.revocation_events);
+  EXPECT_EQ(a.evacuations, b.evacuations);
+  EXPECT_EQ(a.repatriations, b.repatriations);
+  EXPECT_EQ(a.failed_migrations, b.failed_migrations);
+  EXPECT_EQ(a.stagings, b.stagings);
+  EXPECT_EQ(a.stateless_respawns, b.stateless_respawns);
+  EXPECT_EQ(a.num_backup_servers, b.num_backup_servers);
+  EXPECT_EQ(a.native_cost, b.native_cost);
+  EXPECT_EQ(a.backup_cost, b.backup_cost);
+  EXPECT_EQ(a.vm_hours, b.vm_hours);
+}
+
+TEST(ParallelEvaluationTest, ParallelGridIsBitIdenticalToSerial) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+
+  TraceCatalog::Global().Clear();
+  const std::vector<EvaluationResult> serial =
+      RunPolicyEvaluationGrid(configs, /*jobs=*/1);
+  // Clear between runs so the parallel pass also starts cold: shared cached
+  // traces must not be what makes the results agree.
+  TraceCatalog::Global().Clear();
+  const std::vector<EvaluationResult> parallel =
+      RunPolicyEvaluationGrid(configs, /*jobs=*/4);
+
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    ExpectIdenticalResults(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelEvaluationTest, WarmCacheDoesNotChangeResults) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+  TraceCatalog::Global().Clear();
+  const std::vector<EvaluationResult> cold =
+      RunPolicyEvaluationGrid(configs, /*jobs=*/2);
+  const std::vector<EvaluationResult> warm =
+      RunPolicyEvaluationGrid(configs, /*jobs=*/2);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    ExpectIdenticalResults(cold[i], warm[i]);
+    // Warm cells found every trace already generated.
+    EXPECT_EQ(warm[i].trace_cache_misses, 0);
+    EXPECT_GT(warm[i].trace_cache_hits, 0);
+  }
+}
+
+TEST(ParallelEvaluationTest, SingleCellGridMatchesDirectCall) {
+  EvaluationConfig config = SmallGrid()[0];
+  const EvaluationResult direct = RunPolicyEvaluation(config);
+  const std::vector<EvaluationResult> grid =
+      RunPolicyEvaluationGrid({config}, /*jobs=*/4);
+  ASSERT_EQ(grid.size(), 1u);
+  ExpectIdenticalResults(direct, grid[0]);
+}
+
+TEST(ParallelEvaluationTest, ResolveJobsPrefersExplicitThenEnv) {
+  EXPECT_EQ(ResolveEvaluationJobs(3), 3);
+
+  ASSERT_EQ(setenv("SPOTCHECK_JOBS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveEvaluationJobs(0), 5);
+  EXPECT_EQ(ResolveEvaluationJobs(2), 2);  // explicit wins over env
+
+  ASSERT_EQ(setenv("SPOTCHECK_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ResolveEvaluationJobs(0), 1);  // falls back to hardware
+
+  ASSERT_EQ(unsetenv("SPOTCHECK_JOBS"), 0);
+  EXPECT_GE(ResolveEvaluationJobs(0), 1);
+}
+
+}  // namespace
+}  // namespace spotcheck

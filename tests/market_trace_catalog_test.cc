@@ -4,6 +4,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/sim/simulator.h"
 
@@ -99,6 +102,108 @@ TEST_F(TraceCatalogTest, MultipleMarkets) {
   const TraceLoadReport report = LoadTraceDirectory(markets, dir_);
   EXPECT_EQ(report.loaded.size(), 2u);
   EXPECT_EQ(markets.All().size(), 2u);
+}
+
+// TraceCatalog (the process-wide generated-trace memo) tests share the
+// global singleton, so each clears it first.
+
+TEST(TraceCatalogCacheTest, SecondLookupReturnsSameTraceWithoutRegeneration) {
+  TraceCatalog& catalog = TraceCatalog::Global();
+  catalog.Clear();
+  const MarketKey key{InstanceType::kM3Medium, AvailabilityZone{0}};
+  const SimDuration horizon = SimDuration::Days(30);
+
+  bool hit = true;
+  const std::shared_ptr<const PriceTrace> first =
+      catalog.GetOrGenerate(key, horizon, 7, &hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(first->empty());
+  EXPECT_EQ(catalog.stats().misses, 1);
+  EXPECT_EQ(catalog.stats().hits, 0);
+
+  const std::shared_ptr<const PriceTrace> second =
+      catalog.GetOrGenerate(key, horizon, 7, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second.get(), first.get());  // the very same trace, not a copy
+  EXPECT_EQ(catalog.stats().misses, 1);  // zero regeneration
+  EXPECT_EQ(catalog.stats().hits, 1);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(TraceCatalogCacheTest, DistinctKeysHorizonsAndSeedsAreDistinctEntries) {
+  TraceCatalog& catalog = TraceCatalog::Global();
+  catalog.Clear();
+  const MarketKey key{InstanceType::kM3Large, AvailabilityZone{1}};
+  const auto base = catalog.GetOrGenerate(key, SimDuration::Days(30), 7);
+  const auto other_seed = catalog.GetOrGenerate(key, SimDuration::Days(30), 8);
+  const auto other_horizon = catalog.GetOrGenerate(key, SimDuration::Days(31), 7);
+  const auto other_zone = catalog.GetOrGenerate(
+      MarketKey{InstanceType::kM3Large, AvailabilityZone{2}}, SimDuration::Days(30), 7);
+  EXPECT_NE(base.get(), other_seed.get());
+  EXPECT_NE(base.get(), other_horizon.get());
+  EXPECT_NE(base.get(), other_zone.get());
+  EXPECT_EQ(catalog.size(), 4u);
+  EXPECT_EQ(catalog.stats().misses, 4);
+}
+
+TEST(TraceCatalogCacheTest, ClearResetsEntriesAndCounters) {
+  TraceCatalog& catalog = TraceCatalog::Global();
+  catalog.Clear();
+  const MarketKey key{InstanceType::kM3Medium, AvailabilityZone{3}};
+  catalog.GetOrGenerate(key, SimDuration::Days(10), 1);
+  catalog.GetOrGenerate(key, SimDuration::Days(10), 1);
+  EXPECT_EQ(catalog.size(), 1u);
+  catalog.Clear();
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_EQ(catalog.stats().hits, 0);
+  EXPECT_EQ(catalog.stats().misses, 0);
+}
+
+TEST(TraceCatalogCacheTest, ConcurrentLookupsGenerateOnceAndShare) {
+  TraceCatalog& catalog = TraceCatalog::Global();
+  catalog.Clear();
+  const MarketKey key{InstanceType::kM3Xlarge, AvailabilityZone{0}};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const PriceTrace>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      seen[static_cast<size_t>(i)] =
+          catalog.GetOrGenerate(key, SimDuration::Days(30), 99);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)].get(), seen[0].get());
+  }
+  EXPECT_EQ(catalog.stats().misses, 1);  // generated exactly once
+  EXPECT_EQ(catalog.stats().hits, kThreads - 1);
+}
+
+TEST(TraceCatalogCacheTest, MarketPlaceCountsHitsAndMisses) {
+  TraceCatalog::Global().Clear();
+  const MarketKey key{InstanceType::kM3Medium, AvailabilityZone{5}};
+
+  Simulator sim_a;
+  MarketPlace place_a(&sim_a);
+  place_a.GetOrCreate(key, SimDuration::Days(20), 3);
+  // Repeat lookup within one MarketPlace reuses its own market -- no new
+  // catalog traffic.
+  place_a.GetOrCreate(key, SimDuration::Days(20), 3);
+  EXPECT_EQ(place_a.trace_cache_misses(), 1);
+  EXPECT_EQ(place_a.trace_cache_hits(), 0);
+
+  Simulator sim_b;
+  MarketPlace place_b(&sim_b);
+  SpotMarket& market_b = place_b.GetOrCreate(key, SimDuration::Days(20), 3);
+  EXPECT_EQ(place_b.trace_cache_hits(), 1);
+  EXPECT_EQ(place_b.trace_cache_misses(), 0);
+  // Both places replay the identical shared trace.
+  EXPECT_EQ(&market_b.trace(), &place_a.GetOrCreate(key, SimDuration::Days(20), 3).trace());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace spotcheck {
@@ -143,6 +145,115 @@ TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
   sim.Run();
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(sim.Now(), SimTime::FromSeconds(5));
+}
+
+// Regression: cancelling a handle whose event already ran must be an exact
+// no-op. The old unordered_set bookkeeping recorded such stale cancels,
+// letting queue_.size() - cancelled_.size() drift (empty() reported false on
+// an empty queue, pending_events() underflowed) once events were re-scheduled.
+TEST(SimulatorTest, CancelAfterRunThenRescheduleKeepsAccountingExact) {
+  Simulator sim;
+  int ran = 0;
+  EventHandle handle = sim.ScheduleAt(SimTime::FromSeconds(1), [&] { ++ran; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.empty());
+
+  // Stale cancel: the event already popped and executed.
+  sim.Cancel(handle);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Re-scheduling must show exactly one pending event, and it must run.
+  sim.ScheduleAfter(SimDuration::Seconds(1), [&] { ++ran; });
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.Run(), 1);
+  EXPECT_EQ(ran, 2);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle = sim.ScheduleAt(SimTime::FromSeconds(1), [&] { ran = true; });
+  sim.ScheduleAt(SimTime::FromSeconds(2), [] {});
+  sim.Cancel(handle);
+  sim.Cancel(handle);  // second cancel must not double-count
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.Run(), 1);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(sim.empty());
+}
+
+// A handle from a completed event must not cancel a later event that happens
+// to reuse the same internal slot (the generation tag rejects it).
+TEST(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  EventHandle old_handle = sim.ScheduleAt(SimTime::FromSeconds(1), [] {});
+  sim.Run();
+  bool ran = false;
+  sim.ScheduleAt(SimTime::FromSeconds(2), [&] { ran = true; });
+  sim.Cancel(old_handle);  // must not hit the recycled slot
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, CancelOwnHandleFromInsideCallbackIsNoop) {
+  Simulator sim;
+  EventHandle handle;
+  int ran = 0;
+  handle = sim.ScheduleAt(SimTime::FromSeconds(1), [&] {
+    ++ran;
+    sim.Cancel(handle);  // our own event: already executing, must be a no-op
+  });
+  sim.ScheduleAt(SimTime::FromSeconds(2), [&] { ++ran; });
+  EXPECT_EQ(sim.Run(), 2);
+  EXPECT_EQ(ran, 2);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelledPeriodicAccountingStaysExact) {
+  Simulator sim;
+  int ticks = 0;
+  EventHandle handle =
+      sim.SchedulePeriodic(SimDuration::Seconds(10), [&] { ++ticks; });
+  sim.RunUntil(SimTime::FromSeconds(15));
+  EXPECT_EQ(ticks, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the re-armed tick
+  sim.Cancel(handle);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Cancel(handle);  // double cancel of the periodic task
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunUntil(SimTime::FromSeconds(100));
+  EXPECT_EQ(ticks, 1);
+  EXPECT_TRUE(sim.empty());
+}
+
+// The event queue accepts move-only callbacks (std::function could not).
+TEST(SimulatorTest, MoveOnlyCallback) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  sim.ScheduleAt(SimTime::FromSeconds(1),
+                 [p = std::move(payload), &result] { result = *p + 1; });
+  sim.Run();
+  EXPECT_EQ(result, 42);
+}
+
+// Callbacks larger than the inline buffer fall back to the heap but behave
+// identically.
+TEST(SimulatorTest, OversizedCallback) {
+  Simulator sim;
+  std::array<int64_t, 16> big{};  // 128 bytes of captured state
+  big[15] = 7;
+  int64_t seen = 0;
+  sim.ScheduleAt(SimTime::FromSeconds(1), [big, &seen] { seen = big[15]; });
+  sim.Run();
+  EXPECT_EQ(seen, 7);
 }
 
 TEST(SimulatorTest, EventsExecutedCounter) {
