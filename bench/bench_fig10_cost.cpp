@@ -9,11 +9,11 @@
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  const int jobs = ParseGridBenchArgs(argc, argv);
+  const GridBenchArgs args = ParseGridBenchArgs(argc, argv);
   std::printf("=== Figure 10: average cost per VM under various policies ===\n");
   PrintGrid("average cost per VM", "$ per hour", "fig10_cost", [](const EvaluationResult& r) {
     return r.avg_cost_per_vm_hour;
-  }, jobs);
+  }, args);
   std::printf("\npaper: ~$0.015/hr for 1P-M (vs $0.07 on-demand -> ~5x saving);"
               " multi-pool policies cost marginally more; the Xen-live\n"
               "baseline is cheapest because it needs no backup servers"

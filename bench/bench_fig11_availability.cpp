@@ -9,10 +9,10 @@
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  const int jobs = ParseGridBenchArgs(argc, argv);
+  const GridBenchArgs args = ParseGridBenchArgs(argc, argv);
   std::printf("=== Figure 11: unavailability under various policies ===\n");
   PrintGrid("unavailability", "percent of VM lifetime", "fig11_unavailability",
-            [](const EvaluationResult& r) { return r.unavailability_pct; }, jobs);
+            [](const EvaluationResult& r) { return r.unavailability_pct; }, args);
   std::printf("\npaper: 1P-M with lazy restore reaches 99.9989%% availability"
               " (~10x better than native spot's 90-99%%); unoptimized full\n"
               "restore stays below 0.25%% unavailability; live migration is"

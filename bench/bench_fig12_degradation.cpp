@@ -9,10 +9,10 @@
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  const int jobs = ParseGridBenchArgs(argc, argv);
+  const GridBenchArgs args = ParseGridBenchArgs(argc, argv);
   std::printf("=== Figure 12: performance degradation during migration ===\n");
   PrintGrid("degraded time", "percent of VM lifetime", "fig12_degradation",
-            [](const EvaluationResult& r) { return r.degradation_pct; }, jobs);
+            [](const EvaluationResult& r) { return r.degradation_pct; }, args);
   std::printf("\npaper: lazy restore is the most available but most degraded"
               " variant; 1P-M degrades only ~0.02%% of the time (2.85 min\n"
               "over six months) and the worst policy (4P-ED) stays near"

@@ -11,7 +11,7 @@
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  const int jobs = ParseGridBenchArgs(argc, argv);
+  const GridBenchArgs args = ParseGridBenchArgs(argc, argv);
   const struct {
     const char* label;
     MappingPolicyKind policy;
@@ -34,7 +34,14 @@ int main(int argc, char** argv) {
     configs.push_back(config);
   }
   const std::vector<EvaluationResult> results =
-      RunPolicyEvaluationGrid(configs, jobs);
+      RunPolicyEvaluationGrid(configs, args.jobs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bool coupled = i >= std::size(kRows);
+    WriteCellRunReport(args.run_report_dir, "table3_storms",
+                       std::string(kRows[i % std::size(kRows)].label) +
+                           (coupled ? "_coupled" : "_independent"),
+                       results[i]);
+  }
 
   std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
   std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");

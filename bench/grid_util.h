@@ -37,17 +37,46 @@ inline EvaluationConfig GridConfig(MappingPolicyKind policy,
   return config;
 }
 
-// Parses the shared grid-bench flags: --jobs=N (0 = SPOTCHECK_JOBS env, then
-// hardware concurrency) and rejects unknown flags with a usage message.
-// Returns the jobs value to pass to RunPolicyEvaluationGrid.
-inline int ParseGridBenchArgs(int argc, const char* const* argv) {
+// Shared grid-bench flags.
+struct GridBenchArgs {
+  // Worker count for RunPolicyEvaluationGrid (0 = SPOTCHECK_JOBS env, then
+  // hardware concurrency).
+  int jobs = 0;
+  // When non-empty, each evaluation cell writes
+  // <dir>/<bench>/<cell>/run_report.json (metrics, controller events,
+  // summary).
+  std::string run_report_dir;
+};
+
+// Parses --jobs=N and --run-report-dir=PATH; warns on unknown flags.
+inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
-  const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  GridBenchArgs args;
+  args.jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  args.run_report_dir = flags.GetString("run-report-dir", "");
   for (const std::string& flag : flags.UnconsumedFlags()) {
-    std::fprintf(stderr, "warning: unknown flag --%s (supported: --jobs=N)\n",
+    std::fprintf(stderr,
+                 "warning: unknown flag --%s (supported: --jobs=N, "
+                 "--run-report-dir=PATH)\n",
                  flag.c_str());
   }
-  return jobs;
+  return args;
+}
+
+// Writes one cell's run report to <dir>/<bench>/<cell>/run_report.json.
+// No-op when reports are disabled; I/O failures warn but never abort the
+// bench.
+inline void WriteCellRunReport(const std::string& dir, const std::string& bench,
+                               const std::string& cell,
+                               const EvaluationResult& result) {
+  if (dir.empty() || result.report == nullptr) {
+    return;
+  }
+  const std::string path = dir + "/" + bench + "/" + cell + "/run_report.json";
+  if (!result.report->WriteTo(path)) {
+    std::fprintf(stderr, "warning: could not write run report %s\n",
+                 path.c_str());
+  }
 }
 
 // Prints one figure's grid and exports it to bench_out/<csv_name>.csv;
@@ -55,7 +84,7 @@ inline int ParseGridBenchArgs(int argc, const char* const* argv) {
 // parallel grid runner (`jobs` workers; 0 = auto), then print in plot order.
 template <typename MetricFn>
 void PrintGrid(const char* header, const char* unit, const char* csv_name,
-               MetricFn metric, int jobs = 0) {
+               MetricFn metric, const GridBenchArgs& args = {}) {
   std::vector<EvaluationConfig> configs;
   configs.reserve(kGridPolicies.size() * kGridMechanisms.size());
   for (MappingPolicyKind policy : kGridPolicies) {
@@ -64,7 +93,18 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
     }
   }
   const std::vector<EvaluationResult> results =
-      RunPolicyEvaluationGrid(configs, jobs);
+      RunPolicyEvaluationGrid(configs, args.jobs);
+  if (!args.run_report_dir.empty()) {
+    size_t report_cell = 0;
+    for (MappingPolicyKind policy : kGridPolicies) {
+      for (MigrationMechanism mechanism : kGridMechanisms) {
+        WriteCellRunReport(args.run_report_dir, csv_name,
+                           std::string(MappingPolicyName(policy)) + "_" +
+                               std::string(MigrationMechanismName(mechanism)),
+                           results[report_cell++]);
+      }
+    }
+  }
 
   std::vector<std::string> csv_header = {"policy"};
   std::printf("%-10s", "policy");

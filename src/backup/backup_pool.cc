@@ -6,6 +6,7 @@ BackupServer& BackupPool::Provision(SimTime now) {
   servers_.push_back(std::make_unique<BackupServer>(
       ids_.Next(), config_.server_type, config_.perf, config_.max_vms_per_server));
   provisioned_at_.push_back(now);
+  MetricInc(servers_provisioned_metric_);
   return *servers_.back();
 }
 
@@ -19,13 +20,21 @@ BackupServer& BackupPool::Assign(NestedVmId vm, double demand_mbps, SimTime now)
     rr_cursor_ = (rr_cursor_ + 1) % servers_.size();
     if (candidate.AddStream(vm, demand_mbps)) {
       assignment_[vm] = &candidate;
+      RecordAssignment(candidate);
       return candidate;
     }
   }
   BackupServer& fresh = Provision(now);
   fresh.AddStream(vm, demand_mbps);
   assignment_[vm] = &fresh;
+  RecordAssignment(fresh);
   return fresh;
+}
+
+void BackupPool::RecordAssignment(const BackupServer& server) {
+  MetricInc(assignments_metric_);
+  MetricSet(assigned_vms_metric_, static_cast<double>(assignment_.size()));
+  MetricObserve(checkpoint_load_metric_, server.CheckpointLoadFactor());
 }
 
 void BackupPool::Release(NestedVmId vm) {
@@ -35,6 +44,8 @@ void BackupPool::Release(NestedVmId vm) {
   }
   it->second->RemoveStream(vm);
   assignment_.erase(it);
+  MetricInc(releases_metric_);
+  MetricSet(assigned_vms_metric_, static_cast<double>(assignment_.size()));
 }
 
 BackupServer* BackupPool::ServerFor(NestedVmId vm) {

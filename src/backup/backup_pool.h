@@ -14,6 +14,7 @@
 
 #include "src/backup/backup_server.h"
 #include "src/common/ids.h"
+#include "src/obs/metrics.h"
 
 namespace spotcheck {
 
@@ -27,7 +28,20 @@ struct BackupPoolConfig {
 
 class BackupPool {
  public:
-  explicit BackupPool(BackupPoolConfig config = {}) : config_(config) {}
+  // `metrics` (optional) registers the backup.* instruments; must outlive
+  // the pool.
+  explicit BackupPool(BackupPoolConfig config = {},
+                      MetricsRegistry* metrics = nullptr)
+      : config_(config) {
+    if (metrics != nullptr) {
+      servers_provisioned_metric_ = &metrics->Counter("backup.servers_provisioned");
+      assignments_metric_ = &metrics->Counter("backup.assignments");
+      releases_metric_ = &metrics->Counter("backup.releases");
+      assigned_vms_metric_ = &metrics->Gauge("backup.assigned_vms");
+      checkpoint_load_metric_ =
+          &metrics->Histogram("backup.checkpoint_load_factor", 0.0, 2.0, 40);
+    }
+  }
 
   // Assigns `vm` to a backup server (provisioning a new one if all are
   // full) and registers its checkpoint stream. Round-robin across
@@ -59,6 +73,7 @@ class BackupPool {
 
  private:
   BackupServer& Provision(SimTime now);
+  void RecordAssignment(const BackupServer& server);
 
   BackupPoolConfig config_;
   IdGenerator<BackupServerTag> ids_;
@@ -66,6 +81,13 @@ class BackupPool {
   std::vector<SimTime> provisioned_at_;  // parallel to servers_
   std::unordered_map<NestedVmId, BackupServer*> assignment_;
   size_t rr_cursor_ = 0;
+
+  // Observability instruments; all null without a registry.
+  MetricCounter* servers_provisioned_metric_ = nullptr;
+  MetricCounter* assignments_metric_ = nullptr;
+  MetricCounter* releases_metric_ = nullptr;
+  MetricGauge* assigned_vms_metric_ = nullptr;
+  MetricHistogram* checkpoint_load_metric_ = nullptr;
 };
 
 }  // namespace spotcheck

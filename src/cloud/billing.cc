@@ -1,7 +1,5 @@
 #include "src/cloud/billing.h"
 
-#include <cmath>
-
 #include "src/market/price_trace.h"
 
 namespace spotcheck {
@@ -27,11 +25,18 @@ void BillingMeter::Stop(InstanceId id, SimTime now) {
 
 SimTime BillingMeter::BilledUntil(const Stream& stream, SimTime until) const {
   if (!hourly_quantum_ || until <= stream.started) {
+    // Stopping at (or before) the launch instant bills zero.
     return until;
   }
-  const double hours = (until - stream.started).hours();
-  const double billed_hours = std::ceil(hours - 1e-9);
-  return stream.started + SimDuration::Hours(billed_hours);
+  // Integer hour arithmetic on the microsecond clock: a stop exactly on an
+  // hour boundary bills exactly that many hours, and any positive partial
+  // hour rounds up to one whole quantum. The previous floating-point
+  // ceil(hours - 1e-9) had a 3.6 us dead zone (1e-9 is in HOURS) in which a
+  // short-lived stream billed zero instead of one hour.
+  constexpr int64_t kHourUs = 3'600'000'000;
+  const int64_t us = (until - stream.started).micros();
+  const int64_t billed_hours = (us + kHourUs - 1) / kHourUs;
+  return stream.started + SimDuration::Micros(billed_hours * kHourUs);
 }
 
 double BillingMeter::StreamCost(const Stream& stream, SimTime until) const {

@@ -14,11 +14,27 @@ NativeCloud::NativeCloud(Simulator* sim, MarketPlace* markets,
       latency_(Rng(config.latency_seed)),
       rng_(Rng(config.latency_seed).Split(0x10ad)) {
   billing_.set_hourly_quantum(config.hourly_billing);
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& metrics = *config_.metrics;
+    launch_requests_metric_ = &metrics.Counter("cloud.launch_requests");
+    launches_metric_ = &metrics.Counter("cloud.launches");
+    launch_failures_metric_ = &metrics.Counter("cloud.launch_failures");
+    terminations_metric_ = &metrics.Counter("cloud.terminations");
+    revocation_warnings_metric_ = &metrics.Counter("cloud.revocation_warnings");
+    bid_crossings_metric_ = &metrics.Counter("market.bid_crossings");
+    instance_failures_metric_ = &metrics.Counter("cloud.instance_failures");
+    // Table 1 latencies: spot launches dominate at up to ~10 minutes.
+    op_latency_metric_ =
+        &metrics.Histogram("cloud.op_latency_s", 0.0, 600.0, 60);
+  }
 }
 
 SimDuration NativeCloud::OperationDelay(CloudOperation op) {
-  return config_.sample_latencies ? latency_.Sample(op)
-                                  : OperationLatencyModel::Typical(op);
+  const SimDuration delay = config_.sample_latencies
+                                ? latency_.Sample(op)
+                                : OperationLatencyModel::Typical(op);
+  MetricObserve(op_latency_metric_, delay.seconds());
+  return delay;
 }
 
 SpotMarket& NativeCloud::MarketFor(MarketKey key) {
@@ -34,6 +50,7 @@ InstanceId NativeCloud::RequestSpotInstance(MarketKey market, double bid,
   instance.mode = BillingMode::kSpot;
   instance.bid = bid;
   instance.requested_at = sim_->Now();
+  MetricInc(launch_requests_metric_);
   MarketFor(market);  // Materialize the market (and its replay) now.
   sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartSpotInstance),
                       [this, id, ready = std::move(ready)]() mutable {
@@ -50,12 +67,14 @@ InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
   instance.market = market;
   instance.mode = BillingMode::kOnDemand;
   instance.requested_at = sim_->Now();
+  MetricInc(launch_requests_metric_);
   if (rng_.Bernoulli(config_.on_demand_unavailable_probability)) {
     // Out of capacity: fail after the request latency.
     sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartOnDemandInstance),
                         [this, id, ready = std::move(ready)]() {
                           instances_[id].state = InstanceState::kTerminated;
                           instances_[id].terminated_at = sim_->Now();
+                          MetricInc(launch_failures_metric_);
                           if (ready) {
                             ready(id, false);
                           }
@@ -75,6 +94,7 @@ void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) 
     // Terminated while still pending, or the zone went down.
     instance.state = InstanceState::kTerminated;
     instance.terminated_at = sim_->Now();
+    MetricInc(launch_failures_metric_);
     if (ready) {
       ready(id, false);
     }
@@ -86,6 +106,7 @@ void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) 
       // Bid is already out of the money: the launch fails.
       instance.state = InstanceState::kTerminated;
       instance.terminated_at = sim_->Now();
+      MetricInc(launch_failures_metric_);
       if (ready) {
         ready(id, false);
       }
@@ -107,6 +128,7 @@ void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) 
   instance.state = InstanceState::kRunning;
   instance.running_since = sim_->Now();
   ++launches_;
+  MetricInc(launches_metric_);
   if (ready) {
     ready(id, true);
   }
@@ -143,6 +165,8 @@ void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
 void NativeCloud::WarnAndScheduleTermination(Instance& instance) {
   instance.state = InstanceState::kWarned;
   ++spot_revocations_;
+  MetricInc(revocation_warnings_metric_);
+  MetricInc(bid_crossings_metric_);
   const SimTime deadline = sim_->Now() + config_.revocation_warning;
   const InstanceId id = instance.id;
   SPOTCHECK_LOG(kInfo) << "revocation warning for " << id.ToString() << " in "
@@ -163,6 +187,7 @@ void NativeCloud::ForceTerminate(InstanceId id) {
   instance.terminated_at = sim_->Now();
   billing_.Stop(id, sim_->Now());
   ReleaseAttachments(id);
+  MetricInc(terminations_metric_);
 }
 
 void NativeCloud::ScheduleZoneOutage(AvailabilityZone zone, SimTime at,
@@ -195,6 +220,8 @@ void NativeCloud::FailZoneInstances(AvailabilityZone zone) {
     billing_.Stop(id, sim_->Now());
     ReleaseAttachments(id);
     ++instance_failures_;
+    MetricInc(instance_failures_metric_);
+    MetricInc(terminations_metric_);
     SPOTCHECK_LOG(kWarning) << "platform failure killed " << id.ToString()
                             << " in " << instance.market.ToString();
     if (failure_handler_) {
@@ -216,6 +243,7 @@ void NativeCloud::TerminateInstance(InstanceId id) {
   billing_.Stop(id, sim_->Now());
   ReleaseAttachments(id);
   instance.state = InstanceState::kTerminated;
+  MetricInc(terminations_metric_);
   sim_->ScheduleAfter(OperationDelay(CloudOperation::kTerminateInstance),
                       [this, id]() { instances_[id].terminated_at = sim_->Now(); });
 }

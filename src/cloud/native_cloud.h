@@ -28,6 +28,7 @@
 #include "src/common/time.h"
 #include "src/market/instance_types.h"
 #include "src/market/spot_market.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace spotcheck {
@@ -63,6 +64,10 @@ struct NativeCloudConfig {
   // metering. The paper's analysis uses average $/hr, so continuous is the
   // default.
   bool hourly_billing = false;
+  // Optional observability registry (cloud.* counters, operation-latency
+  // histogram, market.bid_crossings). Purely observational; must outlive the
+  // cloud when set.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // (instance, success). Launch failures happen when a spot request's bid is
@@ -192,6 +197,16 @@ class NativeCloud {
   int64_t spot_revocations_ = 0;
   int64_t launches_ = 0;
   int64_t instance_failures_ = 0;
+
+  // Observability instruments; all null when config_.metrics is null.
+  MetricCounter* launch_requests_metric_ = nullptr;
+  MetricCounter* launches_metric_ = nullptr;
+  MetricCounter* launch_failures_metric_ = nullptr;
+  MetricCounter* terminations_metric_ = nullptr;
+  MetricCounter* revocation_warnings_metric_ = nullptr;
+  MetricCounter* bid_crossings_metric_ = nullptr;
+  MetricCounter* instance_failures_metric_ = nullptr;
+  MetricHistogram* op_latency_metric_ = nullptr;
 };
 
 }  // namespace spotcheck

@@ -23,9 +23,24 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
                  return zones;
                }(),
                Rng(config.seed).Split(0x9a9)),
-      engine_(sim, &activity_log_, config.engine),
-      backup_pool_(config.backup),
+      engine_(sim, &activity_log_, config.engine, config.metrics),
+      backup_pool_(config.backup, config.metrics),
       rng_(Rng(config.seed).Split(0xc0de)) {
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& metrics = *config_.metrics;
+    revocation_events_metric_ = &metrics.Counter("controller.revocation_events");
+    repatriations_metric_ = &metrics.Counter("controller.repatriations");
+    proactive_migrations_metric_ =
+        &metrics.Counter("controller.proactive_migrations");
+    stateless_respawns_metric_ =
+        &metrics.Counter("controller.stateless_respawns");
+    stagings_metric_ = &metrics.Counter("controller.stagings");
+    vms_lost_metric_ = &metrics.Counter("controller.vms_lost");
+    backup_restores_metric_ = &metrics.Counter("controller.backup_restores");
+    migrations_by_mechanism_metric_ = &metrics.Counter(
+        std::string("controller.migrations.") +
+        std::string(MigrationMechanismName(config_.mechanism)));
+  }
   cloud_->set_revocation_handler(
       [this](InstanceId instance, SimTime deadline) {
         OnRevocationWarning(instance, deadline);
@@ -359,6 +374,7 @@ void SpotCheckController::OnRevocationWarning(InstanceId instance,
   }
   HostVm& host = *it->second;
   ++revocation_events_;
+  MetricInc(revocation_events_metric_);
   event_log_.Record(sim_->Now(), ControllerEventKind::kRevocationWarning,
                     NestedVmId(), instance, host.market(),
                     "vms=" + std::to_string(host.num_vms()));
@@ -417,6 +433,7 @@ void SpotCheckController::OnInstanceFailure(InstanceId instance) {
     if (backup == nullptr) {
       // Live-migration-only VM with no checkpoint anywhere: state is gone.
       ++vms_lost_;
+      MetricInc(vms_lost_metric_);
       vm.set_state(NestedVmState::kFailed);
       activity_log_.MarkDeath(vm.id(), sim_->Now());
       host.RemoveVm(vm.id(), vm.spec());
@@ -436,6 +453,7 @@ void SpotCheckController::OnInstanceFailure(InstanceId instance) {
     evac.deadline = sim_->Now();
     evac.committed = true;  // the surviving checkpoint IS the commit
     backup->BeginRestore(vm.id());
+    MetricInc(backup_restores_metric_);
     engine_.BeginCrashRecovery(vm, sim_->Now());
     event_log_.Record(sim_->Now(), ControllerEventKind::kCrashRecovery, vm.id(),
                       instance, host.market());
@@ -468,6 +486,7 @@ void SpotCheckController::EvacuateVm(NestedVm& vm, SimTime deadline) {
   if (MechanismNeedsBackup(config_.mechanism)) {
     if (evac.backup != nullptr) {
       evac.backup->BeginRestore(vm.id());
+      MetricInc(backup_restores_metric_);
     }
     engine_.BeginEvacuation(vm, config_.mechanism, deadline, [this, &vm]() {
       const auto it = evacuating_.find(vm.id());
@@ -500,6 +519,7 @@ void SpotCheckController::EvacuateVm(NestedVm& vm, SimTime deadline) {
       evac.staged = true;
       evac.staging_market = staging->market();
       ++stagings_;
+      MetricInc(stagings_metric_);
       MaybeCompleteEvacuation(vm);
       return;
     }
@@ -515,6 +535,7 @@ void SpotCheckController::RespawnStateless(NestedVm& vm, SimTime deadline) {
   // launches well within the warning, so the tier never loses capacity.
   (void)deadline;
   ++stateless_respawns_;
+  MetricInc(stateless_respawns_metric_);
   event_log_.Record(sim_->Now(), ControllerEventKind::kStatelessRespawn, vm.id(),
                     vm.host(),
                     GetHost(vm.host()) != nullptr
@@ -599,6 +620,7 @@ void SpotCheckController::FinalizeEvacuation(NestedVm& vm,
                       evac.old_host, evac.old_market, "live-migration race");
     return;  // VM lost (live-migration race defeat)
   }
+  MetricInc(migrations_by_mechanism_metric_);
   {
     char detail[64];
     std::snprintf(detail, sizeof(detail), "downtime=%.1fs degraded=%.1fs",
@@ -756,6 +778,7 @@ void SpotCheckController::TryRepatriate(const MarketKey& key) {
       continue;  // already back on spot
     }
     ++repatriations_;
+    MetricInc(repatriations_metric_);
     event_log_.Record(sim_->Now(), ControllerEventKind::kRepatriationStarted,
                       vm_id, vm.host(), key);
     if (HostVm* host = FindHostWithCapacity(key, /*spot=*/true, vm.spec())) {
@@ -795,6 +818,7 @@ void SpotCheckController::ProactivelyDrain(const MarketKey& key) {
         continue;  // a drain for this VM is already in flight
       }
       ++proactive_migrations_;
+      MetricInc(proactive_migrations_metric_);
       pending_moves_.insert(vm_id);
       event_log_.Record(sim_->Now(), ControllerEventKind::kProactiveDrain, vm_id,
                         instance, key);

@@ -43,6 +43,7 @@
 #include "src/net/connection_tracker.h"
 #include "src/net/nat_table.h"
 #include "src/net/vpc.h"
+#include "src/obs/metrics.h"
 #include "src/virt/activity_log.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/migration_engine.h"
@@ -87,6 +88,10 @@ struct ControllerConfig {
   // own spot/on-demand/backup spend; downtime is not billed.
   double resale_fraction_of_on_demand = 0.6;
   uint64_t seed = 7;
+  // Optional observability registry. Shared with the MigrationEngine and
+  // BackupPool this controller owns; must outlive the controller. Purely
+  // observational: simulation results are identical with or without it.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class SpotCheckController {
@@ -293,6 +298,19 @@ class SpotCheckController {
   int64_t stateless_respawns_ = 0;
   int64_t stagings_ = 0;
   int64_t vms_lost_ = 0;
+
+  // Observability instruments; all null without a registry.
+  MetricCounter* revocation_events_metric_ = nullptr;
+  MetricCounter* repatriations_metric_ = nullptr;
+  MetricCounter* proactive_migrations_metric_ = nullptr;
+  MetricCounter* stateless_respawns_metric_ = nullptr;
+  MetricCounter* stagings_metric_ = nullptr;
+  MetricCounter* vms_lost_metric_ = nullptr;
+  MetricCounter* backup_restores_metric_ = nullptr;
+  // Completed evacuations, named after the configured mechanism
+  // ("controller.migrations.<mechanism>") so grid-wide reports keep a
+  // per-mechanism breakdown.
+  MetricCounter* migrations_by_mechanism_metric_ = nullptr;
 };
 
 }  // namespace spotcheck

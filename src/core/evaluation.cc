@@ -5,10 +5,75 @@
 #include "src/sim/simulator.h"
 
 namespace spotcheck {
+namespace {
+
+// Flattens the cell's config, results, and controller event timeline into a
+// self-contained RunReport that shares the (now-final) metrics registry.
+std::shared_ptr<const RunReport> BuildRunReport(
+    const EvaluationConfig& config, const EvaluationResult& result,
+    const SpotCheckController& controller,
+    std::shared_ptr<const MetricsRegistry> metrics) {
+  auto report = std::make_shared<RunReport>();
+  report->label = config.report_label.empty()
+                      ? std::string(MappingPolicyName(config.policy)) + "/" +
+                            std::string(MigrationMechanismName(config.mechanism))
+                      : config.report_label;
+  report->AddSummary("config.num_vms", config.num_vms);
+  report->AddSummary("config.num_customers", config.num_customers);
+  report->AddSummary("config.horizon_days", config.horizon.days());
+  report->AddSummary("config.seed", static_cast<double>(config.seed));
+  report->AddSummary("config.stateless_fraction", config.stateless_fraction);
+  report->AddSummary("config.market_coupling", config.market_coupling);
+  report->AddSummary("result.avg_cost_per_vm_hour", result.avg_cost_per_vm_hour);
+  report->AddSummary("result.unavailability_pct", result.unavailability_pct);
+  report->AddSummary("result.degradation_pct", result.degradation_pct);
+  report->AddSummary("result.storms.quarter", result.storms.quarter);
+  report->AddSummary("result.storms.half", result.storms.half);
+  report->AddSummary("result.storms.three_quarters",
+                     result.storms.three_quarters);
+  report->AddSummary("result.storms.all", result.storms.all);
+  report->AddSummary("result.revocation_events",
+                     static_cast<double>(result.revocation_events));
+  report->AddSummary("result.evacuations",
+                     static_cast<double>(result.evacuations));
+  report->AddSummary("result.repatriations",
+                     static_cast<double>(result.repatriations));
+  report->AddSummary("result.failed_migrations",
+                     static_cast<double>(result.failed_migrations));
+  report->AddSummary("result.stagings", static_cast<double>(result.stagings));
+  report->AddSummary("result.stateless_respawns",
+                     static_cast<double>(result.stateless_respawns));
+  report->AddSummary("result.num_backup_servers", result.num_backup_servers);
+  report->AddSummary("result.native_cost", result.native_cost);
+  report->AddSummary("result.backup_cost", result.backup_cost);
+  report->AddSummary("result.vm_hours", result.vm_hours);
+  report->metrics = std::move(metrics);
+  const std::vector<ControllerEvent>& events = controller.event_log().events();
+  report->events.reserve(events.size());
+  for (const ControllerEvent& event : events) {
+    RunReportEvent row;
+    row.time_s = event.time.seconds();
+    row.kind = std::string(ControllerEventKindName(event.kind));
+    row.vm = event.vm.valid() ? event.vm.ToString() : "";
+    row.host = event.host.valid() ? event.host.ToString() : "";
+    row.market = event.market.ToString();
+    row.detail = event.detail;
+    report->events.push_back(std::move(row));
+  }
+  report->trace_cache_hits = result.trace_cache_hits;
+  report->trace_cache_misses = result.trace_cache_misses;
+  return report;
+}
+
+}  // namespace
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
-  Simulator sim;
-  MarketPlace markets(&sim);
+  // One registry per cell: every component below holds plain pointers into
+  // it, so parallel grid cells never share an instrument.
+  const std::shared_ptr<MetricsRegistry> metrics =
+      config.collect_metrics ? std::make_shared<MetricsRegistry>() : nullptr;
+  Simulator sim(metrics.get());
+  MarketPlace markets(&sim, metrics.get());
 
   if (config.market_coupling > 0.0) {
     // Pre-populate every candidate pool with regionally-coupled traces; the
@@ -32,6 +97,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   cloud_config.market_horizon = config.horizon + SimDuration::Days(1);
   cloud_config.market_seed = config.seed;
   cloud_config.latency_seed = config.seed ^ 0xfeed;
+  cloud_config.metrics = metrics.get();
   NativeCloud cloud(&sim, &markets, cloud_config);
 
   ControllerConfig controller_config;
@@ -43,6 +109,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   controller_config.use_staging = config.use_staging;
   controller_config.num_zones = config.num_zones;
   controller_config.seed = config.seed;
+  controller_config.metrics = metrics.get();
   SpotCheckController controller(&sim, &cloud, &markets, controller_config);
 
   const int customers = std::max(config.num_customers, 1);
@@ -88,6 +155,9 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   result.num_backup_servers = controller.backup_pool().num_servers();
   result.trace_cache_hits = markets.trace_cache_hits();
   result.trace_cache_misses = markets.trace_cache_misses();
+  if (metrics != nullptr) {
+    result.report = BuildRunReport(config, result, controller, metrics);
+  }
   return result;
 }
 

@@ -9,8 +9,11 @@
 #define SRC_CORE_EVALUATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "src/core/controller.h"
+#include "src/obs/run_report.h"
 
 namespace spotcheck {
 
@@ -39,6 +42,12 @@ struct EvaluationConfig {
   // Observation window for concurrent-revocation probabilities (Table 3).
   SimDuration storm_window = SimDuration::Minutes(6);
   uint64_t seed = 1;
+  // Build a per-cell MetricsRegistry and attach a RunReport to the result.
+  // On by default: instruments are nullable pointers behind one predictable
+  // branch, and the numeric results are bit-identical either way.
+  bool collect_metrics = true;
+  // RunReport label; defaults to "<policy>/<mechanism>" when empty.
+  std::string report_label;
 };
 
 struct EvaluationResult {
@@ -62,6 +71,10 @@ struct EvaluationResult {
   // excluded from determinism comparisons.
   int64_t trace_cache_hits = 0;
   int64_t trace_cache_misses = 0;
+  // Full observability report (metrics, controller events, summary); null
+  // when the config disabled metrics collection. Excluded from determinism
+  // comparisons -- the numeric fields above are the contract.
+  std::shared_ptr<const RunReport> report;
 };
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);

@@ -23,19 +23,23 @@ RevocationStormTracker::Probabilities(int total_vms, SimDuration window,
   }
   const int64_t num_windows =
       std::max<int64_t>(1, static_cast<int64_t>(horizon / window));
-  // Sum the revoked VMs per window (revocations of one storm land within the
-  // two-minute warning, far inside any sensible window).
-  std::map<int64_t, int> per_window;
-  for (const auto& [at, count] : batches_) {
-    const int64_t index = (at - SimTime()).micros() / window.micros();
-    per_window[index] += count;
-  }
+  // Sliding-window grouping: a storm is a maximal run of batches that all
+  // land within `window` of the run's first batch. Bucketing by fixed
+  // [k*window, (k+1)*window) cells instead would split a storm straddling a
+  // cell boundary into two half-size groups -- e.g. a full-fleet revocation
+  // at the boundary counts twice in `half` and never in `all`. Batches are
+  // recorded in simulation-time order, so one forward pass suffices.
   const double n = static_cast<double>(total_vms);
   int64_t quarter = 0;
   int64_t half = 0;
   int64_t three_quarters = 0;
   int64_t all = 0;
-  for (const auto& [index, count] : per_window) {
+  for (size_t i = 0; i < batches_.size();) {
+    const SimTime start = batches_[i].first;
+    int64_t count = 0;
+    for (; i < batches_.size() && batches_[i].first - start < window; ++i) {
+      count += batches_[i].second;
+    }
     const double fraction = static_cast<double>(count) / n;
     if (fraction >= 1.0) {
       ++all;

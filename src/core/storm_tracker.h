@@ -4,8 +4,8 @@
 // resulting mass migration overloads backup servers. Table 3 quantifies the
 // benefit of pool diversification as the probability that a large fraction
 // of a customer's N VMs must migrate concurrently. The tracker records each
-// revocation batch and reports, over fixed observation windows, how often
-// the concurrent-migration count fell in each fraction-of-N bucket.
+// revocation batch and reports how often a storm -- batches grouped by a
+// sliding observation window -- reached each fraction-of-N bucket.
 
 #ifndef SRC_CORE_STORM_TRACKER_H_
 #define SRC_CORE_STORM_TRACKER_H_
@@ -27,12 +27,13 @@ class RevocationStormTracker {
   int64_t total_revoked_vms() const { return total_vms_; }
   int max_batch() const { return max_batch_; }
 
-  // Table 3 row: probability that, within an observation window of length
-  // `window`, the number of concurrently revoked VMs reaches each of the
-  // buckets {>= N/4, >= N/2, >= 3N/4, == N} exclusively (a window counts in
-  // its highest bucket only, matching the paper's "maximum number of
-  // concurrent revocations"). Probabilities are fractions of all windows in
-  // [0, horizon).
+  // Table 3 row: probability that a storm's concurrently revoked VM count
+  // reaches each of the buckets {>= N/4, >= N/2, >= 3N/4, == N} exclusively
+  // (a storm counts in its highest bucket only, matching the paper's
+  // "maximum number of concurrent revocations"). A storm is a maximal run of
+  // batches within `window` of its first batch -- a sliding window, so a
+  // storm is never split by a fixed bucket boundary. Probabilities are
+  // fractions of the horizon/window observation windows in [0, horizon).
   struct StormProbabilities {
     double quarter = 0.0;        // max in [N/4, N/2)
     double half = 0.0;           // max in [N/2, 3N/4)

@@ -33,6 +33,11 @@ double PriceTrace::PriceAt(SimTime t) const {
 
 double PriceTrace::Cursor::PriceAt(SimTime t) {
   const std::vector<PricePoint>& pts = trace_->points_;
+  if (has_query_ && t < last_query_) {
+    ++backward_seeks_;
+  }
+  has_query_ = true;
+  last_query_ = t;
   if (pts.empty()) {
     return 0.0;
   }

@@ -49,9 +49,19 @@ class PriceTrace {
 
     double PriceAt(SimTime t);
 
+    // How many queries arrived earlier than their predecessor. Backward
+    // seeks are correct (served by the binary-search fallback) but defeat
+    // the amortized-O(1) walk; monotone users -- SpotMarket's now-cursor,
+    // MeanPrice's sweep -- should keep this at zero, so a nonzero value
+    // flags a non-monotone access pattern worth auditing.
+    int64_t backward_seeks() const { return backward_seeks_; }
+
    private:
     const PriceTrace* trace_ = nullptr;
     size_t index_ = 0;  // last change point with time <= previous query
+    bool has_query_ = false;
+    SimTime last_query_;
+    int64_t backward_seeks_ = 0;
   };
 
   // Appends a change point; must not go backwards in time.

@@ -13,10 +13,21 @@ SpotMarket::SpotMarket(MarketKey key, std::shared_ptr<const PriceTrace> trace)
     : key_(key), trace_(std::move(trace)), now_cursor_(trace_.get()) {}
 
 double SpotMarket::CurrentPrice() const {
+  MetricInc(price_lookups_metric_);
   if (sim_ == nullptr) {
     return trace_->empty() ? 0.0 : trace_->points().front().price;
   }
   return now_cursor_.PriceAt(sim_->Now());
+}
+
+void SpotMarket::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    price_lookups_metric_ = nullptr;
+    price_changes_metric_ = nullptr;
+    return;
+  }
+  price_lookups_metric_ = &metrics->Counter("market.price_lookups");
+  price_changes_metric_ = &metrics->Counter("market.price_changes_fired");
 }
 
 int64_t SpotMarket::Subscribe(PriceListener listener) {
@@ -38,6 +49,7 @@ void SpotMarket::Attach(Simulator* sim) {
 }
 
 void SpotMarket::FireListeners(double price) {
+  MetricInc(price_changes_metric_);
   // Copy: listeners may subscribe/unsubscribe during dispatch.
   std::vector<PriceListener> snapshot;
   snapshot.reserve(listeners_.size());
@@ -57,6 +69,7 @@ SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
     auto market = std::make_unique<SpotMarket>(
         key, TraceCatalog::Global().GetOrGenerate(key, horizon, seed, &was_hit));
     ++(was_hit ? trace_cache_hits_ : trace_cache_misses_);
+    market->set_metrics(metrics_);
     market->Attach(sim_);
     it = markets_.emplace(key, std::move(market)).first;
   }
@@ -65,6 +78,7 @@ SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
 
 SpotMarket& MarketPlace::AddWithTrace(MarketKey key, PriceTrace trace) {
   auto market = std::make_unique<SpotMarket>(key, std::move(trace));
+  market->set_metrics(metrics_);
   market->Attach(sim_);
   auto [it, inserted] = markets_.insert_or_assign(key, std::move(market));
   return *it->second;

@@ -17,6 +17,7 @@
 #include "src/common/time.h"
 #include "src/market/instance_types.h"
 #include "src/market/price_trace.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace spotcheck {
@@ -49,6 +50,11 @@ class SpotMarket {
   // Call once; listeners registered later still receive subsequent changes.
   void Attach(Simulator* sim);
 
+  // Registers this market's instruments (market.price_lookups,
+  // market.price_changes_fired -- shared across all markets of one
+  // simulation). Observational only; `metrics` must outlive the market.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   void FireListeners(double price);
 
@@ -58,6 +64,8 @@ class SpotMarket {
   mutable PriceTrace::Cursor now_cursor_;
   int64_t next_listener_id_ = 0;
   std::map<int64_t, PriceListener> listeners_;
+  MetricCounter* price_lookups_metric_ = nullptr;
+  MetricCounter* price_changes_metric_ = nullptr;
 };
 
 // Owns the set of markets for a simulation and builds them from calibrated
@@ -67,7 +75,9 @@ class SpotMarket {
 // generating its own.
 class MarketPlace {
  public:
-  explicit MarketPlace(Simulator* sim) : sim_(sim) {}
+  // `metrics` (optional) is handed to every market this place creates.
+  explicit MarketPlace(Simulator* sim, MetricsRegistry* metrics = nullptr)
+      : sim_(sim), metrics_(metrics) {}
 
   // Creates (or returns the existing) market for `key`, fetching the
   // calibrated trace over `horizon` with `seed` from the TraceCatalog (which
@@ -88,6 +98,7 @@ class MarketPlace {
 
  private:
   Simulator* sim_;
+  MetricsRegistry* metrics_ = nullptr;
   std::map<MarketKey, std::unique_ptr<SpotMarket>> markets_;
   int64_t trace_cache_hits_ = 0;
   int64_t trace_cache_misses_ = 0;

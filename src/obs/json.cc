@@ -1,0 +1,132 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spotcheck {
+
+std::string JsonWriter::Escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Prepare(bool is_key) {
+  if (after_key_) {
+    // Value directly following its key: "key": <value>.
+    after_key_ = false;
+    return;
+  }
+  if (has_element_.empty()) {
+    return;  // Top-level value.
+  }
+  if (has_element_.back()) {
+    out_ += ',';
+  }
+  has_element_.back() = true;
+  out_ += '\n';
+  out_.append(has_element_.size() * 2, ' ');
+  (void)is_key;
+}
+
+void JsonWriter::BeginObject() {
+  Prepare(false);
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  const bool had_elements = !has_element_.empty() && has_element_.back();
+  has_element_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    out_.append(has_element_.size() * 2, ' ');
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Prepare(false);
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  const bool had_elements = !has_element_.empty() && has_element_.back();
+  has_element_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    out_.append(has_element_.size() * 2, ' ');
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view name) {
+  Prepare(true);
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prepare(false);
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prepare(false);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  Prepare(false);
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prepare(false);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Prepare(false);
+  out_ += "null";
+}
+
+}  // namespace spotcheck

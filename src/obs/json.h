@@ -1,0 +1,64 @@
+// Minimal JSON emitter for observability artifacts (run reports, metric
+// dumps). Write-only by design: the simulator never consumes JSON, it only
+// exports it for offline tooling, so a ~100-line append-only writer beats a
+// dependency on a full JSON library.
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("counters");
+//   w.BeginObject();
+//   w.Key("sim.events_fired"); w.Int(42);
+//   w.EndObject();
+//   w.EndObject();
+//   std::string text = w.str();
+//
+// The writer inserts commas automatically and indents two spaces per level.
+// Doubles are emitted with enough digits (%.17g) to round-trip bit-exactly;
+// NaN/Inf (not representable in JSON) are emitted as null.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spotcheck {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value (or container).
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+  // Escapes `value` per RFC 8259 (quotes, backslash, control characters).
+  static std::string Escape(std::string_view value);
+
+ private:
+  // Emits the separating comma/newline/indent owed before a new value or key.
+  void Prepare(bool is_key);
+
+  std::string out_;
+  // One entry per open container: true when at least one element was written
+  // (so the next element needs a leading comma).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,157 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+
+namespace spotcheck {
+
+MetricHistogram::MetricHistogram(double lo, double hi, size_t bins)
+    : lo_(lo),
+      hi_(hi > lo ? hi : lo + 1.0),
+      inv_width_(static_cast<double>(bins == 0 ? 1 : bins) / (hi_ - lo_)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void MetricHistogram::Observe(double x) {
+  const double scaled = (x - lo_) * inv_width_;
+  size_t bin;
+  if (scaled <= 0.0) {
+    bin = 0;
+  } else if (scaled >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<size_t>(scaled);
+  }
+  ++counts_[bin];
+  if (total_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+}
+
+double MetricHistogram::BinLowerEdge(size_t bin) const {
+  return lo_ + static_cast<double>(bin) / inv_width_;
+}
+
+MetricCounter& MetricsRegistry::Counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<MetricCounter>())
+              .first->second;
+}
+
+MetricGauge& MetricsRegistry::Gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<MetricGauge>())
+              .first->second;
+}
+
+MetricHistogram& MetricsRegistry::Histogram(std::string_view name, double lo,
+                                            double hi, size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<MetricHistogram>(lo, hi, bins))
+              .first->second;
+}
+
+const MetricCounter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const MetricGauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const MetricHistogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name);
+    json.Int(counter->value());
+  }
+  json.EndObject();
+
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("value");
+    json.Double(gauge->value());
+    json.Key("max");
+    json.Double(gauge->max());
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("lo");
+    json.Double(histogram->lo());
+    json.Key("hi");
+    json.Double(histogram->hi());
+    json.Key("total");
+    json.Int(histogram->total());
+    json.Key("sum");
+    json.Double(histogram->sum());
+    json.Key("min");
+    json.Double(histogram->min());
+    json.Key("max");
+    json.Double(histogram->max());
+    // Sparse bins: a 64-bin histogram with three occupied bins serializes
+    // three entries, keyed by bin index with its lower edge alongside.
+    json.Key("bins");
+    json.BeginArray();
+    for (size_t b = 0; b < histogram->num_bins(); ++b) {
+      if (histogram->bin_count(b) == 0) {
+        continue;
+      }
+      json.BeginObject();
+      json.Key("index");
+      json.Int(static_cast<int64_t>(b));
+      json.Key("lower_edge");
+      json.Double(histogram->BinLowerEdge(b));
+      json.Key("count");
+      json.Int(histogram->bin_count(b));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.str();
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,153 @@
+// Lightweight metrics for simulation observability.
+//
+// A MetricsRegistry owns named counters, gauges, and fixed-bin histograms.
+// Components look their instruments up ONCE (at construction) and keep the
+// returned references; after that, recording is a plain integer add or a
+// couple of compares -- cheap enough for the simulator hot path, which
+// executes tens of millions of events per six-month evaluation cell.
+//
+// Design constraints, in order:
+//   * Zero behavioral footprint: instruments only observe. Simulation
+//     results must be bit-identical with metrics on, off, or absent.
+//   * Per-cell isolation: each evaluation cell owns its registry, so the
+//     parallel grid needs no atomics and cells never share mutable state.
+//   * Stable references: instruments are heap-allocated once and never move,
+//     so cached pointers survive later registrations.
+//   * Null-tolerant call sites: every instrumented component accepts a
+//     nullable MetricsRegistry*; the MetricCounter::Inc-style free helpers
+//     below make "metrics absent" a single well-predicted branch.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spotcheck {
+
+class JsonWriter;
+
+// Monotonically increasing integer count (events, operations, bytes).
+class MetricCounter {
+ public:
+  void Increment(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-written value plus the running peak (queue depths, pool sizes).
+class MetricGauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+// the first/last bin, so total() always equals the number of observations.
+// Tracks sum/min/max exactly (unbinned) for reconciliation.
+class MetricHistogram {
+ public:
+  MetricHistogram(double lo, double hi, size_t bins);
+
+  void Observe(double x);
+
+  int64_t total() const { return total_; }
+  double sum() const { return sum_; }
+  double min() const { return total_ > 0 ? min_ : 0.0; }
+  double max() const { return total_ > 0 ? max_ : 0.0; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t num_bins() const { return counts_.size(); }
+  int64_t bin_count(size_t bin) const { return counts_[bin]; }
+  double BinLowerEdge(size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;  // bins / (hi - lo), hoisted out of the hot path
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Null-tolerant recording helpers: instrumented components keep nullable
+// instrument pointers (null when the owner was built without a registry).
+inline void MetricInc(MetricCounter* c, int64_t n = 1) {
+  if (c != nullptr) {
+    c->Increment(n);
+  }
+}
+inline void MetricSet(MetricGauge* g, double v) {
+  if (g != nullptr) {
+    g->Set(v);
+  }
+}
+inline void MetricObserve(MetricHistogram* h, double x) {
+  if (h != nullptr) {
+    h->Observe(x);
+  }
+}
+
+// Owns every instrument of one simulation (one evaluation cell). Lookup is
+// by name and creates on first use; names are dot-scoped by subsystem
+// ("controller.evacuations"). NOT thread-safe: a registry belongs to exactly
+// one simulation, which is single-threaded by construction.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. Re-registering an existing name returns the same instance (for
+  // histograms, the original bin layout wins). Registering a name that
+  // exists as a different instrument kind returns a fresh instrument that
+  // is NOT serialized twice -- callers should keep kinds distinct per name.
+  MetricCounter& Counter(std::string_view name);
+  MetricGauge& Gauge(std::string_view name);
+  MetricHistogram& Histogram(std::string_view name, double lo, double hi,
+                             size_t bins);
+
+  // Read-side lookups for reports and tests; null when never registered.
+  const MetricCounter* FindCounter(std::string_view name) const;
+  const MetricGauge* FindGauge(std::string_view name) const;
+  const MetricHistogram* FindHistogram(std::string_view name) const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Serializes every instrument, sorted by name within kind, as the JSON
+  // object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void WriteJson(JsonWriter& json) const;
+  std::string ToJson() const;
+
+ private:
+  // std::map keeps serialization deterministically name-sorted; unique_ptr
+  // keeps instrument addresses stable across rehash-free growth.
+  std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>> histograms_;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_OBS_METRICS_H_

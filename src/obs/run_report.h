@@ -1,0 +1,69 @@
+// Per-evaluation-cell run report.
+//
+// One RunReport captures everything a single evaluation cell observed: every
+// instrument of its MetricsRegistry, the controller's structured event
+// timeline, TraceCatalog hit/miss diagnostics, and a flat summary of the
+// cell's configuration and headline results. Serialized as one
+// `run_report.json` per cell (see --run-report-dir on the figure benches),
+// it is the substrate for answering "which subsystem produced this number"
+// without rerunning the simulation.
+//
+// This module deliberately depends only on src/common: the core layer
+// converts its ControllerEventLog into the generic RunReportEvent rows
+// below, so spotcheck_obs can sit underneath every other library.
+
+#ifndef SRC_OBS_RUN_REPORT_H_
+#define SRC_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace spotcheck {
+
+// One controller decision, flattened to strings for serialization.
+struct RunReportEvent {
+  double time_s = 0.0;
+  std::string kind;
+  std::string vm;      // empty when host-scoped
+  std::string host;    // empty when not applicable
+  std::string market;
+  std::string detail;
+};
+
+struct RunReport {
+  // Cell identity, e.g. "1P-M/spotcheck-lazy-restore"; set by the runner.
+  std::string label;
+  // Flat (name, value) summary of the cell's config and EvaluationResult
+  // fields, in insertion order. Doubles carry ints exactly up to 2^53,
+  // far beyond any counter this simulator produces.
+  std::vector<std::pair<std::string, double>> summary;
+  // The cell's full metrics registry (shared with the finished simulation).
+  std::shared_ptr<const MetricsRegistry> metrics;
+  // The controller's event timeline, flattened.
+  std::vector<RunReportEvent> events;
+  // TraceCatalog diagnostics (scheduling-order dependent under concurrency).
+  int64_t trace_cache_hits = 0;
+  int64_t trace_cache_misses = 0;
+
+  void AddSummary(std::string name, double value) {
+    summary.emplace_back(std::move(name), value);
+  }
+
+  // {"label": ..., "summary": {...}, "trace_catalog": {...},
+  //  "metrics": {...}, "events": [...]}
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path` (creating parent directories); false on I/O
+  // error. The report is an observability artifact: callers should report
+  // failures without aborting the run.
+  bool WriteTo(const std::string& path) const;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_OBS_RUN_REPORT_H_

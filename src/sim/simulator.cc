@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace spotcheck {
+
+Simulator::Simulator(MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    events_scheduled_metric_ = &metrics->Counter("sim.events_scheduled");
+    events_fired_metric_ = &metrics->Counter("sim.events_fired");
+    events_cancelled_metric_ = &metrics->Counter("sim.events_cancelled");
+    heap_depth_metric_ = &metrics->Gauge("sim.heap_depth");
+  }
+}
 
 uint32_t Simulator::AllocSlot(EventCallback callback) {
   uint32_t slot;
@@ -83,6 +94,8 @@ void Simulator::PopHeapTop() {
 void Simulator::PushEvent(SimTime when, uint32_t slot, uint32_t generation) {
   heap_.push_back(QueuedEvent{when, next_seq_++, slot, generation});
   SiftUp(heap_.size() - 1);
+  MetricInc(events_scheduled_metric_);
+  MetricSet(heap_depth_metric_, static_cast<double>(heap_.size()));
 }
 
 EventHandle Simulator::ScheduleAt(SimTime when, EventCallback callback) {
@@ -125,6 +138,7 @@ void Simulator::Cancel(EventHandle handle) {
   }
   s.cancelled = true;
   ++cancelled_pending_;
+  MetricInc(events_cancelled_metric_);
 }
 
 void Simulator::RunOne() {
@@ -138,6 +152,7 @@ void Simulator::RunOne() {
   }
   now_ = ev.when;
   ++events_executed_;
+  MetricInc(events_fired_metric_);
   // The callback is moved out before invocation: it may schedule new events
   // (growing or reusing the slot pool, which would invalidate in-place
   // storage) or Cancel() its own now-stale handle (a no-op).

@@ -32,6 +32,10 @@
 
 namespace spotcheck {
 
+class MetricCounter;
+class MetricGauge;
+class MetricsRegistry;
+
 using EventCallback = UniqueCallback;
 
 // Identifies a scheduled event for cancellation. Default-constructed handles
@@ -53,7 +57,10 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // `metrics`, when non-null, receives the kernel's counters
+  // (sim.events_scheduled / fired / cancelled) and the peak heap depth
+  // (sim.heap_depth). Purely observational; must outlive the simulator.
+  explicit Simulator(MetricsRegistry* metrics = nullptr);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -135,6 +142,12 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   size_t cancelled_pending_ = 0;  // cancelled events still sitting in heap_
+
+  // Observability instruments; all null when built without a registry.
+  MetricCounter* events_scheduled_metric_ = nullptr;
+  MetricCounter* events_fired_metric_ = nullptr;
+  MetricCounter* events_cancelled_metric_ = nullptr;
+  MetricGauge* heap_depth_metric_ = nullptr;
 };
 
 }  // namespace spotcheck

@@ -36,6 +36,25 @@ bool MechanismNeedsBackup(MigrationMechanism mechanism) {
   return mechanism != MigrationMechanism::kXenLiveMigration;
 }
 
+MigrationEngine::MigrationEngine(Simulator* sim, ActivityLog* log,
+                                 MigrationEngineConfig config,
+                                 MetricsRegistry* metrics)
+    : sim_(sim), log_(log), config_(config) {
+  if (metrics != nullptr) {
+    live_migrations_metric_ = &metrics->Counter("virt.live_migrations");
+    evacuations_metric_ = &metrics->Counter("virt.evacuations");
+    failed_migrations_metric_ = &metrics->Counter("virt.failed_migrations");
+    crash_recoveries_metric_ = &metrics->Counter("virt.crash_recoveries");
+    restore_bytes_mb_metric_ = &metrics->Counter("virt.restore_bytes_mb");
+    // Restores span milliseconds (optimized lazy) to minutes (thrashing
+    // full restores of large VMs).
+    restore_duration_metric_ =
+        &metrics->Histogram("virt.restore_duration_s", 0.0, 300.0, 60);
+    downtime_metric_ =
+        &metrics->Histogram("virt.evacuation_downtime_s", 0.0, 300.0, 60);
+  }
+}
+
 void MigrationEngine::LiveMigrate(NestedVm& vm, MigrationDoneCallback done) {
   PreCopyParams params;
   params.memory_mb = vm.spec().memory_mb;
@@ -53,6 +72,7 @@ void MigrationEngine::LiveMigrate(NestedVm& vm, MigrationDoneCallback done) {
     vm.set_state(NestedVmState::kRunning);
     vm.count_migration();
     ++live_migrations_;
+    MetricInc(live_migrations_metric_);
     if (done) {
       done(MigrationOutcome{true, plan.downtime, SimDuration::Zero(), resume_at});
     }
@@ -72,6 +92,7 @@ void MigrationEngine::LiveEvacuate(NestedVm& vm, SimTime deadline,
   if (!FitsWithinWarning(plan, deadline - now)) {
     vm.set_state(NestedVmState::kFailed);
     ++failed_migrations_;
+    MetricInc(failed_migrations_metric_);
     log_->MarkDeath(vm.id(), deadline);
     SPOTCHECK_LOG(kWarning) << "nested VM " << vm.id().ToString()
                             << " lost: live migration (" << plan.total.seconds()
@@ -100,6 +121,7 @@ void MigrationEngine::BeginEvacuation(NestedVm& vm, MigrationMechanism mechanism
 
   vm.set_state(NestedVmState::kMigrating);
   ++evacuations_;
+  MetricInc(evacuations_metric_);
 
   SimTime pause_start;
   SimDuration commit;
@@ -131,6 +153,7 @@ void MigrationEngine::BeginCrashRecovery(NestedVm& vm, SimTime failed_at) {
   vm.set_state(NestedVmState::kMigrating);
   pause_start_[vm.id()] = failed_at;
   ++crash_recoveries_;
+  MetricInc(crash_recoveries_metric_);
 }
 
 void MigrationEngine::CompleteEvacuation(NestedVm& vm,
@@ -168,6 +191,16 @@ void MigrationEngine::CompleteEvacuation(NestedVm& vm,
                  ActivityKind::kDegraded);
   }
   const SimDuration downtime = resume_at - pause_start;
+  // Full restores pull the whole image up front; lazy restores page the same
+  // total in over the degraded window, so either way the backup server moves
+  // the full memory image (plus the skeleton for lazy).
+  MetricInc(restore_bytes_mb_metric_,
+            static_cast<int64_t>(vm.spec().memory_mb +
+                                 (kind == RestoreKind::kLazy ? config_.skeleton_mb
+                                                             : 0.0)));
+  MetricObserve(restore_duration_metric_,
+                (config_.ec2_ops_downtime + outcome.downtime).seconds());
+  MetricObserve(downtime_metric_, downtime.seconds());
   sim_->ScheduleAt(
       resume_at,
       [this, &vm, downtime, lazy_degraded, resume_at, done = std::move(done)]() {

@@ -29,6 +29,7 @@
 #include <string_view>
 
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/virt/activity_log.h"
 #include "src/virt/migration_models.h"
@@ -73,8 +74,10 @@ using MigrationDoneCallback = std::function<void(const MigrationOutcome&)>;
 
 class MigrationEngine {
  public:
-  MigrationEngine(Simulator* sim, ActivityLog* log, MigrationEngineConfig config = {})
-      : sim_(sim), log_(log), config_(config) {}
+  // `metrics` (optional) registers the virt.* counters and the
+  // restore-duration / downtime histograms; must outlive the engine.
+  MigrationEngine(Simulator* sim, ActivityLog* log, MigrationEngineConfig config = {},
+                  MetricsRegistry* metrics = nullptr);
 
   const MigrationEngineConfig& config() const { return config_; }
 
@@ -130,6 +133,15 @@ class MigrationEngine {
   int64_t evacuations_ = 0;
   int64_t failed_migrations_ = 0;
   int64_t crash_recoveries_ = 0;
+
+  // Observability instruments; all null without a registry.
+  MetricCounter* live_migrations_metric_ = nullptr;
+  MetricCounter* evacuations_metric_ = nullptr;
+  MetricCounter* failed_migrations_metric_ = nullptr;
+  MetricCounter* crash_recoveries_metric_ = nullptr;
+  MetricCounter* restore_bytes_mb_metric_ = nullptr;
+  MetricHistogram* restore_duration_metric_ = nullptr;
+  MetricHistogram* downtime_metric_ = nullptr;
 };
 
 }  // namespace spotcheck

@@ -159,5 +159,61 @@ TEST(EvaluationTest, ProactiveBiddingReducesRevocations) {
   EXPECT_LT(proactive_result.revocation_events, reactive_result.revocation_events + 1);
 }
 
+TEST(EvaluationTest, RunReportReconcilesWithResultCounters) {
+  EvaluationConfig config = BaseConfig();
+  config.policy = MappingPolicyKind::k2PML;
+  const EvaluationResult result = RunPolicyEvaluation(config);
+  // Metrics are on by default and produce a report...
+  ASSERT_NE(result.report, nullptr);
+  const RunReport& report = *result.report;
+  ASSERT_NE(report.metrics, nullptr);
+  // ...whose instrument totals must agree with the headline result fields:
+  // both sides count the same underlying events through different plumbing.
+  const auto counter = [&](const char* name) {
+    const MetricCounter* c = report.metrics->FindCounter(name);
+    return c == nullptr ? int64_t{-1} : c->value();
+  };
+  EXPECT_EQ(counter("controller.revocation_events"), result.revocation_events);
+  EXPECT_EQ(counter("virt.evacuations"), result.evacuations);
+  EXPECT_EQ(counter("controller.repatriations"), result.repatriations);
+  EXPECT_EQ(counter("virt.failed_migrations"), result.failed_migrations);
+  EXPECT_EQ(counter("controller.stagings"), result.stagings);
+  EXPECT_EQ(counter("controller.stateless_respawns"),
+            result.stateless_respawns);
+  // The pool never decommissions servers, so provisioned == final count.
+  EXPECT_EQ(counter("backup.servers_provisioned"), result.num_backup_servers);
+  EXPECT_EQ(report.trace_cache_hits, result.trace_cache_hits);
+  EXPECT_EQ(report.trace_cache_misses, result.trace_cache_misses);
+  // A revocation-heavy run exercised the instruments at all.
+  EXPECT_GT(counter("cloud.launches"), 0);
+  EXPECT_GT(counter("sim.events_fired"), 0);
+  // The event timeline is populated and every event carries a kind.
+  EXPECT_FALSE(report.events.empty());
+  for (const RunReportEvent& event : report.events) {
+    EXPECT_FALSE(event.kind.empty());
+  }
+}
+
+TEST(EvaluationTest, DisablingMetricsDropsReportButNotResults) {
+  EvaluationConfig config = BaseConfig();
+  config.policy = MappingPolicyKind::k2PML;
+  EvaluationConfig bare = config;
+  bare.collect_metrics = false;
+  const EvaluationResult with = RunPolicyEvaluation(config);
+  const EvaluationResult without = RunPolicyEvaluation(bare);
+  EXPECT_NE(with.report, nullptr);
+  EXPECT_EQ(without.report, nullptr);
+  // Instrumentation is purely observational: numeric results are
+  // bit-identical with metrics on or off.
+  EXPECT_EQ(with.avg_cost_per_vm_hour, without.avg_cost_per_vm_hour);
+  EXPECT_EQ(with.unavailability_pct, without.unavailability_pct);
+  EXPECT_EQ(with.degradation_pct, without.degradation_pct);
+  EXPECT_EQ(with.revocation_events, without.revocation_events);
+  EXPECT_EQ(with.evacuations, without.evacuations);
+  EXPECT_EQ(with.repatriations, without.repatriations);
+  EXPECT_EQ(with.native_cost, without.native_cost);
+  EXPECT_EQ(with.backup_cost, without.backup_cost);
+}
+
 }  // namespace
 }  // namespace spotcheck

@@ -63,6 +63,35 @@ TEST(StormTrackerTest, SmallBatchesBelowQuarterIgnored) {
   EXPECT_EQ(probs.all, 0.0);
 }
 
+TEST(StormTrackerTest, StormStraddlingWindowBoundaryIsOneStorm) {
+  // Regression: one storm landing exactly on a fixed 360 s bucket boundary.
+  // The revocations at 350 s and 370 s are 20 s apart -- one storm by any
+  // reasonable definition -- but fixed [k*360, (k+1)*360) bucketing split
+  // them into two half-size groups (half = 2/10, all = 0). The sliding
+  // window groups them: all = 1/10, nothing in the lower buckets.
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(350), 20);
+  tracker.RecordBatch(At(370), 20);
+  const auto probs = tracker.Probabilities(40, SimDuration::Seconds(360),
+                                           SimDuration::Hours(1));
+  EXPECT_DOUBLE_EQ(probs.all, 0.1);
+  EXPECT_EQ(probs.quarter, 0.0);
+  EXPECT_EQ(probs.half, 0.0);
+  EXPECT_EQ(probs.three_quarters, 0.0);
+}
+
+TEST(StormTrackerTest, BatchExactlyWindowApartStartsNewStorm) {
+  // The grouping window is half-open: a batch exactly `window` after the
+  // storm's first batch belongs to the next storm.
+  RevocationStormTracker tracker;
+  tracker.RecordBatch(At(0), 20);
+  tracker.RecordBatch(At(360), 20);
+  const auto probs = tracker.Probabilities(40, SimDuration::Seconds(360),
+                                           SimDuration::Hours(1));
+  EXPECT_DOUBLE_EQ(probs.half, 0.2);
+  EXPECT_EQ(probs.all, 0.0);
+}
+
 TEST(StormTrackerTest, DegenerateInputsAreSafe) {
   RevocationStormTracker tracker;
   tracker.RecordBatch(At(10), 10);

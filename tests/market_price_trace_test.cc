@@ -97,5 +97,43 @@ TEST(PriceTraceTest, FromCsvSortsRows) {
   EXPECT_DOUBLE_EQ(parsed.PriceAt(SimTime::FromSeconds(150)), 0.10);
 }
 
+TEST(PriceTraceCursorTest, MonotoneWalkMatchesPriceAtWithoutBackwardSeeks) {
+  const PriceTrace trace = MakeStepTrace();
+  PriceTrace::Cursor cursor(&trace);
+  for (int s = 0; s <= 300; s += 10) {
+    const SimTime t = SimTime::FromSeconds(s);
+    EXPECT_DOUBLE_EQ(cursor.PriceAt(t), trace.PriceAt(t)) << "t=" << s;
+  }
+  EXPECT_EQ(cursor.backward_seeks(), 0);
+}
+
+TEST(PriceTraceCursorTest, BackwardSeekFallsBackToBinarySearch) {
+  const PriceTrace trace = MakeStepTrace();
+  PriceTrace::Cursor cursor(&trace);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(250)), 0.02);
+  // Going backwards must still return the correct in-effect price at every
+  // point, served by the binary-search fallback.
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(150)), 0.10);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(50)), 0.02);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(100)), 0.10);  // forward again
+  EXPECT_EQ(cursor.backward_seeks(), 2);
+}
+
+TEST(PriceTraceCursorTest, RepeatedQueryAtSameTimeIsNotABackwardSeek) {
+  const PriceTrace trace = MakeStepTrace();
+  PriceTrace::Cursor cursor(&trace);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(100)), 0.10);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(100)), 0.10);
+  EXPECT_EQ(cursor.backward_seeks(), 0);
+}
+
+TEST(PriceTraceCursorTest, QueryBeforeFirstPointIsSafe) {
+  PriceTrace trace;
+  trace.Append(SimTime::FromSeconds(100), 0.05);
+  PriceTrace::Cursor cursor(&trace);
+  EXPECT_DOUBLE_EQ(cursor.PriceAt(SimTime::FromSeconds(10)), 0.05);
+  EXPECT_EQ(cursor.backward_seeks(), 0);
+}
+
 }  // namespace
 }  // namespace spotcheck

@@ -1,0 +1,123 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spotcheck {
+namespace {
+
+TEST(MetricCounterTest, IncrementsAccumulate) {
+  MetricsRegistry registry;
+  MetricCounter& counter = registry.Counter("test.events");
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(MetricGaugeTest, TracksValueAndPeak) {
+  MetricsRegistry registry;
+  MetricGauge& gauge = registry.Gauge("test.depth");
+  gauge.Set(3.0);
+  gauge.Set(9.0);
+  gauge.Set(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 9.0);
+}
+
+TEST(MetricHistogramTest, BinsObservationsAndClampsOutliers) {
+  MetricsRegistry registry;
+  MetricHistogram& hist = registry.Histogram("test.latency", 0.0, 10.0, 10);
+  hist.Observe(0.5);    // bin 0
+  hist.Observe(4.2);    // bin 4
+  hist.Observe(-3.0);   // clamps into bin 0
+  hist.Observe(123.0);  // clamps into bin 9
+  EXPECT_EQ(hist.total(), 4);
+  EXPECT_EQ(hist.bin_count(0), 2);
+  EXPECT_EQ(hist.bin_count(4), 1);
+  EXPECT_EQ(hist.bin_count(9), 1);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 4.2 - 3.0 + 123.0);
+  EXPECT_DOUBLE_EQ(hist.min(), -3.0);  // min/max are exact, not clamped
+  EXPECT_DOUBLE_EQ(hist.max(), 123.0);
+  EXPECT_DOUBLE_EQ(hist.BinLowerEdge(4), 4.0);
+}
+
+TEST(MetricHistogramTest, EmptyHistogramHasZeroStats) {
+  MetricsRegistry registry;
+  MetricHistogram& hist = registry.Histogram("test.empty", 0.0, 1.0, 4);
+  EXPECT_EQ(hist.total(), 0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+}
+
+TEST(MetricsRegistryTest, LookupIsCreateOnFirstUseAndStable) {
+  MetricsRegistry registry;
+  MetricCounter& a = registry.Counter("x");
+  a.Increment(5);
+  // Same name returns the same instrument; the address must be stable even
+  // after many later registrations (components cache raw pointers).
+  for (int i = 0; i < 100; ++i) {
+    registry.Counter("filler." + std::to_string(i));
+  }
+  MetricCounter& b = registry.Counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5);
+  EXPECT_EQ(registry.size(), 101u);
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForUnregisteredNames) {
+  MetricsRegistry registry;
+  registry.Counter("present");
+  EXPECT_NE(registry.FindCounter("present"), nullptr);
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindGauge("present"), nullptr);  // different kind
+  EXPECT_EQ(registry.FindHistogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, RegistriesAreIsolated) {
+  // One registry per evaluation cell: instruments of the same name in
+  // different registries never alias (this is what makes the parallel grid
+  // safe without atomics).
+  MetricsRegistry cell_a;
+  MetricsRegistry cell_b;
+  MetricCounter& a = cell_a.Counter("controller.revocation_events");
+  MetricCounter& b = cell_b.Counter("controller.revocation_events");
+  EXPECT_NE(&a, &b);
+  a.Increment(7);
+  EXPECT_EQ(b.value(), 0);
+}
+
+TEST(MetricsRegistryTest, NullTolerantHelpersAreNoops) {
+  MetricInc(nullptr);
+  MetricInc(nullptr, 10);
+  MetricSet(nullptr, 1.0);
+  MetricObserve(nullptr, 1.0);
+  // And with real instruments they record.
+  MetricsRegistry registry;
+  MetricCounter& c = registry.Counter("c");
+  MetricInc(&c, 3);
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(MetricsRegistryTest, JsonSerializesAllKindsSorted) {
+  MetricsRegistry registry;
+  registry.Counter("b.count").Increment(2);
+  registry.Counter("a.count").Increment(1);
+  registry.Gauge("g.depth").Set(4.5);
+  registry.Histogram("h.lat", 0.0, 10.0, 5).Observe(2.5);
+  const std::string json = registry.ToJson();
+  // Counters serialize name-sorted regardless of registration order.
+  const size_t a_pos = json.find("\"a.count\": 1");
+  const size_t b_pos = json.find("\"b.count\": 2");
+  ASSERT_NE(a_pos, std::string::npos) << json;
+  ASSERT_NE(b_pos, std::string::npos) << json;
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_NE(json.find("\"g.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spotcheck
