@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/csv_out.h"
+#include "src/chaos/chaos_config.h"
 #include "src/common/flags.h"
 #include "src/core/parallel_evaluation.h"
 
@@ -46,18 +47,26 @@ struct GridBenchArgs {
   // <dir>/<bench>/<cell>/run_report.json (metrics, controller events,
   // summary).
   std::string run_report_dir;
+  // Fault-injection intensity (0 = off, 1-3 = ChaosConfigForLevel presets)
+  // and the schedule seed. Level 0 leaves every cell bit-identical to a
+  // chaos-free run regardless of the seed.
+  int chaos_level = 0;
+  uint64_t chaos_seed = 1337;
 };
 
-// Parses --jobs=N and --run-report-dir=PATH; warns on unknown flags.
+// Parses --jobs=N, --run-report-dir=PATH, --chaos-level=L, --chaos-seed=S;
+// warns on unknown flags.
 inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
   GridBenchArgs args;
   args.jobs = static_cast<int>(flags.GetInt("jobs", 0));
   args.run_report_dir = flags.GetString("run-report-dir", "");
+  args.chaos_level = static_cast<int>(flags.GetInt("chaos-level", 0));
+  args.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed", 1337));
   for (const std::string& flag : flags.UnconsumedFlags()) {
     std::fprintf(stderr,
                  "warning: unknown flag --%s (supported: --jobs=N, "
-                 "--run-report-dir=PATH)\n",
+                 "--run-report-dir=PATH, --chaos-level=L, --chaos-seed=S)\n",
                  flag.c_str());
   }
   return args;
@@ -89,7 +98,9 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
   configs.reserve(kGridPolicies.size() * kGridMechanisms.size());
   for (MappingPolicyKind policy : kGridPolicies) {
     for (MigrationMechanism mechanism : kGridMechanisms) {
-      configs.push_back(GridConfig(policy, mechanism));
+      EvaluationConfig config = GridConfig(policy, mechanism);
+      config.chaos = ChaosConfigForLevel(args.chaos_level, args.chaos_seed);
+      configs.push_back(config);
     }
   }
   const std::vector<EvaluationResult> results =

@@ -5,6 +5,7 @@ namespace spotcheck {
 BackupServer& BackupPool::Provision(SimTime now) {
   servers_.push_back(std::make_unique<BackupServer>(
       ids_.Next(), config_.server_type, config_.perf, config_.max_vms_per_server));
+  servers_.back()->set_restore_bandwidth_scale(restore_bandwidth_scale_);
   provisioned_at_.push_back(now);
   MetricInc(servers_provisioned_metric_);
   return *servers_.back();

@@ -71,6 +71,16 @@ class BackupPool {
   // long-lived on-demand instances).
   double TotalAccruedCost(SimTime now) const;
 
+  // Fault-injection knob (src/chaos): scales restore bandwidth on every
+  // server, current and future, until reset to 1.0.
+  void SetRestoreBandwidthScale(double scale) {
+    restore_bandwidth_scale_ = scale;
+    for (auto& server : servers_) {
+      server->set_restore_bandwidth_scale(scale);
+    }
+  }
+  double restore_bandwidth_scale() const { return restore_bandwidth_scale_; }
+
  private:
   BackupServer& Provision(SimTime now);
   void RecordAssignment(const BackupServer& server);
@@ -81,6 +91,7 @@ class BackupPool {
   std::vector<SimTime> provisioned_at_;  // parallel to servers_
   std::unordered_map<NestedVmId, BackupServer*> assignment_;
   size_t rr_cursor_ = 0;
+  double restore_bandwidth_scale_ = 1.0;
 
   // Observability instruments; all null without a registry.
   MetricCounter* servers_provisioned_metric_ = nullptr;

@@ -64,7 +64,7 @@ double BackupServer::PerVmRestoreBandwidth(RestoreKind kind, bool optimized,
   const double disk_aggregate = disk_bw / (1.0 + thrash * static_cast<double>(n - 1));
   const double per_vm_disk = disk_aggregate / static_cast<double>(n);
   const double per_vm_net = perf_.network_mbps / static_cast<double>(n);
-  return std::min(per_vm_disk, per_vm_net);
+  return std::min(per_vm_disk, per_vm_net) * restore_bandwidth_scale_;
 }
 
 }  // namespace spotcheck

@@ -92,6 +92,14 @@ class BackupServer : public RestoreBandwidthSource {
   double PerVmRestoreBandwidth(RestoreKind kind, bool optimized,
                                int concurrent) const override;
 
+  // Fault-injection knob (src/chaos): multiplies the restore bandwidth this
+  // server delivers (0 < scale <= 1 models a degraded/congested server; 1.0
+  // restores nominal performance).
+  void set_restore_bandwidth_scale(double scale) {
+    restore_bandwidth_scale_ = scale;
+  }
+  double restore_bandwidth_scale() const { return restore_bandwidth_scale_; }
+
   const BackupServerPerf& perf() const { return perf_; }
 
  private:
@@ -102,6 +110,7 @@ class BackupServer : public RestoreBandwidthSource {
   std::map<NestedVmId, double> streams_;
   double demand_mbps_ = 0.0;
   int active_restores_ = 0;
+  double restore_bandwidth_scale_ = 1.0;
 };
 
 }  // namespace spotcheck

@@ -1,0 +1,37 @@
+#include "src/chaos/chaos_config.h"
+
+#include <algorithm>
+
+namespace spotcheck {
+
+ChaosConfig ChaosConfigForLevel(int level, uint64_t seed) {
+  ChaosConfig config;
+  config.seed = seed;
+  switch (std::clamp(level, 0, 3)) {
+    case 0:
+      break;  // all rates zero: injection disabled
+    case 1:
+      config.instance_failures_per_day = 0.25;
+      config.price_shocks_per_day = 0.25;
+      break;
+    case 2:
+      config.instance_failures_per_day = 1.0;
+      config.price_shocks_per_day = 1.0;
+      config.zone_outages_per_day = 0.1;
+      config.capacity_faults_per_day = 0.5;
+      config.backup_degradations_per_day = 0.5;
+      break;
+    case 3:
+      config.instance_failures_per_day = 4.0;
+      config.price_shocks_per_day = 4.0;
+      config.zone_outages_per_day = 0.5;
+      config.capacity_faults_per_day = 2.0;
+      config.backup_degradations_per_day = 2.0;
+      config.price_shock_multiplier = 50.0;
+      config.backup_degradation_scale = 0.1;
+      break;
+  }
+  return config;
+}
+
+}  // namespace spotcheck

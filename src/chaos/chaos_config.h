@@ -1,0 +1,89 @@
+// Fault-injection configuration (the "chaos" layer).
+//
+// SpotCheck's value proposition is surviving adversity -- revocation storms,
+// zone outages, lost live-migration races (Sections 3.2, 4.3, Table 3) --
+// but the figure benches only exercise those paths incidentally. A
+// ChaosConfig describes *systematic* adversity as per-category Poisson rates
+// and window lengths; FaultPlan::Compile turns it into a deterministic,
+// seeded schedule of injected faults, and a ChaosEngine replays that
+// schedule against a live simulation through the platform's existing hooks.
+//
+// Determinism contract: everything stochastic about a fault schedule is a
+// pure function of (ChaosConfig, window) -- the plan is compiled up front
+// from dedicated Rng streams and never draws from any simulation component's
+// stream. A default-constructed ChaosConfig has every rate at zero and
+// injects nothing: simulations are bit-identical to a build without the
+// chaos layer.
+
+#ifndef SRC_CHAOS_CHAOS_CONFIG_H_
+#define SRC_CHAOS_CHAOS_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace spotcheck {
+
+struct ChaosConfig {
+  // Seed for the fault schedule's Rng streams (one per fault category) and
+  // for the engine's victim picks. Independent of the simulation seed so the
+  // same workload can be soaked under many fault schedules.
+  uint64_t seed = 1337;
+
+  // Zones eligible for injected outages: indices [zone_base, zone_base +
+  // num_zones). Mirror the controller's zone span.
+  int zone_base = 0;
+  int num_zones = 1;
+
+  // --- Instance failures ---------------------------------------------------
+  // Unannounced single-instance deaths (the platform loses a host with no
+  // revocation warning), Poisson-distributed over the run.
+  double instance_failures_per_day = 0.0;
+
+  // --- Zone outages --------------------------------------------------------
+  // Whole-zone platform failures (the paper cites an EC2 region outage
+  // [17]): every instance in the zone dies, launches fail until the zone
+  // recovers.
+  double zone_outages_per_day = 0.0;
+  SimDuration zone_outage_duration = SimDuration::Minutes(45);
+
+  // --- Price shocks --------------------------------------------------------
+  // Injected spot-price spikes overlaid on one market's trace: the price
+  // jumps to `price_shock_multiplier` x on-demand for the shock duration,
+  // revoking every out-bid instance in the pool, then snaps back.
+  double price_shocks_per_day = 0.0;
+  SimDuration price_shock_duration = SimDuration::Minutes(12);
+  double price_shock_multiplier = 25.0;
+
+  // --- Spot capacity faults ------------------------------------------------
+  // Windows during which every spot launch fails on completion (the native
+  // platform is out of spot capacity), forcing the controller down its
+  // on-demand fallback paths.
+  double capacity_faults_per_day = 0.0;
+  SimDuration capacity_fault_duration = SimDuration::Minutes(20);
+
+  // --- Backup bandwidth degradation ---------------------------------------
+  // Windows during which every backup server's restore bandwidth is scaled
+  // by `backup_degradation_scale` (network congestion / noisy neighbors),
+  // stretching restore times right when evacuations need them.
+  double backup_degradations_per_day = 0.0;
+  SimDuration backup_degradation_duration = SimDuration::Minutes(30);
+  double backup_degradation_scale = 0.25;
+
+  bool enabled() const {
+    return instance_failures_per_day > 0.0 || zone_outages_per_day > 0.0 ||
+           price_shocks_per_day > 0.0 || capacity_faults_per_day > 0.0 ||
+           backup_degradations_per_day > 0.0;
+  }
+};
+
+// Preset intensity ladder for --chaos-level on the grid benches and the soak
+// driver. Level 0 disables injection entirely; 1 = light (occasional
+// instance failures and price shocks), 2 = moderate (adds zone outages,
+// capacity faults, and backup degradation), 3 = heavy (storm-season rates).
+// Levels outside [0, 3] clamp.
+ChaosConfig ChaosConfigForLevel(int level, uint64_t seed = 1337);
+
+}  // namespace spotcheck
+
+#endif  // SRC_CHAOS_CHAOS_CONFIG_H_

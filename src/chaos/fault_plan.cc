@@ -1,0 +1,134 @@
+#include "src/chaos/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace spotcheck {
+namespace {
+
+// Stable per-category Split labels; changing one category's label (or rate)
+// must never reshuffle another's arrivals.
+constexpr uint64_t kInstanceFailureStream = 0xfa11;
+constexpr uint64_t kZoneOutageStream = 0x2035;
+constexpr uint64_t kPriceShockStream = 0x540c;
+constexpr uint64_t kCapacityFaultStream = 0xca9a;
+constexpr uint64_t kBackupDegradationStream = 0xbac0;
+
+// Appends Poisson arrivals of `kind` over [start, end) at `per_day`;
+// `decorate` fills the kind-specific fields from the category's own stream.
+template <typename DecorateFn>
+void CompileCategory(std::vector<FaultEvent>& out, FaultKind kind,
+                     double per_day, uint64_t seed, uint64_t stream_label,
+                     SimTime start, SimTime end, DecorateFn decorate) {
+  if (per_day <= 0.0 || end <= start) {
+    return;
+  }
+  Rng rng = Rng(seed).Split(stream_label);
+  const double rate_per_second = per_day / 86400.0;
+  SimTime t = start;
+  while (true) {
+    t = t + SimDuration::Seconds(rng.Exponential(rate_per_second));
+    if (t >= end) {
+      break;
+    }
+    FaultEvent event;
+    event.at = t;
+    event.kind = kind;
+    decorate(event, rng);
+    out.push_back(event);
+  }
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInstanceFailure:
+      return "instance-failure";
+    case FaultKind::kZoneOutage:
+      return "zone-outage";
+    case FaultKind::kPriceShock:
+      return "price-shock";
+    case FaultKind::kCapacityFault:
+      return "capacity-fault";
+    case FaultKind::kBackupDegradation:
+      return "backup-degradation";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  char line[128];
+  std::snprintf(line, sizeof(line), "t=%.3fs %s zone=%d dur=%.1fs mag=%.3f",
+                at.seconds(), std::string(FaultKindName(kind)).c_str(),
+                zone.index, duration.seconds(), magnitude);
+  return line;
+}
+
+FaultPlan FaultPlan::Compile(const ChaosConfig& config, SimTime start,
+                             SimTime end) {
+  FaultPlan plan;
+  plan.config_ = config;
+  std::vector<FaultEvent>& events = plan.events_;
+
+  CompileCategory(events, FaultKind::kInstanceFailure,
+                  config.instance_failures_per_day, config.seed,
+                  kInstanceFailureStream, start, end,
+                  [](FaultEvent&, Rng&) {});
+  CompileCategory(
+      events, FaultKind::kZoneOutage, config.zone_outages_per_day, config.seed,
+      kZoneOutageStream, start, end, [&config](FaultEvent& event, Rng& rng) {
+        const int zones = std::max(config.num_zones, 1);
+        event.zone =
+            AvailabilityZone{config.zone_base +
+                             static_cast<int>(rng.UniformInt(0, zones - 1))};
+        event.duration = config.zone_outage_duration;
+      });
+  CompileCategory(events, FaultKind::kPriceShock, config.price_shocks_per_day,
+                  config.seed, kPriceShockStream, start, end,
+                  [&config](FaultEvent& event, Rng&) {
+                    event.duration = config.price_shock_duration;
+                    event.magnitude = config.price_shock_multiplier;
+                  });
+  CompileCategory(events, FaultKind::kCapacityFault,
+                  config.capacity_faults_per_day, config.seed,
+                  kCapacityFaultStream, start, end,
+                  [&config](FaultEvent& event, Rng&) {
+                    event.duration = config.capacity_fault_duration;
+                  });
+  CompileCategory(events, FaultKind::kBackupDegradation,
+                  config.backup_degradations_per_day, config.seed,
+                  kBackupDegradationStream, start, end,
+                  [&config](FaultEvent& event, Rng&) {
+                    event.duration = config.backup_degradation_duration;
+                    event.magnitude = config.backup_degradation_scale;
+                  });
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) {
+                       return a.at < b.at;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return plan;
+}
+
+int64_t FaultPlan::CountOf(FaultKind kind) const {
+  return std::count_if(events_.begin(), events_.end(),
+                       [kind](const FaultEvent& e) { return e.kind == kind; });
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  out.reserve(events_.size() * 64);
+  for (const FaultEvent& event : events_) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spotcheck

@@ -102,8 +102,10 @@ void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) 
   }
   SpotMarket& market = MarketFor(instance.market);
   if (instance.mode == BillingMode::kSpot) {
-    if (market.CurrentPrice() > instance.bid) {
-      // Bid is already out of the money: the launch fails.
+    if (market.CurrentPrice() > instance.bid ||
+        (spot_launch_fault_hook_ && spot_launch_fault_hook_(instance))) {
+      // Bid is already out of the money (or an injected capacity shortage
+      // swallowed the request): the launch fails.
       instance.state = InstanceState::kTerminated;
       instance.terminated_at = sim_->Now();
       MetricInc(launch_failures_metric_);
@@ -214,20 +216,35 @@ void NativeCloud::FailZoneInstances(AvailabilityZone zone) {
     }
   }
   for (InstanceId id : victims) {
-    Instance& instance = instances_[id];
-    instance.state = InstanceState::kTerminated;
-    instance.terminated_at = sim_->Now();
-    billing_.Stop(id, sim_->Now());
-    ReleaseAttachments(id);
-    ++instance_failures_;
-    MetricInc(instance_failures_metric_);
-    MetricInc(terminations_metric_);
-    SPOTCHECK_LOG(kWarning) << "platform failure killed " << id.ToString()
-                            << " in " << instance.market.ToString();
-    if (failure_handler_) {
-      failure_handler_(id);
-    }
+    FailInstance(instances_[id]);
   }
+}
+
+void NativeCloud::FailInstance(Instance& instance) {
+  const InstanceId id = instance.id;
+  instance.state = InstanceState::kTerminated;
+  instance.terminated_at = sim_->Now();
+  billing_.Stop(id, sim_->Now());
+  ReleaseAttachments(id);
+  ++instance_failures_;
+  MetricInc(instance_failures_metric_);
+  MetricInc(terminations_metric_);
+  SPOTCHECK_LOG(kWarning) << "platform failure killed " << id.ToString()
+                          << " in " << instance.market.ToString();
+  if (failure_handler_) {
+    failure_handler_(id);
+  }
+}
+
+bool NativeCloud::InjectInstanceFailure(InstanceId id) {
+  const auto it = instances_.find(id);
+  if (it == instances_.end() ||
+      (it->second.state != InstanceState::kRunning &&
+       it->second.state != InstanceState::kWarned)) {
+    return false;
+  }
+  FailInstance(it->second);
+  return true;
 }
 
 void NativeCloud::TerminateInstance(InstanceId id) {

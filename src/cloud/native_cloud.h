@@ -118,6 +118,21 @@ class NativeCloud {
   bool ZoneAvailable(AvailabilityZone zone) const;
   int64_t instance_failures() const { return instance_failures_; }
 
+  // Kills one running (or warned) instance immediately with NO warning, as a
+  // single-host platform failure -- the per-instance analogue of a zone
+  // outage, used by the fault-injection layer (src/chaos). Returns false
+  // (and does nothing) when the instance is unknown or already terminated.
+  bool InjectInstanceFailure(InstanceId id);
+
+  // Fault-injection hook consulted when a spot launch would otherwise
+  // succeed; returning true fails the launch (simulated spot-capacity
+  // shortage). Never invoked when unset, so the default behavior -- and the
+  // RNG stream -- is untouched without a chaos layer.
+  using SpotLaunchFaultHook = std::function<bool(const Instance&)>;
+  void set_spot_launch_fault_hook(SpotLaunchFaultHook hook) {
+    spot_launch_fault_hook_ = std::move(hook);
+  }
+
   // --- Volumes (network-attached storage) --------------------------------
 
   VolumeId CreateVolume(double size_gb);
@@ -169,6 +184,9 @@ class NativeCloud {
   void WarnAndScheduleTermination(Instance& instance);
   void ForceTerminate(InstanceId id);
   void FailZoneInstances(AvailabilityZone zone);
+  // Shared no-warning kill: terminates, stops billing, releases attachments,
+  // counts the failure, and fires the failure handler.
+  void FailInstance(Instance& instance);
   void ReleaseAttachments(InstanceId id);
 
   Simulator* sim_;
@@ -193,6 +211,7 @@ class NativeCloud {
 
   RevocationWarningHandler revocation_handler_;
   InstanceFailureHandler failure_handler_;
+  SpotLaunchFaultHook spot_launch_fault_hook_;
   std::map<int, SimTime> zone_down_until_;
   int64_t spot_revocations_ = 0;
   int64_t launches_ = 0;

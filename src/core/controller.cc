@@ -230,7 +230,7 @@ void SpotCheckController::OnHostReady(InstanceId instance, bool ok) {
             AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
                         /*is_spot=*/false, waiter);
             if (config_.enable_repatriation) {
-              repatriation_waitlist_[pending.market].push_back(waiter.vm);
+              EnqueueRepatriation(pending.market, waiter.vm);
             }
           } else {
             // Even the on-demand market failed; retry (Section 4.3: some
@@ -249,7 +249,7 @@ void SpotCheckController::OnHostReady(InstanceId instance, bool ok) {
           // next price drop.
           pending_moves_.erase(waiter.vm);
           if (config_.enable_repatriation && pending.is_spot) {
-            repatriation_waitlist_[pending.market].push_back(waiter.vm);
+            EnqueueRepatriation(pending.market, waiter.vm);
           }
           break;
       }
@@ -288,7 +288,14 @@ void SpotCheckController::OnHostReady(InstanceId instance, bool ok) {
         pending_moves_.erase(vm.id());
         if (vm.state() == NestedVmState::kRunning ||
             vm.state() == NestedVmState::kDegraded) {
-          host_ref.AddVm(vm.id(), vm.spec());
+          if (!host_ref.AddVm(vm.id(), vm.spec())) {
+            // Another waiter on this host won the capacity race; requeue
+            // instead of over-committing the host.
+            if (config_.enable_repatriation && pending.is_spot) {
+              EnqueueRepatriation(pending.market, vm.id());
+            }
+            break;
+          }
           if (vm.spec().stateless) {
             MoveVmToHost(vm, host_ref);
           } else {
@@ -301,7 +308,14 @@ void SpotCheckController::OnHostReady(InstanceId instance, bool ok) {
       case WaitIntent::kEvacuationDestination: {
         // Reserve capacity; phase 2 of the evacuation runs once the
         // checkpoint commit also lands.
-        host_ref.AddVm(vm.id(), vm.spec());
+        if (!host_ref.AddVm(vm.id(), vm.spec())) {
+          // Capacity race against a co-waiter: this VM's state is still safe
+          // on the backup server, so keep hunting for a destination.
+          AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
+                      /*is_spot=*/false,
+                      Waiter{vm.id(), WaitIntent::kEvacuationDestination});
+          break;
+        }
         vm.set_host(instance);
         const auto evac_it = evacuating_.find(vm.id());
         if (evac_it != evacuating_.end()) {
@@ -616,9 +630,24 @@ void SpotCheckController::FinalizeEvacuation(NestedVm& vm,
   backup_pool_.Release(vm.id());
   vm.set_backup(BackupServerId());
   if (!outcome.success) {
+    // VM lost (live-migration race defeat). It was pre-added to its
+    // destination (hot spare / staging / fresh on-demand) when the
+    // evacuation started; reclaim that capacity or the slot leaks forever
+    // -- and an idle destination would be billed indefinitely.
+    const InstanceId dest_host = vm.host();
+    if (dest_host != evac.old_host) {
+      const auto dest_it = hosts_.find(dest_host);
+      if (dest_it != hosts_.end()) {
+        dest_it->second->RemoveVm(vm.id(), vm.spec());
+      }
+    }
+    vm.set_host(InstanceId());
+    ++vms_lost_;
+    MetricInc(vms_lost_metric_);
     event_log_.Record(sim_->Now(), ControllerEventKind::kVmLost, vm.id(),
                       evac.old_host, evac.old_market, "live-migration race");
-    return;  // VM lost (live-migration race defeat)
+    MaybeReleaseHost(dest_host);
+    return;
   }
   MetricInc(migrations_by_mechanism_metric_);
   {
@@ -639,7 +668,7 @@ void SpotCheckController::FinalizeEvacuation(NestedVm& vm,
   }
   // Off-spot (or borrowed) placement: return home when prices recover.
   if (config_.enable_repatriation) {
-    repatriation_waitlist_[evac.old_market].push_back(vm.id());
+    EnqueueRepatriation(evac.old_market, vm.id());
   }
   const HostVm* dest = GetHost(vm.host());
   if (dest != nullptr) {
@@ -746,6 +775,22 @@ void SpotCheckController::OnPriceChange(const MarketKey& key, double price) {
   }
 }
 
+void SpotCheckController::EnqueueRepatriation(const MarketKey& key,
+                                              NestedVmId vm) {
+  const auto [it, inserted] = waitlisted_.try_emplace(vm, key);
+  if (!inserted) {
+    if (it->second == key) {
+      return;  // already waiting for this pool
+    }
+    // Re-exiled toward a different pool; the newest exile wins.
+    auto& old_list = repatriation_waitlist_[it->second];
+    old_list.erase(std::remove(old_list.begin(), old_list.end(), vm),
+                   old_list.end());
+    it->second = key;
+  }
+  repatriation_waitlist_[key].push_back(vm);
+}
+
 void SpotCheckController::TryRepatriate(const MarketKey& key) {
   auto it = repatriation_waitlist_.find(key);
   if (it == repatriation_waitlist_.end() || it->second.empty()) {
@@ -754,6 +799,7 @@ void SpotCheckController::TryRepatriate(const MarketKey& key) {
   std::vector<NestedVmId> waiting = std::move(it->second);
   it->second.clear();
   for (NestedVmId vm_id : waiting) {
+    waitlisted_.erase(vm_id);
     const auto vm_it = vms_.find(vm_id);
     if (vm_it == vms_.end() || !vm_it->second->alive()) {
       continue;
@@ -765,25 +811,28 @@ void SpotCheckController::TryRepatriate(const MarketKey& key) {
       // proactive drain whose spike ended before its destination launched).
       // Keep the VM on the waitlist; once it settles somewhere, the next
       // price event either repatriates it or drops it as already-home.
-      repatriation_waitlist_[key].push_back(vm_id);
+      EnqueueRepatriation(key, vm_id);
       continue;
     }
     if (vm.state() != NestedVmState::kRunning &&
         vm.state() != NestedVmState::kDegraded) {
       // Mid-migration: keep it on the waitlist for the next price event.
-      repatriation_waitlist_[key].push_back(vm_id);
+      EnqueueRepatriation(key, vm_id);
       continue;
     }
     if (current != nullptr && current->is_spot()) {
       continue;  // already back on spot
     }
+    HostVm* host = FindHostWithCapacity(key, /*spot=*/true, vm.spec());
+    if (host != nullptr && !host->AddVm(vm.id(), vm.spec())) {
+      host = nullptr;  // lost the capacity race; fall back to a fresh host
+    }
     ++repatriations_;
     MetricInc(repatriations_metric_);
     event_log_.Record(sim_->Now(), ControllerEventKind::kRepatriationStarted,
                       vm_id, vm.host(), key);
-    if (HostVm* host = FindHostWithCapacity(key, /*spot=*/true, vm.spec())) {
+    if (host != nullptr) {
       HostVm& dest = *host;
-      dest.AddVm(vm.id(), vm.spec());
       if (vm.spec().stateless) {
         MoveVmToHost(vm, dest);
       } else {
@@ -825,7 +874,7 @@ void SpotCheckController::ProactivelyDrain(const MarketKey& key) {
       AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
                   Waiter{vm_id, WaitIntent::kPlannedMove});
       if (config_.enable_repatriation) {
-        repatriation_waitlist_[key].push_back(vm_id);
+        EnqueueRepatriation(key, vm_id);
       }
     }
   }
@@ -973,13 +1022,18 @@ bool SpotCheckController::ValidateInvariants(std::string* error) const {
     }
   }
   // Host capacity accounting: used memory equals the sum of resident specs,
-  // and never exceeds capacity.
+  // never exceeds capacity, and no host retains a dead VM (a failed VM may
+  // linger only while its evacuation record is still being finalized).
   for (const auto& [instance, host] : hosts_) {
     double used = 0.0;
     for (NestedVmId member : host->vms()) {
       const auto vm_it = vms_.find(member);
       if (vm_it == vms_.end()) {
         return fail(instance.ToString() + " lists unknown VM");
+      }
+      if (!vm_it->second->alive() && !evacuating_.contains(member)) {
+        return fail(instance.ToString() + " retains dead VM " +
+                    member.ToString() + " (leaked capacity)");
       }
       used += vm_it->second->spec().memory_mb;
     }
@@ -989,6 +1043,23 @@ bool SpotCheckController::ValidateInvariants(std::string* error) const {
     if (host->used_mb() > host->capacity_mb() + 1e-6) {
       return fail(instance.ToString() + " is over capacity");
     }
+  }
+  // Repatriation waitlists hold each VM at most once, in the pool the
+  // mirror map says it waits for.
+  std::set<NestedVmId> queued;
+  for (const auto& [key, list] : repatriation_waitlist_) {
+    for (NestedVmId vm : list) {
+      if (!queued.insert(vm).second) {
+        return fail(vm.ToString() + " queued for repatriation twice");
+      }
+      const auto w = waitlisted_.find(vm);
+      if (w == waitlisted_.end() || !(w->second == key)) {
+        return fail(vm.ToString() + " waitlist mirror drifted");
+      }
+    }
+  }
+  if (queued.size() != waitlisted_.size()) {
+    return fail("waitlist mirror holds stale entries");
   }
   return true;
 }

@@ -126,6 +126,9 @@ class SpotCheckController {
   const RevocationStormTracker& storms() const { return storms_; }
   const MigrationEngine& engine() const { return engine_; }
   const BackupPool& backup_pool() const { return backup_pool_; }
+  // Mutable access for the fault-injection layer (restore-bandwidth
+  // degradation); regular evaluation code should use the const accessor.
+  BackupPool& mutable_backup_pool() { return backup_pool_; }
   const ControllerConfig& config() const { return config_; }
   // Network state: each nested VM keeps one stable private address whose
   // NAT binding follows it from host to host (Fig. 4); client connections
@@ -251,6 +254,12 @@ class SpotCheckController {
   // Pool dynamics.
   void SubscribeMarket(const MarketKey& key);
   void OnPriceChange(const MarketKey& key, double price);
+  // Adds `vm` to `key`'s repatriation waitlist, exactly once: a VM already
+  // waiting for the same pool is left alone, and one waiting for a different
+  // pool is moved (the newest exile wins). Prevents the duplicate entries
+  // that ProactivelyDrain / failed planned moves / FinalizeEvacuation used
+  // to accumulate for VMs bouncing between pools.
+  void EnqueueRepatriation(const MarketKey& key, NestedVmId vm);
   void TryRepatriate(const MarketKey& key);
   void ProactivelyDrain(const MarketKey& key);
   void MoveVmToHost(NestedVm& vm, HostVm& destination);
@@ -290,6 +299,9 @@ class SpotCheckController {
   std::map<MarketKey, RevocationPredictor> predictors_;
   // VMs currently exiled to on-demand, keyed by the spot pool they left.
   std::map<MarketKey, std::vector<NestedVmId>> repatriation_waitlist_;
+  // Mirror of repatriation_waitlist_ (vm -> pool it waits for), kept in sync
+  // by EnqueueRepatriation/TryRepatriate to suppress duplicate entries.
+  std::map<NestedVmId, MarketKey> waitlisted_;
   std::vector<InstanceId> hot_spare_hosts_;
 
   int64_t revocation_events_ = 0;

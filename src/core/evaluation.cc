@@ -1,5 +1,9 @@
 #include "src/core/evaluation.h"
 
+#include <algorithm>
+
+#include "src/chaos/chaos_engine.h"
+#include "src/chaos/fault_plan.h"
 #include "src/market/spot_market.h"
 #include "src/market/spot_price_process.h"
 #include "src/sim/simulator.h"
@@ -11,7 +15,7 @@ namespace {
 // self-contained RunReport that shares the (now-final) metrics registry.
 std::shared_ptr<const RunReport> BuildRunReport(
     const EvaluationConfig& config, const EvaluationResult& result,
-    const SpotCheckController& controller,
+    const SpotCheckController& controller, const ChaosEngine* chaos,
     std::shared_ptr<const MetricsRegistry> metrics) {
   auto report = std::make_shared<RunReport>();
   report->label = config.report_label.empty()
@@ -47,9 +51,14 @@ std::shared_ptr<const RunReport> BuildRunReport(
   report->AddSummary("result.native_cost", result.native_cost);
   report->AddSummary("result.backup_cost", result.backup_cost);
   report->AddSummary("result.vm_hours", result.vm_hours);
+  if (chaos != nullptr) {
+    report->AddSummary("result.chaos_faults_injected",
+                       static_cast<double>(result.chaos_faults_injected));
+  }
   report->metrics = std::move(metrics);
   const std::vector<ControllerEvent>& events = controller.event_log().events();
-  report->events.reserve(events.size());
+  report->events.reserve(events.size() +
+                         (chaos != nullptr ? chaos->timeline().size() : 0));
   for (const ControllerEvent& event : events) {
     RunReportEvent row;
     row.time_s = event.time.seconds();
@@ -59,6 +68,15 @@ std::shared_ptr<const RunReport> BuildRunReport(
     row.market = event.market.ToString();
     row.detail = event.detail;
     report->events.push_back(std::move(row));
+  }
+  if (chaos != nullptr && !chaos->timeline().empty()) {
+    // Interleave injected faults with the controller's reactions to them.
+    report->events.insert(report->events.end(), chaos->timeline().begin(),
+                          chaos->timeline().end());
+    std::stable_sort(report->events.begin(), report->events.end(),
+                     [](const RunReportEvent& a, const RunReportEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
   }
   report->trace_cache_hits = result.trace_cache_hits;
   report->trace_cache_misses = result.trace_cache_misses;
@@ -112,6 +130,22 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   controller_config.metrics = metrics.get();
   SpotCheckController controller(&sim, &cloud, &markets, controller_config);
 
+  // Fault injection: compile the full schedule up front (dedicated Rng
+  // streams; nothing here perturbs the simulation's own draws) and arm it.
+  // With the default all-zero ChaosConfig no plan is compiled and no engine
+  // exists -- the baseline stays bit-identical.
+  std::unique_ptr<ChaosEngine> chaos;
+  if (config.chaos.enabled()) {
+    ChaosConfig chaos_config = config.chaos;
+    chaos_config.num_zones = std::max(config.num_zones, 1);
+    const FaultPlan plan = FaultPlan::Compile(chaos_config, SimTime(),
+                                              SimTime() + config.horizon);
+    chaos = std::make_unique<ChaosEngine>(&sim, &cloud, &markets,
+                                          &controller.mutable_backup_pool(),
+                                          metrics.get());
+    chaos->Arm(plan);
+  }
+
   const int customers = std::max(config.num_customers, 1);
   std::vector<CustomerId> customer_ids;
   customer_ids.reserve(static_cast<size_t>(customers));
@@ -153,10 +187,19 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   result.stagings = controller.stagings();
   result.stateless_respawns = controller.stateless_respawns();
   result.num_backup_servers = controller.backup_pool().num_servers();
+  if (chaos != nullptr) {
+    for (FaultKind kind :
+         {FaultKind::kInstanceFailure, FaultKind::kZoneOutage,
+          FaultKind::kPriceShock, FaultKind::kCapacityFault,
+          FaultKind::kBackupDegradation}) {
+      result.chaos_faults_injected += chaos->injected(kind);
+    }
+  }
   result.trace_cache_hits = markets.trace_cache_hits();
   result.trace_cache_misses = markets.trace_cache_misses();
   if (metrics != nullptr) {
-    result.report = BuildRunReport(config, result, controller, metrics);
+    result.report =
+        BuildRunReport(config, result, controller, chaos.get(), metrics);
   }
   return result;
 }

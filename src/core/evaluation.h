@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "src/chaos/chaos_config.h"
 #include "src/core/controller.h"
 #include "src/obs/run_report.h"
 
@@ -42,6 +43,11 @@ struct EvaluationConfig {
   // Observation window for concurrent-revocation probabilities (Table 3).
   SimDuration storm_window = SimDuration::Minutes(6);
   uint64_t seed = 1;
+  // Fault injection (src/chaos). The default has every rate at zero:
+  // FaultPlan compilation is skipped entirely and results are bit-identical
+  // to a build without the chaos layer. chaos.num_zones is forced to this
+  // config's num_zones so injected outages target real pools.
+  ChaosConfig chaos;
   // Build a per-cell MetricsRegistry and attach a RunReport to the result.
   // On by default: instruments are nullable pointers behind one predictable
   // branch, and the numeric results are bit-identical either way.
@@ -62,6 +68,8 @@ struct EvaluationResult {
   int64_t stagings = 0;
   int64_t stateless_respawns = 0;
   int num_backup_servers = 0;
+  // Faults the chaos layer actually injected (0 when chaos is disabled).
+  int64_t chaos_faults_injected = 0;
   double native_cost = 0.0;
   double backup_cost = 0.0;
   double vm_hours = 0.0;

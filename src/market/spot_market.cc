@@ -14,10 +14,28 @@ SpotMarket::SpotMarket(MarketKey key, std::shared_ptr<const PriceTrace> trace)
 
 double SpotMarket::CurrentPrice() const {
   MetricInc(price_lookups_metric_);
+  if (override_active_) {
+    return override_price_;
+  }
   if (sim_ == nullptr) {
     return trace_->empty() ? 0.0 : trace_->points().front().price;
   }
   return now_cursor_.PriceAt(sim_->Now());
+}
+
+void SpotMarket::SetPriceOverride(double price) {
+  override_active_ = true;
+  override_price_ = price;
+  FireListeners(price);
+}
+
+void SpotMarket::ClearPriceOverride() {
+  if (!override_active_) {
+    return;
+  }
+  override_active_ = false;
+  // Resume the trace: listeners see the real current price again.
+  FireListeners(CurrentPrice());
 }
 
 void SpotMarket::set_metrics(MetricsRegistry* metrics) {
@@ -49,6 +67,11 @@ void SpotMarket::Attach(Simulator* sim) {
 }
 
 void SpotMarket::FireListeners(double price) {
+  if (override_active_ && price != override_price_) {
+    // Trace replay fires while a shock override is pinned; swallow them (the
+    // now_cursor_ keeps the real trace position for ClearPriceOverride).
+    return;
+  }
   MetricInc(price_changes_metric_);
   // Copy: listeners may subscribe/unsubscribe during dispatch.
   std::vector<PriceListener> snapshot;

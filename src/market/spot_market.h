@@ -42,6 +42,16 @@ class SpotMarket {
   double CurrentPrice() const;
   double PriceAt(SimTime t) const { return trace_->PriceAt(t); }
 
+  // Fault-injection price override (src/chaos price shocks). While set,
+  // CurrentPrice() returns `price`, listeners are notified of it, and trace
+  // replay is suppressed (the trace cursor still advances silently, so
+  // ClearPriceOverride resumes at the correct trace price). Billing meters
+  // read the immutable trace directly and are NOT affected -- the shock
+  // stresses SpotCheck's revocation/bidding control loop, not accounting.
+  void SetPriceOverride(double price);
+  void ClearPriceOverride();
+  bool HasPriceOverride() const { return override_active_; }
+
   // Registers a listener; returns an id usable with Unsubscribe.
   int64_t Subscribe(PriceListener listener);
   void Unsubscribe(int64_t id);
@@ -62,6 +72,8 @@ class SpotMarket {
   std::shared_ptr<const PriceTrace> trace_;
   Simulator* sim_ = nullptr;
   mutable PriceTrace::Cursor now_cursor_;
+  bool override_active_ = false;
+  double override_price_ = 0.0;
   int64_t next_listener_id_ = 0;
   std::map<int64_t, PriceListener> listeners_;
   MetricCounter* price_lookups_metric_ = nullptr;

@@ -1,0 +1,124 @@
+// FaultPlan determinism contract: the compiled schedule is a pure function
+// of (ChaosConfig, window), categories draw from independent streams, and a
+// default config compiles to nothing.
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/chaos_config.h"
+#include "src/chaos/fault_plan.h"
+
+namespace spotcheck {
+namespace {
+
+const SimTime kStart;
+const SimTime kEnd = SimTime() + SimDuration::Days(30);
+
+ChaosConfig HeavyConfig(uint64_t seed = 99) {
+  ChaosConfig config = ChaosConfigForLevel(3, seed);
+  config.num_zones = 4;
+  return config;
+}
+
+TEST(FaultPlanTest, DefaultConfigIsDisabledAndCompilesEmpty) {
+  ChaosConfig config;
+  EXPECT_FALSE(config.enabled());
+  const FaultPlan plan = FaultPlan::Compile(config, kStart, kEnd);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, SameConfigCompilesToIdenticalSchedule) {
+  const FaultPlan a = FaultPlan::Compile(HeavyConfig(), kStart, kEnd);
+  const FaultPlan b = FaultPlan::Compile(HeavyConfig(), kStart, kEnd);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(FaultPlanTest, DifferentSeedsCompileToDifferentSchedules) {
+  const FaultPlan a = FaultPlan::Compile(HeavyConfig(1), kStart, kEnd);
+  const FaultPlan b = FaultPlan::Compile(HeavyConfig(2), kStart, kEnd);
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+TEST(FaultPlanTest, EventsAreSortedAndInsideTheWindow) {
+  const FaultPlan plan = FaultPlan::Compile(HeavyConfig(), kStart, kEnd);
+  SimTime prev = kStart;
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_GE(event.at, prev);
+    EXPECT_LT(event.at, kEnd);
+    prev = event.at;
+  }
+}
+
+TEST(FaultPlanTest, ChangingOneRateDoesNotPerturbOtherCategories) {
+  ChaosConfig base = HeavyConfig();
+  ChaosConfig changed = base;
+  changed.zone_outages_per_day = 0.0;  // drop one category entirely
+  const FaultPlan plan_a = FaultPlan::Compile(base, kStart, kEnd);
+  const FaultPlan plan_b = FaultPlan::Compile(changed, kStart, kEnd);
+  // Each surviving category's arrivals are byte-for-byte unchanged.
+  for (FaultKind kind : {FaultKind::kInstanceFailure, FaultKind::kPriceShock,
+                         FaultKind::kCapacityFault,
+                         FaultKind::kBackupDegradation}) {
+    std::string a_lines;
+    std::string b_lines;
+    for (const FaultEvent& e : plan_a.events()) {
+      if (e.kind == kind) a_lines += e.ToString() + "\n";
+    }
+    for (const FaultEvent& e : plan_b.events()) {
+      if (e.kind == kind) b_lines += e.ToString() + "\n";
+    }
+    EXPECT_EQ(a_lines, b_lines) << FaultKindName(kind);
+  }
+  EXPECT_EQ(plan_b.CountOf(FaultKind::kZoneOutage), 0);
+  EXPECT_GT(plan_a.CountOf(FaultKind::kZoneOutage), 0);
+}
+
+TEST(FaultPlanTest, ArrivalCountsTrackTheConfiguredRates) {
+  // 4/day over 30 days ~ 120 arrivals; Poisson keeps it within wide bounds.
+  const FaultPlan plan = FaultPlan::Compile(HeavyConfig(), kStart, kEnd);
+  const int64_t failures = plan.CountOf(FaultKind::kInstanceFailure);
+  EXPECT_GT(failures, 60);
+  EXPECT_LT(failures, 240);
+  // 0.5/day ~ 15 zone outages.
+  const int64_t outages = plan.CountOf(FaultKind::kZoneOutage);
+  EXPECT_GT(outages, 3);
+  EXPECT_LT(outages, 45);
+}
+
+TEST(FaultPlanTest, ZoneOutagesTargetConfiguredZoneSpan) {
+  ChaosConfig config = HeavyConfig();
+  config.zone_base = 2;
+  config.num_zones = 3;
+  const FaultPlan plan = FaultPlan::Compile(config, kStart, kEnd);
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind != FaultKind::kZoneOutage) {
+      continue;
+    }
+    EXPECT_GE(event.zone.index, 2);
+    EXPECT_LT(event.zone.index, 5);
+  }
+}
+
+TEST(FaultPlanTest, LevelPresetsScaleMonotonically) {
+  EXPECT_FALSE(ChaosConfigForLevel(0).enabled());
+  const ChaosConfig l1 = ChaosConfigForLevel(1);
+  const ChaosConfig l2 = ChaosConfigForLevel(2);
+  const ChaosConfig l3 = ChaosConfigForLevel(3);
+  EXPECT_TRUE(l1.enabled());
+  EXPECT_LT(l1.instance_failures_per_day, l2.instance_failures_per_day);
+  EXPECT_LT(l2.instance_failures_per_day, l3.instance_failures_per_day);
+  EXPECT_EQ(l1.zone_outages_per_day, 0.0);
+  EXPECT_GT(l3.zone_outages_per_day, l2.zone_outages_per_day);
+  // Out-of-range levels clamp instead of exploding.
+  EXPECT_FALSE(ChaosConfigForLevel(-5).enabled());
+  EXPECT_EQ(ChaosConfigForLevel(42).instance_failures_per_day,
+            l3.instance_failures_per_day);
+}
+
+TEST(FaultPlanTest, EmptyWindowCompilesEmpty) {
+  const FaultPlan plan = FaultPlan::Compile(HeavyConfig(), kEnd, kEnd);
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace spotcheck

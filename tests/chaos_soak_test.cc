@@ -1,0 +1,217 @@
+// Fault-injection soak harness: runs the full SpotCheck stack under seeded
+// chaos schedules, checks SpotCheckController::ValidateInvariants at fixed
+// simulated intervals, and reconciles end-of-run totals (activity-log
+// lifetimes vs availability, vms_lost vs failed-state VMs, chaos metrics vs
+// the engine's own injection counts). Also pins the chaos determinism
+// contract: the same (workload seed, chaos seed) soak twice produces the
+// identical fault schedule and identical totals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_config.h"
+#include "src/chaos/chaos_engine.h"
+#include "src/chaos/fault_plan.h"
+#include "src/core/controller.h"
+#include "src/sim/simulator.h"
+
+namespace spotcheck {
+namespace {
+
+struct SoakTotals {
+  std::string plan_fingerprint;
+  int64_t injected_total = 0;
+  int64_t instance_failures = 0;
+  int64_t zone_outages = 0;
+  int64_t price_shocks = 0;
+  int64_t capacity_faults = 0;
+  int64_t backup_degradations = 0;
+  int64_t revocations = 0;
+  int64_t repatriations = 0;
+  int64_t vms_lost = 0;
+  int64_t evacuations = 0;
+  double native_cost = 0.0;
+
+  bool operator==(const SoakTotals&) const = default;
+};
+
+struct SoakParams {
+  uint64_t workload_seed = 1;
+  uint64_t chaos_seed = 1337;
+  int chaos_level = 2;
+  int num_vms = 24;
+  SimDuration horizon = SimDuration::Days(20);
+  SimDuration check_interval = SimDuration::Hours(6);
+};
+
+// One soak run. Fails the current test (via ASSERT in helpers) when an
+// invariant or reconciliation check breaks; returns the run's totals for
+// determinism comparison.
+SoakTotals RunSoak(const SoakParams& params) {
+  SoakTotals totals;
+  MetricsRegistry metrics;
+  Simulator sim(&metrics);
+  MarketPlace markets(&sim, &metrics);
+
+  NativeCloudConfig cloud_config;
+  cloud_config.market_seed = params.workload_seed;
+  cloud_config.latency_seed = params.workload_seed ^ 0xfeed;
+  cloud_config.market_horizon = params.horizon + SimDuration::Days(1);
+  cloud_config.metrics = &metrics;
+  NativeCloud cloud(&sim, &markets, cloud_config);
+
+  ControllerConfig config;
+  config.seed = params.workload_seed;
+  config.hot_spares = 1;
+  config.metrics = &metrics;
+  SpotCheckController controller(&sim, &cloud, &markets, config);
+
+  ChaosConfig chaos_config =
+      ChaosConfigForLevel(params.chaos_level, params.chaos_seed);
+  const FaultPlan plan =
+      FaultPlan::Compile(chaos_config, SimTime(), SimTime() + params.horizon);
+  totals.plan_fingerprint = plan.ToString();
+  EXPECT_FALSE(plan.empty());
+  ChaosEngine chaos(&sim, &cloud, &markets,
+                    &controller.mutable_backup_pool(), &metrics);
+  chaos.Arm(plan);
+
+  const CustomerId customer = controller.RegisterCustomer("soak");
+  std::vector<NestedVmId> vms;
+  for (int i = 0; i < params.num_vms; ++i) {
+    // A quarter of the fleet is stateless to soak the respawn path too.
+    vms.push_back(controller.RequestServer(customer, /*stateless=*/i % 4 == 0));
+  }
+
+  // Stepped run: structural invariants at every sampled interval.
+  std::string error;
+  const SimTime end = SimTime() + params.horizon;
+  for (SimTime t = SimTime() + params.check_interval; t < end;
+       t = t + params.check_interval) {
+    sim.RunUntil(t);
+    const bool ok = controller.ValidateInvariants(&error);
+    EXPECT_TRUE(ok) << "t=" << sim.Now().seconds()
+                    << "s seed=" << params.workload_seed
+                    << " chaos_seed=" << params.chaos_seed << ": " << error;
+    if (!ok) {
+      return totals;
+    }
+  }
+  sim.RunUntil(end);
+  EXPECT_TRUE(controller.ValidateInvariants(&error)) << error;
+
+  // --- End-of-run reconciliation ----------------------------------------
+
+  // vms_lost matches the VMs actually in the failed state.
+  int64_t failed_vms = 0;
+  for (const NestedVm* vm : controller.Vms()) {
+    if (vm->state() == NestedVmState::kFailed) {
+      ++failed_vms;
+    }
+  }
+  EXPECT_EQ(failed_vms, controller.vms_lost());
+
+  // Activity-log accounting: per VM, downtime + degraded time never exceeds
+  // the VM's recorded lifetime.
+  for (NestedVmId vm : vms) {
+    const SimDuration life =
+        controller.activity_log().Lifetime(vm, SimTime(), sim.Now());
+    const SimDuration down = controller.activity_log().Total(
+        vm, ActivityKind::kDowntime, SimTime(), sim.Now());
+    const SimDuration degraded = controller.activity_log().Total(
+        vm, ActivityKind::kDegraded, SimTime(), sim.Now());
+    EXPECT_LE(down.seconds() + degraded.seconds(), life.seconds() + 1e-6)
+        << vm.ToString();
+  }
+
+  // The engine's own injection counts agree with the chaos.* counters.
+  const auto counter = [&metrics](const char* name) {
+    const MetricCounter* c = metrics.FindCounter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  totals.instance_failures = chaos.injected(FaultKind::kInstanceFailure);
+  totals.zone_outages = chaos.injected(FaultKind::kZoneOutage);
+  totals.price_shocks = chaos.injected(FaultKind::kPriceShock);
+  totals.capacity_faults = chaos.injected(FaultKind::kCapacityFault);
+  totals.backup_degradations = chaos.injected(FaultKind::kBackupDegradation);
+  EXPECT_EQ(totals.instance_failures, counter("chaos.instance_failures"));
+  EXPECT_EQ(totals.zone_outages, counter("chaos.zone_outages"));
+  EXPECT_EQ(totals.price_shocks, counter("chaos.price_shocks"));
+  EXPECT_EQ(totals.capacity_faults, counter("chaos.capacity_faults"));
+  EXPECT_EQ(totals.backup_degradations, counter("chaos.backup_degradations"));
+  totals.injected_total = totals.instance_failures + totals.zone_outages +
+                          totals.price_shocks + totals.capacity_faults +
+                          totals.backup_degradations;
+  // Injections + victimless skips account for every scheduled fault.
+  EXPECT_EQ(totals.injected_total + chaos.skipped_instance_failures(),
+            static_cast<int64_t>(plan.events().size()));
+  // The chaos timeline recorded at least every injected fault.
+  EXPECT_GE(static_cast<int64_t>(chaos.timeline().size()),
+            totals.injected_total);
+
+  totals.revocations = controller.revocation_events();
+  totals.repatriations = controller.repatriations();
+  totals.vms_lost = controller.vms_lost();
+  totals.evacuations = controller.engine().evacuations();
+  totals.native_cost = cloud.TotalCost();
+  return totals;
+}
+
+TEST(ChaosSoakTest, ModerateChaosSoakHoldsInvariants) {
+  const SoakTotals totals = RunSoak(SoakParams{});
+  EXPECT_GT(totals.injected_total, 0);
+}
+
+TEST(ChaosSoakTest, HeavyChaosSoakHoldsInvariants) {
+  SoakParams params;
+  params.chaos_level = 3;
+  params.workload_seed = 2;
+  params.chaos_seed = 4242;
+  params.horizon = SimDuration::Days(12);
+  const SoakTotals totals = RunSoak(params);
+  EXPECT_GT(totals.injected_total, 0);
+  // Level 3 injects faults of several kinds over 12 days.
+  EXPECT_GT(totals.instance_failures, 0);
+  EXPECT_GT(totals.price_shocks, 0);
+}
+
+TEST(ChaosSoakTest, SoakAcrossSeedsHoldsInvariants) {
+  for (uint64_t seed : {3ULL, 4ULL, 5ULL}) {
+    SoakParams params;
+    params.workload_seed = seed;
+    params.chaos_seed = 1000 + seed;
+    params.horizon = SimDuration::Days(8);
+    params.num_vms = 16;
+    RunSoak(params);
+    if (testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ChaosSoakTest, IdenticalSeedsProduceIdenticalSchedulesAndTotals) {
+  SoakParams params;
+  params.chaos_level = 3;
+  params.horizon = SimDuration::Days(10);
+  const SoakTotals first = RunSoak(params);
+  const SoakTotals second = RunSoak(params);
+  EXPECT_EQ(first.plan_fingerprint, second.plan_fingerprint);
+  EXPECT_TRUE(first == second);
+}
+
+TEST(ChaosSoakTest, ChaosSeedChangesScheduleButNotDeterminism) {
+  SoakParams a;
+  a.horizon = SimDuration::Days(8);
+  SoakParams b = a;
+  b.chaos_seed = 777;
+  const SoakTotals ta = RunSoak(a);
+  const SoakTotals tb = RunSoak(b);
+  EXPECT_NE(ta.plan_fingerprint, tb.plan_fingerprint);
+}
+
+}  // namespace
+}  // namespace spotcheck
