@@ -6,13 +6,33 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "bench/emit_bench_json.h"
+#include "src/backup/backup_pool.h"
+#include "src/cloud/native_cloud.h"
+#include "src/core/controller_config.h"
+#include "src/core/controller_context.h"
+#include "src/core/evacuation.h"
 #include "src/core/evaluation.h"
+#include "src/core/event_log.h"
+#include "src/core/host_pool.h"
 #include "src/core/parallel_evaluation.h"
+#include "src/core/placement.h"
+#include "src/core/repatriation.h"
+#include "src/core/storm_tracker.h"
 #include "src/market/spot_price_process.h"
 #include "src/market/trace_catalog.h"
+#include "src/net/connection_tracker.h"
+#include "src/net/nat_table.h"
+#include "src/net/vpc.h"
 #include "src/sim/simulator.h"
+#include "src/virt/migration_engine.h"
 #include "src/virt/migration_models.h"
+#include "src/virt/nested_vm.h"
 
 namespace spotcheck {
 namespace {
@@ -99,6 +119,115 @@ void BM_PreCopyPlanning(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreCopyPlanning)->Arg(3072)->Arg(30720);
+
+// The placement hot path: FindHostWithCapacity against a ~1k-host fleet
+// spread over four markets, most hosts full, hot spares in the pool. The
+// pre-refactor controller scanned the whole host map per lookup (and
+// std::find-ed the hot-spare list per host); the pool's per-market capacity
+// indexes confine the walk to the probed market. Probing the last market is
+// the old code's worst case: every other market's hosts sat ahead of it in
+// the scan.
+void BM_PlacementFindHostAt1kHosts(benchmark::State& state) {
+  Simulator sim;
+  MarketPlace markets(&sim);
+  NativeCloudConfig cloud_config;
+  cloud_config.sample_latencies = false;
+  NativeCloud cloud(&sim, &markets, cloud_config);
+  ControllerConfig config;
+  config.hot_spares = 8;
+  ActivityLog activity_log;
+  ControllerEventLog event_log;
+  MigrationEngine engine(&sim, &activity_log);
+  BackupPool backup_pool;
+  RevocationStormTracker storms;
+  VirtualPrivateCloud vpc;
+  HostNetworkPlane network;
+  ConnectionTracker connections;
+  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms;
+  ControllerContext ctx;
+  ctx.sim = &sim;
+  ctx.cloud = &cloud;
+  ctx.markets = &markets;
+  ctx.config = &config;
+  ctx.activity_log = &activity_log;
+  ctx.event_log = &event_log;
+  ctx.engine = &engine;
+  ctx.backup_pool = &backup_pool;
+  ctx.storms = &storms;
+  ctx.vpc = &vpc;
+  ctx.network = &network;
+  ctx.connections = &connections;
+  ctx.vms = &vms;
+  HostPoolManager pool(&ctx);
+  ctx.pool = &pool;
+  PlacementEngine placement(&ctx);
+  ctx.placement = &placement;
+  EvacuationCoordinator evacuation(&ctx);
+  ctx.evacuation = &evacuation;
+  MarketWatcher watcher(&ctx);
+  ctx.market_watcher = &watcher;
+  RepatriationScheduler repatriation(&ctx);
+  ctx.repatriation = &repatriation;
+
+  IdGenerator<NestedVmTag> vm_ids;
+  IdGenerator<CustomerTag> customer_ids;
+  const CustomerId customer = customer_ids.Next();
+  auto new_vm = [&]() -> NestedVm& {
+    const NestedVmId id = vm_ids.Next();
+    auto vm = std::make_unique<NestedVm>(
+        id, customer, MakeVmSpec(config.nested_type, config.workload));
+    NestedVm& ref = *vm;
+    vms[id] = std::move(vm);
+    return ref;
+  };
+
+  constexpr int kMarkets = 4;
+  const int hosts_per_market = static_cast<int>(state.range(0)) / kMarkets;
+  std::vector<MarketKey> keys;
+  for (int zone = 0; zone < kMarkets; ++zone) {
+    const MarketKey key{InstanceType::kM3Large, AvailabilityZone{zone}};
+    PriceTrace trace;
+    trace.Append(SimTime(), 0.008);
+    markets.AddWithTrace(key, std::move(trace));
+    keys.push_back(key);
+  }
+  {
+    PriceTrace trace;  // the hot spares' fallback on-demand market
+    trace.Append(SimTime(), 0.008);
+    markets.AddWithTrace(ctx.FallbackOnDemandMarket(), std::move(trace));
+  }
+  pool.ReplenishHotSpares();
+  for (const MarketKey& key : keys) {
+    for (int i = 0; i < hosts_per_market; ++i) {
+      NestedVm& vm = new_vm();
+      pool.AcquireHost(key, /*is_spot=*/true,
+                       Waiter{vm.id(), WaitIntent::kInitialPlacement});
+    }
+  }
+  sim.RunUntil(sim.Now() + SimDuration::Seconds(3600));
+  // Each m3.large holds two nested VMs and came up with one; fill every host
+  // but the last two per market so the lookup has to walk a long prefix.
+  for (const MarketKey& key : keys) {
+    const std::vector<InstanceId> spot_hosts = pool.SpotHostsIn(key);
+    for (size_t i = 0; i + 2 < spot_hosts.size(); ++i) {
+      HostVm* host = pool.GetMutableHost(spot_hosts[i]);
+      NestedVm& filler = new_vm();
+      if (host != nullptr && host->AddVm(filler.id(), filler.spec())) {
+        filler.set_host(host->instance());
+        filler.set_state(NestedVmState::kRunning);
+      }
+    }
+  }
+
+  const NestedVmSpec spec = MakeVmSpec(config.nested_type, config.workload);
+  const MarketKey probe = keys[kMarkets - 1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.FindHostWithCapacity(probe, /*spot=*/true,
+                                                       spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementFindHostAt1kHosts)->Arg(1'000);
 
 void BM_SixMonthPolicyEvaluation(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,9 +1,8 @@
 #include "src/core/controller.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
-
-#include "src/common/log.h"
 
 namespace spotcheck {
 
@@ -14,48 +13,52 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
       cloud_(cloud),
       markets_(markets),
       config_(config),
-      mapping_(config.mapping, config.nested_type,
-               [&config]() {
-                 std::vector<AvailabilityZone> zones;
-                 for (int i = 0; i < std::max(config.num_zones, 1); ++i) {
-                   zones.push_back(AvailabilityZone{config.zone.index + i});
-                 }
-                 return zones;
-               }(),
-               Rng(config.seed).Split(0x9a9)),
       engine_(sim, &activity_log_, config.engine, config.metrics),
-      backup_pool_(config.backup, config.metrics),
-      rng_(Rng(config.seed).Split(0xc0de)) {
-  if (config_.metrics != nullptr) {
-    MetricsRegistry& metrics = *config_.metrics;
-    revocation_events_metric_ = &metrics.Counter("controller.revocation_events");
-    repatriations_metric_ = &metrics.Counter("controller.repatriations");
-    proactive_migrations_metric_ =
-        &metrics.Counter("controller.proactive_migrations");
-    stateless_respawns_metric_ =
-        &metrics.Counter("controller.stateless_respawns");
-    stagings_metric_ = &metrics.Counter("controller.stagings");
-    vms_lost_metric_ = &metrics.Counter("controller.vms_lost");
-    backup_restores_metric_ = &metrics.Counter("controller.backup_restores");
-    migrations_by_mechanism_metric_ = &metrics.Counter(
-        std::string("controller.migrations.") +
-        std::string(MigrationMechanismName(config_.mechanism)));
-  }
+      backup_pool_(config.backup, config.metrics) {
+  // Populate the shared context, then construct the components against it
+  // (each expects the platform handles and facade bookkeeping to be wired
+  // before its constructor runs; see controller_context.h).
+  ctx_.sim = sim_;
+  ctx_.cloud = cloud_;
+  ctx_.markets = markets_;
+  ctx_.config = &config_;
+  ctx_.metrics = config_.metrics;
+  ctx_.activity_log = &activity_log_;
+  ctx_.event_log = &event_log_;
+  ctx_.engine = &engine_;
+  ctx_.backup_pool = &backup_pool_;
+  ctx_.storms = &storms_;
+  ctx_.vpc = &vpc_;
+  ctx_.network = &network_;
+  ctx_.connections = &connections_;
+  ctx_.vms = &vms_;
+
+  pool_ = std::make_unique<HostPoolManager>(&ctx_);
+  ctx_.pool = pool_.get();
+  placement_ = std::make_unique<PlacementEngine>(&ctx_);
+  ctx_.placement = placement_.get();
+  evacuation_ = std::make_unique<EvacuationCoordinator>(&ctx_);
+  ctx_.evacuation = evacuation_.get();
+  market_watcher_ = std::make_unique<MarketWatcher>(&ctx_);
+  ctx_.market_watcher = market_watcher_.get();
+  repatriation_ = std::make_unique<RepatriationScheduler>(&ctx_);
+  ctx_.repatriation = repatriation_.get();
+
   cloud_->set_revocation_handler(
       [this](InstanceId instance, SimTime deadline) {
-        OnRevocationWarning(instance, deadline);
+        evacuation_->OnRevocationWarning(instance, deadline);
       });
   cloud_->set_instance_failure_handler(
-      [this](InstanceId instance) { OnInstanceFailure(instance); });
+      [this](InstanceId instance) { evacuation_->OnInstanceFailure(instance); });
   // Materialize all candidate markets so history-weighted policies can
   // consult their traces, and subscribe for pool dynamics.
-  for (const MarketKey& key : mapping_.candidates()) {
+  for (const MarketKey& key : placement_->candidates()) {
     cloud_->MarketFor(key);
-    SubscribeMarket(key);
+    market_watcher_->Subscribe(key);
   }
   for (int i = 0; i < config_.hot_spares; ++i) {
-    AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
-                Waiter{}, /*hot_spare=*/true);
+    pool_->AcquireHost(ctx_.FallbackOnDemandMarket(), /*is_spot=*/false,
+                       Waiter{}, /*hot_spare=*/true);
   }
 }
 
@@ -65,7 +68,8 @@ CustomerId SpotCheckController::RegisterCustomer(std::string name) {
   return id;
 }
 
-NestedVmId SpotCheckController::RequestServer(CustomerId customer, bool stateless) {
+NestedVmId SpotCheckController::RequestServer(CustomerId customer,
+                                              bool stateless) {
   const NestedVmId id = vm_ids_.Next();
   NestedVmSpec spec = MakeVmSpec(config_.nested_type, config_.workload);
   spec.stateless = stateless;
@@ -73,9 +77,9 @@ NestedVmId SpotCheckController::RequestServer(CustomerId customer, bool stateles
   NestedVm& ref = *vm;
   vms_[id] = std::move(vm);
   event_log_.Record(sim_->Now(), ControllerEventKind::kVmRequested, id,
-                    InstanceId(), MarketKey{config_.nested_type, config_.zone},
+                    InstanceId(), ctx_.DefaultMarket(),
                     stateless ? "stateless" : "");
-  PlaceVm(ref);
+  placement_->PlaceVm(ref);
   return id;
 }
 
@@ -87,10 +91,8 @@ void SpotCheckController::ReleaseServer(NestedVmId id) {
   NestedVm& vm = *it->second;
   activity_log_.MarkDeath(id, sim_->Now());
   vm.set_state(NestedVmState::kTerminated);
-  event_log_.Record(sim_->Now(), ControllerEventKind::kVmReleased, id, vm.host(),
-                    GetHost(vm.host()) != nullptr
-                        ? GetHost(vm.host())->market()
-                        : MarketKey{config_.nested_type, config_.zone});
+  event_log_.Record(sim_->Now(), ControllerEventKind::kVmReleased, id,
+                    vm.host(), ctx_.MarketOfOrDefault(vm.host()));
   backup_pool_.Release(id);
   const auto ip = vpc_.IpOf(id);
   if (ip.has_value()) {
@@ -98,8 +100,8 @@ void SpotCheckController::ReleaseServer(NestedVmId id) {
     vpc_.ReleasePrivateIp(id);
   }
   const InstanceId old_host = vm.host();
-  DetachVmFromCurrentHost(vm);
-  MaybeReleaseHost(old_host);
+  placement_->DetachVmFromCurrentHost(vm);
+  pool_->MaybeReleaseHost(old_host);
 }
 
 const NestedVm* SpotCheckController::GetVm(NestedVmId vm) const {
@@ -116,20 +118,6 @@ std::vector<const NestedVm*> SpotCheckController::Vms() const {
   return result;
 }
 
-const HostVm* SpotCheckController::GetHost(InstanceId instance) const {
-  const auto it = hosts_.find(instance);
-  return it == hosts_.end() ? nullptr : it->second.get();
-}
-
-std::vector<const HostVm*> SpotCheckController::Hosts() const {
-  std::vector<const HostVm*> result;
-  result.reserve(hosts_.size());
-  for (const auto& [id, host] : hosts_) {
-    result.push_back(host.get());
-  }
-  return result;
-}
-
 int SpotCheckController::RunningVmCount() const {
   int count = 0;
   for (const auto& [id, vm] : vms_) {
@@ -139,791 +127,6 @@ int SpotCheckController::RunningVmCount() const {
     }
   }
   return count;
-}
-
-// --- Placement ---------------------------------------------------------------
-
-void SpotCheckController::PlaceVm(NestedVm& vm) {
-  const MarketKey pool = mapping_.ChoosePool(*markets_, config_.bidding, sim_->Now());
-  if (HostVm* host = FindHostWithCapacity(pool, /*spot=*/true, vm.spec())) {
-    AttachVmToHost(vm, *host);
-    return;
-  }
-  QueueOrAcquireSpot(pool, Waiter{vm.id(), WaitIntent::kInitialPlacement});
-}
-
-void SpotCheckController::QueueOrAcquireSpot(const MarketKey& market,
-                                             Waiter waiter) {
-  const int slots = NestedSlotsPerHost(market.type, config_.nested_type);
-  for (auto& [instance, pending] : pending_hosts_) {
-    if (pending.is_spot && pending.market == market && !pending.is_hot_spare &&
-        static_cast<int>(pending.waiting.size()) < slots) {
-      pending.waiting.push_back(waiter);
-      return;
-    }
-  }
-  AcquireHost(market, /*is_spot=*/true, waiter);
-}
-
-HostVm* SpotCheckController::FindHostWithCapacity(const MarketKey& market,
-                                                  bool spot,
-                                                  const NestedVmSpec& spec) {
-  for (auto& [instance, host] : hosts_) {
-    if (host->market() == market && host->is_spot() == spot &&
-        host->CanHost(spec)) {
-      // Skip hot spares (reserved for revocation storms) and dying hosts.
-      if (std::find(hot_spare_hosts_.begin(), hot_spare_hosts_.end(), instance) !=
-          hot_spare_hosts_.end()) {
-        continue;
-      }
-      const Instance* native = cloud_->GetInstance(instance);
-      if (native != nullptr && native->state == InstanceState::kRunning) {
-        return host.get();
-      }
-    }
-  }
-  return nullptr;
-}
-
-void SpotCheckController::AcquireHost(MarketKey market, bool is_spot,
-                                      Waiter first_waiter, bool hot_spare) {
-  InstanceId instance;
-  if (is_spot) {
-    instance = cloud_->RequestSpotInstance(
-        market, config_.bidding.BidFor(market.type),
-        [this](InstanceId id, bool ok) { OnHostReady(id, ok); });
-  } else {
-    instance = cloud_->RequestOnDemandInstance(
-        market, [this](InstanceId id, bool ok) { OnHostReady(id, ok); });
-  }
-  PendingHost& pending = pending_hosts_[instance];
-  pending.market = market;
-  pending.is_spot = is_spot;
-  pending.is_hot_spare = hot_spare;
-  if (first_waiter.vm.valid()) {
-    pending.waiting.push_back(first_waiter);
-  }
-}
-
-void SpotCheckController::OnHostReady(InstanceId instance, bool ok) {
-  const auto it = pending_hosts_.find(instance);
-  if (it == pending_hosts_.end()) {
-    return;
-  }
-  PendingHost pending = std::move(it->second);
-  pending_hosts_.erase(it);
-
-  if (!ok) {
-    // A spot request lost the race against a price move (or on-demand
-    // capacity ran out): fall back to on-demand for the queued VMs and note
-    // the pool for repatriation once prices recover.
-    SPOTCHECK_LOG(kInfo) << "host launch failed in " << pending.market.ToString()
-                         << ", falling back to on-demand";
-    for (const Waiter& waiter : pending.waiting) {
-      const auto vm_it = vms_.find(waiter.vm);
-      if (vm_it == vms_.end() || !vm_it->second->alive()) {
-        continue;
-      }
-      switch (waiter.intent) {
-        case WaitIntent::kInitialPlacement:
-          if (pending.is_spot) {
-            AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
-                        /*is_spot=*/false, waiter);
-            if (config_.enable_repatriation) {
-              EnqueueRepatriation(pending.market, waiter.vm);
-            }
-          } else {
-            // Even the on-demand market failed; retry (Section 4.3: some
-            // type is always available somewhere -- here, retry until it is).
-            AcquireHost(pending.market, /*is_spot=*/false, waiter);
-          }
-          break;
-        case WaitIntent::kEvacuationDestination:
-          // The evacuated VM's state is safe on the backup server; keep
-          // retrying for a destination (downtime extends meanwhile).
-          AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
-                      /*is_spot=*/false, waiter);
-          break;
-        case WaitIntent::kPlannedMove:
-          // The planned move's target pool spiked again; requeue for the
-          // next price drop.
-          pending_moves_.erase(waiter.vm);
-          if (config_.enable_repatriation && pending.is_spot) {
-            EnqueueRepatriation(pending.market, waiter.vm);
-          }
-          break;
-      }
-    }
-    if (pending.is_hot_spare) {
-      ReplenishHotSpares();
-    }
-    return;
-  }
-
-  auto host = std::make_unique<HostVm>(instance, pending.market, pending.is_spot);
-  HostVm& host_ref = *host;
-  hosts_[instance] = std::move(host);
-  if (pending.is_hot_spare) {
-    hot_spare_hosts_.push_back(instance);
-  }
-  if (pending.is_spot) {
-    SubscribeMarket(pending.market);
-  }
-
-  for (const Waiter& waiter : pending.waiting) {
-    const auto vm_it = vms_.find(waiter.vm);
-    if (vm_it == vms_.end() || !vm_it->second->alive()) {
-      continue;
-    }
-    NestedVm& vm = *vm_it->second;
-    switch (waiter.intent) {
-      case WaitIntent::kInitialPlacement:
-        if (vm.state() == NestedVmState::kProvisioning) {
-          AttachVmToHost(vm, host_ref);
-        }
-        break;
-      case WaitIntent::kPlannedMove:
-        // Repatriation or proactive drain: the destination is up, run the
-        // live migration now (stateless replicas just boot fresh instead).
-        pending_moves_.erase(vm.id());
-        if (vm.state() == NestedVmState::kRunning ||
-            vm.state() == NestedVmState::kDegraded) {
-          if (!host_ref.AddVm(vm.id(), vm.spec())) {
-            // Another waiter on this host won the capacity race; requeue
-            // instead of over-committing the host.
-            if (config_.enable_repatriation && pending.is_spot) {
-              EnqueueRepatriation(pending.market, vm.id());
-            }
-            break;
-          }
-          if (vm.spec().stateless) {
-            MoveVmToHost(vm, host_ref);
-          } else {
-            engine_.LiveMigrate(vm, [this, &vm, &host_ref](const MigrationOutcome&) {
-              MoveVmToHost(vm, host_ref);
-            });
-          }
-        }
-        break;
-      case WaitIntent::kEvacuationDestination: {
-        // Reserve capacity; phase 2 of the evacuation runs once the
-        // checkpoint commit also lands.
-        if (!host_ref.AddVm(vm.id(), vm.spec())) {
-          // Capacity race against a co-waiter: this VM's state is still safe
-          // on the backup server, so keep hunting for a destination.
-          AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
-                      /*is_spot=*/false,
-                      Waiter{vm.id(), WaitIntent::kEvacuationDestination});
-          break;
-        }
-        vm.set_host(instance);
-        const auto evac_it = evacuating_.find(vm.id());
-        if (evac_it != evacuating_.end()) {
-          evac_it->second.dest_ready = true;
-          MaybeCompleteEvacuation(vm);
-        }
-        break;
-      }
-    }
-  }
-  MaybeReleaseHost(instance);  // All waiters may have died meanwhile.
-}
-
-void SpotCheckController::AttachVmToHost(NestedVm& vm, HostVm& host) {
-  if (!host.AddVm(vm.id(), vm.spec())) {
-    // Lost a capacity race (or a mis-sized host); place the VM afresh.
-    SPOTCHECK_LOG(kWarning) << vm.id().ToString() << " does not fit on "
-                            << host.instance().ToString() << "; re-placing";
-    QueueOrAcquireSpot(host.market(),
-                       Waiter{vm.id(), WaitIntent::kInitialPlacement});
-    return;
-  }
-  vm.set_host(host.instance());
-  const bool was_new = vm.state() == NestedVmState::kProvisioning;
-  vm.set_state(NestedVmState::kRunning);
-  if (was_new) {
-    activity_log_.MarkBirth(vm.id(), sim_->Now());
-    event_log_.Record(sim_->Now(), ControllerEventKind::kVmPlaced, vm.id(),
-                      host.instance(), host.market());
-    // Persistent root volume and stable private address (Sections 3.4, 5).
-    vm.set_root_volume(cloud_->CreateVolume(8.0));
-    vm.set_address(cloud_->AllocateAddress());
-    cloud_->AttachVolume(vm.root_volume(), host.instance());
-    cloud_->AssignAddress(vm.address(), host.instance());
-    // VPC private address + NAT binding in the nested hypervisor (Fig. 4);
-    // the customer's first VM becomes the public head of its subnet.
-    const auto ip = vpc_.AssignPrivateIp(vm.customer(), vm.id());
-    if (ip.has_value()) {
-      network_.MoveAddress(*ip, host.instance(), vm.id());
-      if (!vpc_.PublicHead(vm.customer()).has_value()) {
-        vpc_.SetPublicHead(vm.customer(), vm.id());
-      }
-    }
-  }
-  AssignBackup(vm);
-}
-
-void SpotCheckController::AssignBackup(NestedVm& vm) {
-  const HostVm* host = GetHost(vm.host());
-  const bool needs_backup = host != nullptr && host->is_spot() &&
-                            !vm.spec().stateless &&
-                            MechanismNeedsBackup(config_.mechanism);
-  if (needs_backup) {
-    BackupServer& server = backup_pool_.Assign(
-        vm.id(), vm.spec().checkpoint_demand_mbps, sim_->Now());
-    vm.set_backup(server.id());
-  } else {
-    backup_pool_.Release(vm.id());
-    vm.set_backup(BackupServerId());
-  }
-}
-
-// --- Revocation handling -------------------------------------------------------
-
-void SpotCheckController::OnRevocationWarning(InstanceId instance,
-                                              SimTime deadline) {
-  const auto it = hosts_.find(instance);
-  if (it == hosts_.end()) {
-    return;
-  }
-  HostVm& host = *it->second;
-  ++revocation_events_;
-  MetricInc(revocation_events_metric_);
-  event_log_.Record(sim_->Now(), ControllerEventKind::kRevocationWarning,
-                    NestedVmId(), instance, host.market(),
-                    "vms=" + std::to_string(host.num_vms()));
-  const std::vector<NestedVmId> resident = host.vms();  // copy: we mutate
-  int evacuating = 0;
-  for (NestedVmId vm_id : resident) {
-    const auto vm_it = vms_.find(vm_id);
-    if (vm_it == vms_.end() || !vm_it->second->alive()) {
-      continue;
-    }
-    NestedVm& vm = *vm_it->second;
-    if (vm.state() != NestedVmState::kRunning &&
-        vm.state() != NestedVmState::kDegraded) {
-      continue;  // already mid-migration
-    }
-    ++evacuating;
-    EvacuateVm(vm, deadline);
-  }
-  if (evacuating > 0) {
-    storms_.RecordBatch(sim_->Now(), evacuating);
-  }
-}
-
-AvailabilityZone SpotCheckController::PickAvailableZone() const {
-  for (int i = 0; i < std::max(config_.num_zones, 1); ++i) {
-    const AvailabilityZone zone{config_.zone.index + i};
-    if (cloud_->ZoneAvailable(zone)) {
-      return zone;
-    }
-  }
-  return config_.zone;  // everything is down: requests will retry
-}
-
-void SpotCheckController::OnInstanceFailure(InstanceId instance) {
-  const auto it = hosts_.find(instance);
-  if (it == hosts_.end()) {
-    return;
-  }
-  HostVm& host = *it->second;
-  const std::vector<NestedVmId> resident = host.vms();  // copy: we mutate
-  for (NestedVmId vm_id : resident) {
-    const auto vm_it = vms_.find(vm_id);
-    if (vm_it == vms_.end() || !vm_it->second->alive()) {
-      continue;
-    }
-    NestedVm& vm = *vm_it->second;
-    if (vm.state() != NestedVmState::kRunning &&
-        vm.state() != NestedVmState::kDegraded) {
-      continue;  // an in-flight migration handles (or already left) this VM
-    }
-    if (vm.spec().stateless) {
-      RespawnStateless(vm, sim_->Now());
-      continue;
-    }
-    BackupServer* backup = backup_pool_.ServerFor(vm.id());
-    if (backup == nullptr) {
-      // Live-migration-only VM with no checkpoint anywhere: state is gone.
-      ++vms_lost_;
-      MetricInc(vms_lost_metric_);
-      vm.set_state(NestedVmState::kFailed);
-      activity_log_.MarkDeath(vm.id(), sim_->Now());
-      host.RemoveVm(vm.id(), vm.spec());
-      event_log_.Record(sim_->Now(), ControllerEventKind::kVmLost, vm.id(),
-                        instance, host.market(), "platform failure, no backup");
-      SPOTCHECK_LOG(kError) << vm.id().ToString()
-                            << " lost to a platform failure (no backup)";
-      continue;
-    }
-    // Recover from the last checkpoint: at most the stale threshold of
-    // execution rolls back, but the VM survives.
-    EvacuationState& evac = evacuating_[vm.id()];
-    evac.mechanism = config_.mechanism;
-    evac.backup = backup;
-    evac.old_host = instance;
-    evac.old_market = host.market();
-    evac.deadline = sim_->Now();
-    evac.committed = true;  // the surviving checkpoint IS the commit
-    backup->BeginRestore(vm.id());
-    MetricInc(backup_restores_metric_);
-    engine_.BeginCrashRecovery(vm, sim_->Now());
-    event_log_.Record(sim_->Now(), ControllerEventKind::kCrashRecovery, vm.id(),
-                      instance, host.market());
-    vm.set_host(InstanceId());
-    AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()},
-                /*is_spot=*/false,
-                Waiter{vm.id(), WaitIntent::kEvacuationDestination});
-  }
-  MaybeReleaseHost(instance);
-}
-
-void SpotCheckController::EvacuateVm(NestedVm& vm, SimTime deadline) {
-  if (vm.spec().stateless) {
-    RespawnStateless(vm, deadline);
-    return;
-  }
-  EvacuationState& evac = evacuating_[vm.id()];
-  evac.mechanism = config_.mechanism;
-  evac.backup = backup_pool_.ServerFor(vm.id());
-  evac.old_host = vm.host();
-  evac.old_market = GetHost(vm.host()) != nullptr
-                        ? GetHost(vm.host())->market()
-                        : MarketKey{config_.nested_type, config_.zone};
-  evac.deadline = deadline;
-  event_log_.Record(sim_->Now(), ControllerEventKind::kEvacuationStarted,
-                    vm.id(), evac.old_host, evac.old_market);
-
-  // Phase 1: get the state safe. Xen-live has nothing to commit (and nothing
-  // saved -- it bets everything on the pre-copy).
-  if (MechanismNeedsBackup(config_.mechanism)) {
-    if (evac.backup != nullptr) {
-      evac.backup->BeginRestore(vm.id());
-      MetricInc(backup_restores_metric_);
-    }
-    engine_.BeginEvacuation(vm, config_.mechanism, deadline, [this, &vm]() {
-      const auto it = evacuating_.find(vm.id());
-      if (it != evacuating_.end()) {
-        it->second.committed = true;
-        MaybeCompleteEvacuation(vm);
-      }
-    });
-  } else {
-    vm.set_state(NestedVmState::kMigrating);
-    evac.committed = true;
-  }
-
-  // Destination preference: a hot spare, then (when enabled) a staging host
-  // in another stable pool, then a fresh on-demand server (its ~60 s launch
-  // fits comfortably inside the 120 s warning).
-  if (HostVm* spare = PickSpareDestination(vm.spec())) {
-    spare->AddVm(vm.id(), vm.spec());
-    vm.set_host(spare->instance());
-    evac.dest_ready = true;
-    ReplenishHotSpares();
-    MaybeCompleteEvacuation(vm);
-    return;
-  }
-  if (config_.use_staging) {
-    if (HostVm* staging = PickStagingHost(vm.spec(), evac.old_market)) {
-      staging->AddVm(vm.id(), vm.spec());
-      vm.set_host(staging->instance());
-      evac.dest_ready = true;
-      evac.staged = true;
-      evac.staging_market = staging->market();
-      ++stagings_;
-      MetricInc(stagings_metric_);
-      MaybeCompleteEvacuation(vm);
-      return;
-    }
-  }
-  vm.set_host(InstanceId());  // assigned when the on-demand host is up
-  AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
-              Waiter{vm.id(), WaitIntent::kEvacuationDestination});
-}
-
-void SpotCheckController::RespawnStateless(NestedVm& vm, SimTime deadline) {
-  // No state to save: let the old replica serve until the platform kills it
-  // at `deadline`, and boot a replacement that takes over. The replacement
-  // launches well within the warning, so the tier never loses capacity.
-  (void)deadline;
-  ++stateless_respawns_;
-  MetricInc(stateless_respawns_metric_);
-  event_log_.Record(sim_->Now(), ControllerEventKind::kStatelessRespawn, vm.id(),
-                    vm.host(),
-                    GetHost(vm.host()) != nullptr
-                        ? GetHost(vm.host())->market()
-                        : MarketKey{config_.nested_type, config_.zone});
-  const InstanceId old_host_id = vm.host();
-  const MarketKey old_market = GetHost(old_host_id) != nullptr
-                                   ? GetHost(old_host_id)->market()
-                                   : MarketKey{config_.nested_type, config_.zone};
-  vm.set_state(NestedVmState::kMigrating);  // replica swap in progress
-  vm.set_host(InstanceId());
-  AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
-              Waiter{vm.id(), WaitIntent::kEvacuationDestination});
-  // A minimal evacuation record so the destination-ready path completes the
-  // swap through the common machinery -- committed from the start (there is
-  // no state to commit) and with no backup involvement.
-  EvacuationState& evac = evacuating_[vm.id()];
-  evac.mechanism = MigrationMechanism::kXenLiveMigration;  // no restore
-  evac.backup = nullptr;
-  evac.old_host = old_host_id;
-  evac.old_market = old_market;
-  evac.deadline = deadline;
-  evac.committed = true;
-}
-
-void SpotCheckController::MaybeCompleteEvacuation(NestedVm& vm) {
-  const auto it = evacuating_.find(vm.id());
-  if (it == evacuating_.end()) {
-    return;
-  }
-  EvacuationState& evac = it->second;
-  if (!evac.committed || !evac.dest_ready || evac.completing) {
-    return;
-  }
-  evac.completing = true;
-  if (vm.spec().stateless) {
-    // Fresh replica boot: nothing to transfer, no downtime charged to the
-    // tier (the old replica served until its termination).
-    MigrationOutcome outcome;
-    outcome.success = true;
-    outcome.completed_at = sim_->Now();
-    vm.set_state(NestedVmState::kRunning);
-    FinalizeEvacuation(vm, outcome);
-    return;
-  }
-  if (evac.mechanism == MigrationMechanism::kXenLiveMigration) {
-    engine_.LiveEvacuate(vm, evac.deadline, [this, &vm](const MigrationOutcome& out) {
-      FinalizeEvacuation(vm, out);
-    });
-    return;
-  }
-  const int concurrent = evac.backup != nullptr ? evac.backup->active_restores() : 1;
-  engine_.CompleteEvacuation(vm, evac.mechanism, evac.backup, concurrent,
-                             [this, &vm](const MigrationOutcome& out) {
-                               FinalizeEvacuation(vm, out);
-                             });
-}
-
-void SpotCheckController::FinalizeEvacuation(NestedVm& vm,
-                                             const MigrationOutcome& outcome) {
-  const auto it = evacuating_.find(vm.id());
-  if (it == evacuating_.end()) {
-    return;
-  }
-  const EvacuationState evac = it->second;
-  evacuating_.erase(it);
-
-  if (evac.backup != nullptr) {
-    evac.backup->EndRestore(vm.id());
-  }
-  // Drop the stale membership in the revoked host; once empty, its (already
-  // terminated) record is reaped.
-  const auto old_it = hosts_.find(evac.old_host);
-  if (old_it != hosts_.end()) {
-    old_it->second->RemoveVm(vm.id(), vm.spec());
-  }
-  MaybeReleaseHost(evac.old_host);
-  backup_pool_.Release(vm.id());
-  vm.set_backup(BackupServerId());
-  if (!outcome.success) {
-    // VM lost (live-migration race defeat). It was pre-added to its
-    // destination (hot spare / staging / fresh on-demand) when the
-    // evacuation started; reclaim that capacity or the slot leaks forever
-    // -- and an idle destination would be billed indefinitely.
-    const InstanceId dest_host = vm.host();
-    if (dest_host != evac.old_host) {
-      const auto dest_it = hosts_.find(dest_host);
-      if (dest_it != hosts_.end()) {
-        dest_it->second->RemoveVm(vm.id(), vm.spec());
-      }
-    }
-    vm.set_host(InstanceId());
-    ++vms_lost_;
-    MetricInc(vms_lost_metric_);
-    event_log_.Record(sim_->Now(), ControllerEventKind::kVmLost, vm.id(),
-                      evac.old_host, evac.old_market, "live-migration race");
-    MaybeReleaseHost(dest_host);
-    return;
-  }
-  MetricInc(migrations_by_mechanism_metric_);
-  {
-    char detail[64];
-    std::snprintf(detail, sizeof(detail), "downtime=%.1fs degraded=%.1fs",
-                  outcome.downtime.seconds(), outcome.degraded.seconds());
-    event_log_.Record(sim_->Now(), ControllerEventKind::kEvacuationCompleted,
-                      vm.id(), vm.host(), evac.old_market, detail);
-  }
-  if (evac.staged) {
-    // The VM landed on a borrowed spot host: re-arm its backup stream there
-    // and launch the real destination in the (stable) staging pool; a live
-    // migration will relieve the staging host once it is up.
-    AssignBackup(vm);
-    pending_moves_.insert(vm.id());
-    QueueOrAcquireSpot(evac.staging_market,
-                       Waiter{vm.id(), WaitIntent::kPlannedMove});
-  }
-  // Off-spot (or borrowed) placement: return home when prices recover.
-  if (config_.enable_repatriation) {
-    EnqueueRepatriation(evac.old_market, vm.id());
-  }
-  const HostVm* dest = GetHost(vm.host());
-  if (dest != nullptr) {
-    cloud_->AttachVolume(vm.root_volume(), dest->instance());
-    cloud_->AssignAddress(vm.address(), dest->instance());
-  }
-  RebindNetwork(vm, outcome.downtime);
-}
-
-void SpotCheckController::RebindNetwork(NestedVm& vm, SimDuration outage) {
-  const auto ip = vpc_.IpOf(vm.id());
-  const HostVm* host = GetHost(vm.host());
-  if (ip.has_value() && host != nullptr) {
-    network_.MoveAddress(*ip, host->instance(), vm.id());
-  }
-  connections_.ApplyOutage(vm.id(), outage);
-}
-
-HostVm* SpotCheckController::PickStagingHost(const NestedVmSpec& spec,
-                                             const MarketKey& exclude) {
-  for (auto& [instance, host] : hosts_) {
-    if (!host->is_spot() || host->market() == exclude || !host->CanHost(spec)) {
-      continue;
-    }
-    const Instance* native = cloud_->GetInstance(instance);
-    if (native == nullptr || native->state != InstanceState::kRunning) {
-      continue;
-    }
-    // Only pools that are currently stable (price safely below the bid) make
-    // sensible havens; a pool mid-spike would just revoke the VM again.
-    SpotMarket* market = markets_->Find(host->market());
-    if (market == nullptr ||
-        market->CurrentPrice() > config_.bidding.BidFor(host->market().type)) {
-      continue;
-    }
-    return host.get();
-  }
-  return nullptr;
-}
-
-HostVm* SpotCheckController::PickSpareDestination(const NestedVmSpec& spec) {
-  for (auto it = hot_spare_hosts_.begin(); it != hot_spare_hosts_.end(); ++it) {
-    const auto host_it = hosts_.find(*it);
-    if (host_it == hosts_.end()) {
-      continue;
-    }
-    HostVm& host = *host_it->second;
-    const Instance* native = cloud_->GetInstance(*it);
-    if (native != nullptr && native->state == InstanceState::kRunning &&
-        host.CanHost(spec)) {
-      // Promote the spare to a regular on-demand host.
-      hot_spare_hosts_.erase(it);
-      return &host;
-    }
-  }
-  return nullptr;
-}
-
-void SpotCheckController::ReplenishHotSpares() {
-  int pending_spares = 0;
-  for (const auto& [id, pending] : pending_hosts_) {
-    if (pending.is_hot_spare) {
-      ++pending_spares;
-    }
-  }
-  const int current = static_cast<int>(hot_spare_hosts_.size()) + pending_spares;
-  for (int i = current; i < config_.hot_spares; ++i) {
-    AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
-                Waiter{}, /*hot_spare=*/true);
-  }
-}
-
-// --- Pool dynamics -------------------------------------------------------------
-
-void SpotCheckController::SubscribeMarket(const MarketKey& key) {
-  if (subscribed_[key]) {
-    return;
-  }
-  subscribed_[key] = true;
-  cloud_->MarketFor(key).Subscribe(
-      [this, key](const SpotMarket&, double price) { OnPriceChange(key, price); });
-}
-
-void SpotCheckController::OnPriceChange(const MarketKey& key, double price) {
-  const double od_price = OnDemandPrice(key.type);
-  bool predicted_risk = false;
-  if (config_.enable_predictive) {
-    auto [it, inserted] = predictors_.try_emplace(
-        key, RevocationPredictor(config_.predictor, od_price));
-    it->second.Observe(sim_->Now(), price);
-    predicted_risk = it->second.AtRisk();
-  }
-  if (config_.enable_repatriation && price <= od_price && !predicted_risk) {
-    TryRepatriate(key);
-  }
-  if (config_.enable_proactive && config_.bidding.SupportsProactiveMigration() &&
-      price > od_price && price <= config_.bidding.BidFor(key.type)) {
-    ProactivelyDrain(key);
-  }
-  // The predictor fires while the price is still below the bid -- the whole
-  // point is to leave before any revocation warning exists.
-  if (predicted_risk && price <= config_.bidding.BidFor(key.type)) {
-    ProactivelyDrain(key);
-  }
-}
-
-void SpotCheckController::EnqueueRepatriation(const MarketKey& key,
-                                              NestedVmId vm) {
-  const auto [it, inserted] = waitlisted_.try_emplace(vm, key);
-  if (!inserted) {
-    if (it->second == key) {
-      return;  // already waiting for this pool
-    }
-    // Re-exiled toward a different pool; the newest exile wins.
-    auto& old_list = repatriation_waitlist_[it->second];
-    old_list.erase(std::remove(old_list.begin(), old_list.end(), vm),
-                   old_list.end());
-    it->second = key;
-  }
-  repatriation_waitlist_[key].push_back(vm);
-}
-
-void SpotCheckController::TryRepatriate(const MarketKey& key) {
-  auto it = repatriation_waitlist_.find(key);
-  if (it == repatriation_waitlist_.end() || it->second.empty()) {
-    return;
-  }
-  std::vector<NestedVmId> waiting = std::move(it->second);
-  it->second.clear();
-  for (NestedVmId vm_id : waiting) {
-    waitlisted_.erase(vm_id);
-    const auto vm_it = vms_.find(vm_id);
-    if (vm_it == vms_.end() || !vm_it->second->alive()) {
-      continue;
-    }
-    NestedVm& vm = *vm_it->second;
-    const HostVm* current = GetHost(vm.host());
-    if (pending_moves_.contains(vm_id)) {
-      // A move is already in flight -- but it may be headed the WRONG way (a
-      // proactive drain whose spike ended before its destination launched).
-      // Keep the VM on the waitlist; once it settles somewhere, the next
-      // price event either repatriates it or drops it as already-home.
-      EnqueueRepatriation(key, vm_id);
-      continue;
-    }
-    if (vm.state() != NestedVmState::kRunning &&
-        vm.state() != NestedVmState::kDegraded) {
-      // Mid-migration: keep it on the waitlist for the next price event.
-      EnqueueRepatriation(key, vm_id);
-      continue;
-    }
-    if (current != nullptr && current->is_spot()) {
-      continue;  // already back on spot
-    }
-    HostVm* host = FindHostWithCapacity(key, /*spot=*/true, vm.spec());
-    if (host != nullptr && !host->AddVm(vm.id(), vm.spec())) {
-      host = nullptr;  // lost the capacity race; fall back to a fresh host
-    }
-    ++repatriations_;
-    MetricInc(repatriations_metric_);
-    event_log_.Record(sim_->Now(), ControllerEventKind::kRepatriationStarted,
-                      vm_id, vm.host(), key);
-    if (host != nullptr) {
-      HostVm& dest = *host;
-      if (vm.spec().stateless) {
-        MoveVmToHost(vm, dest);
-      } else {
-        engine_.LiveMigrate(vm, [this, &vm, &dest](const MigrationOutcome&) {
-          MoveVmToHost(vm, dest);
-        });
-      }
-    } else {
-      pending_moves_.insert(vm_id);
-      QueueOrAcquireSpot(key, Waiter{vm_id, WaitIntent::kPlannedMove});
-    }
-  }
-}
-
-void SpotCheckController::ProactivelyDrain(const MarketKey& key) {
-  for (auto& [instance, host] : hosts_) {
-    if (!host->is_spot() || !(host->market() == key)) {
-      continue;
-    }
-    const std::vector<NestedVmId> resident = host->vms();
-    for (NestedVmId vm_id : resident) {
-      const auto vm_it = vms_.find(vm_id);
-      if (vm_it == vms_.end() || !vm_it->second->alive()) {
-        continue;
-      }
-      NestedVm& vm = *vm_it->second;
-      if (vm.state() != NestedVmState::kRunning &&
-          vm.state() != NestedVmState::kDegraded) {
-        continue;
-      }
-      if (pending_moves_.contains(vm_id)) {
-        continue;  // a drain for this VM is already in flight
-      }
-      ++proactive_migrations_;
-      MetricInc(proactive_migrations_metric_);
-      pending_moves_.insert(vm_id);
-      event_log_.Record(sim_->Now(), ControllerEventKind::kProactiveDrain, vm_id,
-                        instance, key);
-      AcquireHost(MarketKey{config_.nested_type, PickAvailableZone()}, /*is_spot=*/false,
-                  Waiter{vm_id, WaitIntent::kPlannedMove});
-      if (config_.enable_repatriation) {
-        EnqueueRepatriation(key, vm_id);
-      }
-    }
-  }
-}
-
-void SpotCheckController::MoveVmToHost(NestedVm& vm, HostVm& destination) {
-  const InstanceId old_host_id = vm.host();
-  if (old_host_id != destination.instance()) {
-    const auto old_it = hosts_.find(old_host_id);
-    if (old_it != hosts_.end()) {
-      old_it->second->RemoveVm(vm.id(), vm.spec());
-    }
-  }
-  vm.set_host(destination.instance());
-  if (destination.is_spot()) {
-    event_log_.Record(sim_->Now(), ControllerEventKind::kRepatriationCompleted,
-                      vm.id(), destination.instance(), destination.market());
-  }
-  AssignBackup(vm);
-  cloud_->AttachVolume(vm.root_volume(), destination.instance());
-  cloud_->AssignAddress(vm.address(), destination.instance());
-  // Live migrations pause for well under any TCP timeout; rebinding the
-  // address keeps established connections alive.
-  RebindNetwork(vm, SimDuration::Millis(200));
-  MaybeReleaseHost(old_host_id);
-}
-
-void SpotCheckController::DetachVmFromCurrentHost(NestedVm& vm) {
-  const auto it = hosts_.find(vm.host());
-  if (it != hosts_.end()) {
-    it->second->RemoveVm(vm.id(), vm.spec());
-  }
-  vm.set_host(InstanceId());
-}
-
-void SpotCheckController::MaybeReleaseHost(InstanceId instance) {
-  const auto it = hosts_.find(instance);
-  if (it == hosts_.end() || !it->second->empty()) {
-    return;
-  }
-  if (std::find(hot_spare_hosts_.begin(), hot_spare_hosts_.end(), instance) !=
-      hot_spare_hosts_.end()) {
-    return;  // spares stay up even when idle
-  }
-  const Instance* native = cloud_->GetInstance(instance);
-  if (native != nullptr && native->state != InstanceState::kTerminated) {
-    cloud_->TerminateInstance(instance);
-  }
-  hosts_.erase(it);
 }
 
 std::string SpotCheckController::DumpState() const {
@@ -939,17 +142,17 @@ std::string SpotCheckController::DumpState() const {
   std::snprintf(line, sizeof(line),
                 "vms=%zu hosts=%zu backups=%d revocations=%lld repatriations=%lld"
                 " proactive=%lld stagings=%lld respawns=%lld\n",
-                vms_.size(), hosts_.size(), backup_pool_.num_servers(),
-                static_cast<long long>(revocation_events_),
-                static_cast<long long>(repatriations_),
-                static_cast<long long>(proactive_migrations_),
-                static_cast<long long>(stagings_),
-                static_cast<long long>(stateless_respawns_));
+                vms_.size(), pool_->hosts().size(), backup_pool_.num_servers(),
+                static_cast<long long>(evacuation_->revocation_events()),
+                static_cast<long long>(repatriation_->repatriations()),
+                static_cast<long long>(repatriation_->proactive_migrations()),
+                static_cast<long long>(evacuation_->stagings()),
+                static_cast<long long>(evacuation_->stateless_respawns()));
   out += line;
 
   out += "-- nested VMs --\n";
   for (const auto& [id, vm] : vms_) {
-    const HostVm* host = GetHost(vm->host());
+    const HostVm* host = pool_->GetHost(vm->host());
     const auto ip = vpc_.IpOf(id);
     std::snprintf(line, sizeof(line),
                   "%-10s cust=%-8s state=%-12s host=%-18s ip=%-12s backup=%-8s"
@@ -963,15 +166,7 @@ std::string SpotCheckController::DumpState() const {
                   vm->spec().stateless ? " [stateless]" : "");
     out += line;
   }
-
-  out += "-- hosts --\n";
-  for (const auto& [instance, host] : hosts_) {
-    std::snprintf(line, sizeof(line), "%-10s %-20s %-9s vms=%d used=%.0f/%.0fMB\n",
-                  instance.ToString().c_str(), host->market().ToString().c_str(),
-                  host->is_spot() ? "spot" : "on-demand", host->num_vms(),
-                  host->used_mb(), host->capacity_mb());
-    out += line;
-  }
+  out += pool_->DumpHosts();
   return out;
 }
 
@@ -988,22 +183,21 @@ bool SpotCheckController::ValidateInvariants(std::string* error) const {
       continue;  // transitional or dead states are exempt
     }
     // Settled VMs live on a known, running host that lists them.
-    const auto host_it = hosts_.find(vm->host());
-    if (host_it == hosts_.end()) {
+    const HostVm* host = pool_->GetHost(vm->host());
+    if (host == nullptr) {
       return fail(id.ToString() + " is settled but has no host record");
     }
-    const HostVm& host = *host_it->second;
-    const auto& members = host.vms();
+    const auto& members = host->vms();
     if (std::find(members.begin(), members.end(), id) == members.end()) {
       return fail(id.ToString() + " not listed on its host " +
                   vm->host().ToString());
     }
-    const Instance* native = cloud_->GetInstance(host.instance());
+    const Instance* native = cloud_->GetInstance(host->instance());
     if (native == nullptr || native->state == InstanceState::kTerminated) {
       return fail(id.ToString() + " sits on a terminated native instance");
     }
     // Backup streams exactly when needed.
-    const bool needs_backup = host.is_spot() && !vm->spec().stateless &&
+    const bool needs_backup = host->is_spot() && !vm->spec().stateless &&
                               MechanismNeedsBackup(config_.mechanism);
     const bool has_stream = backup_pool_.ServerFor(id) != nullptr;
     if (needs_backup != has_stream) {
@@ -1021,47 +215,8 @@ bool SpotCheckController::ValidateInvariants(std::string* error) const {
                   " does not route to it");
     }
   }
-  // Host capacity accounting: used memory equals the sum of resident specs,
-  // never exceeds capacity, and no host retains a dead VM (a failed VM may
-  // linger only while its evacuation record is still being finalized).
-  for (const auto& [instance, host] : hosts_) {
-    double used = 0.0;
-    for (NestedVmId member : host->vms()) {
-      const auto vm_it = vms_.find(member);
-      if (vm_it == vms_.end()) {
-        return fail(instance.ToString() + " lists unknown VM");
-      }
-      if (!vm_it->second->alive() && !evacuating_.contains(member)) {
-        return fail(instance.ToString() + " retains dead VM " +
-                    member.ToString() + " (leaked capacity)");
-      }
-      used += vm_it->second->spec().memory_mb;
-    }
-    if (std::abs(used - host->used_mb()) > 1e-6) {
-      return fail(instance.ToString() + " capacity accounting drifted");
-    }
-    if (host->used_mb() > host->capacity_mb() + 1e-6) {
-      return fail(instance.ToString() + " is over capacity");
-    }
-  }
-  // Repatriation waitlists hold each VM at most once, in the pool the
-  // mirror map says it waits for.
-  std::set<NestedVmId> queued;
-  for (const auto& [key, list] : repatriation_waitlist_) {
-    for (NestedVmId vm : list) {
-      if (!queued.insert(vm).second) {
-        return fail(vm.ToString() + " queued for repatriation twice");
-      }
-      const auto w = waitlisted_.find(vm);
-      if (w == waitlisted_.end() || !(w->second == key)) {
-        return fail(vm.ToString() + " waitlist mirror drifted");
-      }
-    }
-  }
-  if (queued.size() != waitlisted_.size()) {
-    return fail("waitlist mirror holds stale entries");
-  }
-  return true;
+  return pool_->ValidateInvariants(error) &&
+         repatriation_->ValidateInvariants(error);
 }
 
 // --- Reporting -------------------------------------------------------------------

@@ -22,77 +22,40 @@
 // batches to a RevocationStormTracker, and every dollar to the native
 // cloud's billing meter plus the backup pool's accrual -- which is exactly
 // the data needed to regenerate Figures 10-12 and Table 3.
+//
+// Since the layered refactor this class is a thin facade: the actual
+// machinery lives in five components (HostPoolManager, PlacementEngine,
+// EvacuationCoordinator, MarketWatcher, RepatriationScheduler) that share a
+// ControllerContext. See controller_context.h for the wiring contract and
+// DESIGN.md section 10 for the architecture.
 
 #ifndef SRC_CORE_CONTROLLER_H_
 #define SRC_CORE_CONTROLLER_H_
 
-#include <deque>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "src/backup/backup_pool.h"
 #include "src/cloud/native_cloud.h"
-#include "src/core/bidding_policy.h"
+#include "src/core/controller_config.h"
+#include "src/core/controller_context.h"
+#include "src/core/evacuation.h"
 #include "src/core/event_log.h"
-#include "src/core/mapping_policy.h"
+#include "src/core/host_pool.h"
+#include "src/core/placement.h"
+#include "src/core/repatriation.h"
 #include "src/core/storm_tracker.h"
-#include "src/market/revocation_predictor.h"
 #include "src/net/connection_tracker.h"
 #include "src/net/nat_table.h"
 #include "src/net/vpc.h"
-#include "src/obs/metrics.h"
 #include "src/virt/activity_log.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/migration_engine.h"
 #include "src/virt/nested_vm.h"
-#include "src/workload/workload_model.h"
 
 namespace spotcheck {
-
-struct ControllerConfig {
-  MappingPolicyKind mapping = MappingPolicyKind::k1PM;
-  MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
-  BiddingPolicy bidding = BiddingPolicy::OnDemand();
-  // The server type customers request (the paper's default: the smallest
-  // HVM-capable type).
-  InstanceType nested_type = InstanceType::kM3Medium;
-  WorkloadProfile workload = TpcwProfile();
-  AvailabilityZone zone{0};
-  // Pools are spread across this many zones starting at `zone` (Section 4.2:
-  // policies operate across types and availability zones within a region).
-  int num_zones = 1;
-  // Allocation dynamics: migrate back to spot when the price spike abates.
-  bool enable_repatriation = true;
-  // Proactive live migration off spot before revocation (requires k>1 bids).
-  bool enable_proactive = false;
-  // Predictive migration (Section 3.2): drain a pool with live migrations as
-  // soon as its price level/velocity signals an imminent spike -- even
-  // before the price crosses the on-demand level. False alarms cost a round
-  // trip of live migrations; hits avoid the bounded-time downtime entirely.
-  bool enable_predictive = false;
-  PredictorConfig predictor;
-  // Idle on-demand hosts kept ready to absorb revocation storms.
-  int hot_spares = 0;
-  // On a revocation, park evacuated VMs on under-utilized spot hosts in
-  // other, currently-stable pools while the real destination launches
-  // (Section 4.3's staging-server alternative to hot spares). Costs nothing
-  // when idle, but doubles the number of migrations per revocation.
-  bool use_staging = false;
-  BackupPoolConfig backup;
-  MigrationEngineConfig engine;
-  // What SpotCheck charges its customers, as a fraction of the equivalent
-  // on-demand price. The derivative cloud's margin is this revenue minus its
-  // own spot/on-demand/backup spend; downtime is not billed.
-  double resale_fraction_of_on_demand = 0.6;
-  uint64_t seed = 7;
-  // Optional observability registry. Shared with the MigrationEngine and
-  // BackupPool this controller owns; must outlive the controller. Purely
-  // observational: simulation results are identical with or without it.
-  MetricsRegistry* metrics = nullptr;
-};
 
 class SpotCheckController {
  public:
@@ -115,8 +78,10 @@ class SpotCheckController {
 
   const NestedVm* GetVm(NestedVmId vm) const;
   std::vector<const NestedVm*> Vms() const;
-  const HostVm* GetHost(InstanceId instance) const;
-  std::vector<const HostVm*> Hosts() const;
+  const HostVm* GetHost(InstanceId instance) const {
+    return pool_->GetHost(instance);
+  }
+  std::vector<const HostVm*> Hosts() const { return pool_->Hosts(); }
   int RunningVmCount() const;
 
   // --- Evaluation surface ---------------------------------------------------
@@ -165,13 +130,17 @@ class SpotCheckController {
   };
   BusinessReport ComputeBusinessReport() const;
 
-  int64_t revocation_events() const { return revocation_events_; }
-  int64_t repatriations() const { return repatriations_; }
-  int64_t proactive_migrations() const { return proactive_migrations_; }
-  int64_t stateless_respawns() const { return stateless_respawns_; }
-  int64_t stagings() const { return stagings_; }
+  int64_t revocation_events() const { return evacuation_->revocation_events(); }
+  int64_t repatriations() const { return repatriation_->repatriations(); }
+  int64_t proactive_migrations() const {
+    return repatriation_->proactive_migrations();
+  }
+  int64_t stateless_respawns() const {
+    return evacuation_->stateless_respawns();
+  }
+  int64_t stagings() const { return evacuation_->stagings(); }
   // VMs whose state was unrecoverable after a platform failure (no backup).
-  int64_t vms_lost() const { return vms_lost_; }
+  int64_t vms_lost() const { return evacuation_->vms_lost(); }
 
   // Human-readable snapshot of the controller's state -- the information the
   // paper's controller keeps in its database (Section 5): every nested VM
@@ -188,92 +157,10 @@ class SpotCheckController {
   bool ValidateInvariants(std::string* error) const;
 
  private:
-  // Why a VM is waiting for a host to come up.
-  enum class WaitIntent : uint8_t {
-    kInitialPlacement,        // fresh VM, first host
-    kEvacuationDestination,   // destination of an in-flight evacuation
-    kPlannedMove,             // live-migration target (repatriation/proactive)
-  };
-  struct Waiter {
-    NestedVmId vm;
-    WaitIntent intent = WaitIntent::kInitialPlacement;
-  };
-  struct PendingHost {
-    MarketKey market;
-    bool is_spot = true;
-    bool is_hot_spare = false;
-    std::deque<Waiter> waiting;  // VMs to place when the host is up
-  };
-  // Evacuation in flight: phase-1 commit and destination readiness must both
-  // land before phase 2 (EC2 ops + restore) can run.
-  struct EvacuationState {
-    MigrationMechanism mechanism;
-    BackupServer* backup = nullptr;
-    MarketKey old_market;
-    InstanceId old_host;
-    SimTime deadline;
-    bool committed = false;
-    bool dest_ready = false;
-    bool completing = false;
-    // Destination is a staging host in another spot pool; a second (live)
-    // migration to a final host follows once one launches.
-    bool staged = false;
-    MarketKey staging_market;
-  };
-
-  // Placement.
-  void PlaceVm(NestedVm& vm);
-  HostVm* FindHostWithCapacity(const MarketKey& market, bool spot,
-                               const NestedVmSpec& spec);
-  void AcquireHost(MarketKey market, bool is_spot, Waiter first_waiter,
-                   bool hot_spare = false);
-  // Joins an already-launching spot host in `market` when it has a free
-  // nested slot (the slicing arbitrage), otherwise requests a new one.
-  void QueueOrAcquireSpot(const MarketKey& market, Waiter waiter);
-  void OnHostReady(InstanceId instance, bool ok);
-  void AttachVmToHost(NestedVm& vm, HostVm& host);
-  void AssignBackup(NestedVm& vm);
-
-  // Revocation handling.
-  void OnRevocationWarning(InstanceId instance, SimTime deadline);
-  // Platform (zone) failure: the instance died with no warning.
-  void OnInstanceFailure(InstanceId instance);
-  void EvacuateVm(NestedVm& vm, SimTime deadline);
-  void RespawnStateless(NestedVm& vm, SimTime deadline);
-  // First zone (from config.zone, spanning num_zones) the platform can still
-  // launch into; falls back to the primary zone when all are down.
-  AvailabilityZone PickAvailableZone() const;
-  void MaybeCompleteEvacuation(NestedVm& vm);
-  void FinalizeEvacuation(NestedVm& vm, const MigrationOutcome& outcome);
-  HostVm* PickSpareDestination(const NestedVmSpec& spec);
-  // An under-utilized spot host in a different, currently-stable pool that
-  // can temporarily take `spec` (Section 4.3's staging servers).
-  HostVm* PickStagingHost(const NestedVmSpec& spec, const MarketKey& exclude);
-  void ReplenishHotSpares();
-
-  // Pool dynamics.
-  void SubscribeMarket(const MarketKey& key);
-  void OnPriceChange(const MarketKey& key, double price);
-  // Adds `vm` to `key`'s repatriation waitlist, exactly once: a VM already
-  // waiting for the same pool is left alone, and one waiting for a different
-  // pool is moved (the newest exile wins). Prevents the duplicate entries
-  // that ProactivelyDrain / failed planned moves / FinalizeEvacuation used
-  // to accumulate for VMs bouncing between pools.
-  void EnqueueRepatriation(const MarketKey& key, NestedVmId vm);
-  void TryRepatriate(const MarketKey& key);
-  void ProactivelyDrain(const MarketKey& key);
-  void MoveVmToHost(NestedVm& vm, HostVm& destination);
-  void DetachVmFromCurrentHost(NestedVm& vm);
-  void MaybeReleaseHost(InstanceId instance);
-  // Re-binds the VM's private address to its current host and charges the
-  // migration outage to its client connections.
-  void RebindNetwork(NestedVm& vm, SimDuration outage);
-
   Simulator* sim_;
   NativeCloud* cloud_;
   MarketPlace* markets_;
   ControllerConfig config_;
-  MappingPolicy mapping_;
   ActivityLog activity_log_;
   ControllerEventLog event_log_;
   MigrationEngine engine_;
@@ -282,47 +169,20 @@ class SpotCheckController {
   VirtualPrivateCloud vpc_;
   HostNetworkPlane network_;
   ConnectionTracker connections_;
-  Rng rng_;
 
   IdGenerator<CustomerTag> customer_ids_;
   IdGenerator<NestedVmTag> vm_ids_;
   std::map<CustomerId, std::string> customers_;
   std::map<NestedVmId, std::unique_ptr<NestedVm>> vms_;
-  std::map<InstanceId, std::unique_ptr<HostVm>> hosts_;
-  std::map<InstanceId, PendingHost> pending_hosts_;
-  std::map<NestedVmId, EvacuationState> evacuating_;
-  // VMs with a planned move (repatriation / proactive drain) whose target
-  // host is still launching; guards against double-scheduling a move.
-  std::set<NestedVmId> pending_moves_;
-  std::map<MarketKey, bool> subscribed_;
-  // Per-market spike predictors (enable_predictive).
-  std::map<MarketKey, RevocationPredictor> predictors_;
-  // VMs currently exiled to on-demand, keyed by the spot pool they left.
-  std::map<MarketKey, std::vector<NestedVmId>> repatriation_waitlist_;
-  // Mirror of repatriation_waitlist_ (vm -> pool it waits for), kept in sync
-  // by EnqueueRepatriation/TryRepatriate to suppress duplicate entries.
-  std::map<NestedVmId, MarketKey> waitlisted_;
-  std::vector<InstanceId> hot_spare_hosts_;
 
-  int64_t revocation_events_ = 0;
-  int64_t repatriations_ = 0;
-  int64_t proactive_migrations_ = 0;
-  int64_t stateless_respawns_ = 0;
-  int64_t stagings_ = 0;
-  int64_t vms_lost_ = 0;
-
-  // Observability instruments; all null without a registry.
-  MetricCounter* revocation_events_metric_ = nullptr;
-  MetricCounter* repatriations_metric_ = nullptr;
-  MetricCounter* proactive_migrations_metric_ = nullptr;
-  MetricCounter* stateless_respawns_metric_ = nullptr;
-  MetricCounter* stagings_metric_ = nullptr;
-  MetricCounter* vms_lost_metric_ = nullptr;
-  MetricCounter* backup_restores_metric_ = nullptr;
-  // Completed evacuations, named after the configured mechanism
-  // ("controller.migrations.<mechanism>") so grid-wide reports keep a
-  // per-mechanism breakdown.
-  MetricCounter* migrations_by_mechanism_metric_ = nullptr;
+  // Shared wiring + the five components (constructed, in this order, after
+  // the context above is fully populated; see controller_context.h).
+  ControllerContext ctx_;
+  std::unique_ptr<HostPoolManager> pool_;
+  std::unique_ptr<PlacementEngine> placement_;
+  std::unique_ptr<EvacuationCoordinator> evacuation_;
+  std::unique_ptr<MarketWatcher> market_watcher_;
+  std::unique_ptr<RepatriationScheduler> repatriation_;
 };
 
 }  // namespace spotcheck

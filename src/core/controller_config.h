@@ -1,0 +1,67 @@
+// Configuration for the SpotCheck controller and its components.
+//
+// Split out of controller.h so the layered components (host_pool, placement,
+// evacuation, repatriation) can depend on the configuration surface without
+// pulling in the facade.
+
+#ifndef SRC_CORE_CONTROLLER_CONFIG_H_
+#define SRC_CORE_CONTROLLER_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/backup/backup_pool.h"
+#include "src/core/bidding_policy.h"
+#include "src/core/mapping_policy.h"
+#include "src/market/instance_types.h"
+#include "src/market/revocation_predictor.h"
+#include "src/obs/metrics.h"
+#include "src/virt/migration_engine.h"
+#include "src/workload/workload_model.h"
+
+namespace spotcheck {
+
+struct ControllerConfig {
+  MappingPolicyKind mapping = MappingPolicyKind::k1PM;
+  MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
+  BiddingPolicy bidding = BiddingPolicy::OnDemand();
+  // The server type customers request (the paper's default: the smallest
+  // HVM-capable type).
+  InstanceType nested_type = InstanceType::kM3Medium;
+  WorkloadProfile workload = TpcwProfile();
+  AvailabilityZone zone{0};
+  // Pools are spread across this many zones starting at `zone` (Section 4.2:
+  // policies operate across types and availability zones within a region).
+  int num_zones = 1;
+  // Allocation dynamics: migrate back to spot when the price spike abates.
+  bool enable_repatriation = true;
+  // Proactive live migration off spot before revocation (requires k>1 bids).
+  bool enable_proactive = false;
+  // Predictive migration (Section 3.2): drain a pool with live migrations as
+  // soon as its price level/velocity signals an imminent spike -- even
+  // before the price crosses the on-demand level. False alarms cost a round
+  // trip of live migrations; hits avoid the bounded-time downtime entirely.
+  bool enable_predictive = false;
+  PredictorConfig predictor;
+  // Idle on-demand hosts kept ready to absorb revocation storms.
+  int hot_spares = 0;
+  // On a revocation, park evacuated VMs on under-utilized spot hosts in
+  // other, currently-stable pools while the real destination launches
+  // (Section 4.3's staging-server alternative to hot spares). Costs nothing
+  // when idle, but doubles the number of migrations per revocation.
+  bool use_staging = false;
+  BackupPoolConfig backup;
+  MigrationEngineConfig engine;
+  // What SpotCheck charges its customers, as a fraction of the equivalent
+  // on-demand price. The derivative cloud's margin is this revenue minus its
+  // own spot/on-demand/backup spend; downtime is not billed.
+  double resale_fraction_of_on_demand = 0.6;
+  uint64_t seed = 7;
+  // Optional observability registry. Shared with the MigrationEngine and
+  // BackupPool the controller owns; must outlive the controller. Purely
+  // observational: simulation results are identical with or without it.
+  MetricsRegistry* metrics = nullptr;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_CONTROLLER_CONFIG_H_

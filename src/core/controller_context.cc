@@ -1,0 +1,48 @@
+#include "src/core/controller_context.h"
+
+#include <algorithm>
+
+#include "src/cloud/native_cloud.h"
+#include "src/core/controller_config.h"
+#include "src/core/host_pool.h"
+#include "src/sim/simulator.h"
+#include "src/virt/nested_vm.h"
+
+namespace spotcheck {
+
+SimTime ControllerContext::Now() const { return sim->Now(); }
+
+NestedVm* ControllerContext::FindVm(NestedVmId id) const {
+  const auto it = vms->find(id);
+  return it == vms->end() ? nullptr : it->second.get();
+}
+
+NestedVm* ControllerContext::FindAliveVm(NestedVmId id) const {
+  NestedVm* vm = FindVm(id);
+  return vm != nullptr && vm->alive() ? vm : nullptr;
+}
+
+AvailabilityZone ControllerContext::PickAvailableZone() const {
+  for (int i = 0; i < std::max(config->num_zones, 1); ++i) {
+    const AvailabilityZone zone{config->zone.index + i};
+    if (cloud->ZoneAvailable(zone)) {
+      return zone;
+    }
+  }
+  return config->zone;  // everything is down: requests will retry
+}
+
+MarketKey ControllerContext::DefaultMarket() const {
+  return MarketKey{config->nested_type, config->zone};
+}
+
+MarketKey ControllerContext::FallbackOnDemandMarket() const {
+  return MarketKey{config->nested_type, PickAvailableZone()};
+}
+
+MarketKey ControllerContext::MarketOfOrDefault(InstanceId host) const {
+  const HostVm* record = pool->GetHost(host);
+  return record != nullptr ? record->market() : DefaultMarket();
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,325 @@
+#include "src/core/host_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/cloud/native_cloud.h"
+#include "src/common/log.h"
+#include "src/core/controller_config.h"
+#include "src/core/evacuation.h"
+#include "src/core/placement.h"
+#include "src/core/repatriation.h"
+
+namespace spotcheck {
+
+const HostVm* HostPoolManager::GetHost(InstanceId instance) const {
+  const auto it = hosts_.find(instance);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+HostVm* HostPoolManager::GetMutableHost(InstanceId instance) {
+  const auto it = hosts_.find(instance);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const HostVm*> HostPoolManager::Hosts() const {
+  std::vector<const HostVm*> result;
+  result.reserve(hosts_.size());
+  for (const auto& [id, host] : hosts_) {
+    result.push_back(host.get());
+  }
+  return result;
+}
+
+HostVm* HostPoolManager::FindHostWithCapacity(const MarketKey& market,
+                                              bool spot,
+                                              const NestedVmSpec& spec) {
+  const auto& index = spot ? spot_index_ : ondemand_index_;
+  const auto bucket = index.find(market);
+  if (bucket == index.end()) {
+    return nullptr;
+  }
+  for (InstanceId instance : bucket->second) {
+    HostVm& host = *hosts_.at(instance);
+    if (!host.CanHost(spec)) {
+      continue;
+    }
+    const Instance* native = ctx_->cloud->GetInstance(instance);
+    if (native != nullptr && native->state == InstanceState::kRunning) {
+      return &host;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<InstanceId> HostPoolManager::SpotHostsIn(
+    const MarketKey& market) const {
+  const auto bucket = spot_index_.find(market);
+  if (bucket == spot_index_.end()) {
+    return {};
+  }
+  return {bucket->second.begin(), bucket->second.end()};
+}
+
+void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
+                                  Waiter first_waiter, bool hot_spare) {
+  InstanceId instance;
+  if (is_spot) {
+    instance = ctx_->cloud->RequestSpotInstance(
+        market, ctx_->config->bidding.BidFor(market.type),
+        [this](InstanceId id, bool ok) { OnHostReady(id, ok); });
+  } else {
+    instance = ctx_->cloud->RequestOnDemandInstance(
+        market, [this](InstanceId id, bool ok) { OnHostReady(id, ok); });
+  }
+  PendingHost& pending = pending_hosts_[instance];
+  pending.market = market;
+  pending.is_spot = is_spot;
+  pending.is_hot_spare = hot_spare;
+  if (first_waiter.vm.valid()) {
+    pending.waiting.push_back(first_waiter);
+  }
+  if (is_spot && !hot_spare) {
+    pending_spot_index_[market].insert(instance);
+  }
+  if (hot_spare) {
+    ++pending_hot_spares_;
+  }
+}
+
+void HostPoolManager::QueueOrAcquireSpot(const MarketKey& market,
+                                         Waiter waiter) {
+  const int slots =
+      NestedSlotsPerHost(market.type, ctx_->config->nested_type);
+  const auto bucket = pending_spot_index_.find(market);
+  if (bucket != pending_spot_index_.end()) {
+    for (InstanceId instance : bucket->second) {
+      PendingHost& pending = pending_hosts_.at(instance);
+      if (static_cast<int>(pending.waiting.size()) < slots) {
+        pending.waiting.push_back(waiter);
+        return;
+      }
+    }
+  }
+  AcquireHost(market, /*is_spot=*/true, waiter);
+}
+
+void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
+  const auto it = pending_hosts_.find(instance);
+  if (it == pending_hosts_.end()) {
+    return;
+  }
+  PendingHost pending = std::move(it->second);
+  pending_hosts_.erase(it);
+  if (pending.is_spot && !pending.is_hot_spare) {
+    pending_spot_index_[pending.market].erase(instance);
+  }
+  if (pending.is_hot_spare) {
+    --pending_hot_spares_;
+  }
+
+  if (!ok) {
+    // A spot request lost the race against a price move (or on-demand
+    // capacity ran out): fall back to on-demand for the queued VMs and note
+    // the pool for repatriation once prices recover.
+    SPOTCHECK_LOG(kInfo) << "host launch failed in "
+                         << pending.market.ToString()
+                         << ", falling back to on-demand";
+    for (const Waiter& waiter : pending.waiting) {
+      if (ctx_->FindAliveVm(waiter.vm) == nullptr) {
+        continue;
+      }
+      switch (waiter.intent) {
+        case WaitIntent::kInitialPlacement:
+          if (pending.is_spot) {
+            AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
+                        waiter);
+            if (ctx_->config->enable_repatriation) {
+              ctx_->repatriation->EnqueueRepatriation(pending.market,
+                                                      waiter.vm);
+            }
+          } else {
+            // Even the on-demand market failed; retry (Section 4.3: some
+            // type is always available somewhere -- here, retry until it is).
+            AcquireHost(pending.market, /*is_spot=*/false, waiter);
+          }
+          break;
+        case WaitIntent::kEvacuationDestination:
+          // The evacuated VM's state is safe on the backup server; keep
+          // retrying for a destination (downtime extends meanwhile).
+          AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
+                      waiter);
+          break;
+        case WaitIntent::kPlannedMove:
+          // The planned move's target pool spiked again; requeue for the
+          // next price drop.
+          ctx_->repatriation->OnPlannedMoveLaunchFailed(
+              pending.market, pending.is_spot, waiter.vm);
+          break;
+      }
+    }
+    if (pending.is_hot_spare) {
+      ReplenishHotSpares();
+    }
+    return;
+  }
+
+  auto host =
+      std::make_unique<HostVm>(instance, pending.market, pending.is_spot);
+  HostVm& host_ref = *host;
+  hosts_[instance] = std::move(host);
+  if (pending.is_hot_spare) {
+    hot_spare_order_.push_back(instance);
+    hot_spare_set_.insert(instance);
+  } else {
+    CapacityIndex(pending.market, pending.is_spot).insert(instance);
+  }
+  if (pending.is_spot && ctx_->market_watcher != nullptr) {
+    ctx_->market_watcher->Subscribe(pending.market);
+  }
+
+  for (const Waiter& waiter : pending.waiting) {
+    NestedVm* vm = ctx_->FindAliveVm(waiter.vm);
+    if (vm == nullptr) {
+      continue;
+    }
+    switch (waiter.intent) {
+      case WaitIntent::kInitialPlacement:
+        ctx_->placement->OnInitialPlacementHostReady(*vm, host_ref);
+        break;
+      case WaitIntent::kPlannedMove:
+        ctx_->repatriation->OnPlannedMoveHostReady(*vm, host_ref,
+                                                   pending.market,
+                                                   pending.is_spot);
+        break;
+      case WaitIntent::kEvacuationDestination:
+        ctx_->evacuation->OnDestinationHostReady(*vm, host_ref);
+        break;
+    }
+  }
+  MaybeReleaseHost(instance);  // All waiters may have died meanwhile.
+}
+
+void HostPoolManager::MaybeReleaseHost(InstanceId instance) {
+  const auto it = hosts_.find(instance);
+  if (it == hosts_.end() || !it->second->empty()) {
+    return;
+  }
+  if (hot_spare_set_.contains(instance)) {
+    return;  // spares stay up even when idle
+  }
+  const Instance* native = ctx_->cloud->GetInstance(instance);
+  if (native != nullptr && native->state != InstanceState::kTerminated) {
+    ctx_->cloud->TerminateInstance(instance);
+  }
+  CapacityIndex(it->second->market(), it->second->is_spot()).erase(instance);
+  hosts_.erase(it);
+}
+
+void HostPoolManager::ReplenishHotSpares() {
+  const int current =
+      static_cast<int>(hot_spare_order_.size()) + pending_hot_spares_;
+  for (int i = current; i < ctx_->config->hot_spares; ++i) {
+    AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false, Waiter{},
+                /*hot_spare=*/true);
+  }
+}
+
+HostVm* HostPoolManager::PromoteHotSpare(InstanceId instance) {
+  const auto it = hosts_.find(instance);
+  if (it == hosts_.end()) {
+    return nullptr;
+  }
+  hot_spare_set_.erase(instance);
+  hot_spare_order_.erase(
+      std::remove(hot_spare_order_.begin(), hot_spare_order_.end(), instance),
+      hot_spare_order_.end());
+  CapacityIndex(it->second->market(), it->second->is_spot()).insert(instance);
+  return it->second.get();
+}
+
+std::string HostPoolManager::DumpHosts() const {
+  std::string out = "-- hosts --\n";
+  char line[256];
+  for (const auto& [instance, host] : hosts_) {
+    std::snprintf(line, sizeof(line),
+                  "%-10s %-20s %-9s vms=%d used=%.0f/%.0fMB\n",
+                  instance.ToString().c_str(), host->market().ToString().c_str(),
+                  host->is_spot() ? "spot" : "on-demand", host->num_vms(),
+                  host->used_mb(), host->capacity_mb());
+    out += line;
+  }
+  return out;
+}
+
+bool HostPoolManager::ValidateInvariants(std::string* error) const {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  // Host capacity accounting: used memory equals the sum of resident specs,
+  // never exceeds capacity, and no host retains a dead VM (a failed VM may
+  // linger only while its evacuation record is still being finalized).
+  for (const auto& [instance, host] : hosts_) {
+    double used = 0.0;
+    for (NestedVmId member : host->vms()) {
+      const NestedVm* vm = ctx_->FindVm(member);
+      if (vm == nullptr) {
+        return fail(instance.ToString() + " lists unknown VM");
+      }
+      if (!vm->alive() && (ctx_->evacuation == nullptr ||
+                           !ctx_->evacuation->IsEvacuating(member))) {
+        return fail(instance.ToString() + " retains dead VM " +
+                    member.ToString() + " (leaked capacity)");
+      }
+      used += vm->spec().memory_mb;
+    }
+    if (std::abs(used - host->used_mb()) > 1e-6) {
+      return fail(instance.ToString() + " capacity accounting drifted");
+    }
+    if (host->used_mb() > host->capacity_mb() + 1e-6) {
+      return fail(instance.ToString() + " is over capacity");
+    }
+    // Index consistency: every host is either a hot spare or indexed for
+    // placement under its own market, never both.
+    const auto& index = host->is_spot() ? spot_index_ : ondemand_index_;
+    const auto bucket = index.find(host->market());
+    const bool indexed =
+        bucket != index.end() && bucket->second.contains(instance);
+    if (indexed == hot_spare_set_.contains(instance)) {
+      return fail(instance.ToString() +
+                  (indexed ? " indexed while a hot spare"
+                           : " missing from its capacity index"));
+    }
+  }
+  // No index entry may outlive its host record.
+  for (const auto* index : {&spot_index_, &ondemand_index_}) {
+    for (const auto& [market, bucket] : *index) {
+      for (InstanceId instance : bucket) {
+        const auto it = hosts_.find(instance);
+        if (it == hosts_.end() || !(it->second->market() == market)) {
+          return fail("capacity index holds stale host " +
+                      instance.ToString() + " for " + market.ToString());
+        }
+      }
+    }
+  }
+  for (const auto& [market, bucket] : pending_spot_index_) {
+    for (InstanceId instance : bucket) {
+      if (!pending_hosts_.contains(instance)) {
+        return fail("pending-spot index holds stale host " +
+                    instance.ToString() + " for " + market.ToString());
+      }
+    }
+  }
+  if (hot_spare_set_.size() != hot_spare_order_.size()) {
+    return fail("hot-spare set and order list drifted");
+  }
+  return true;
+}
+
+}  // namespace spotcheck

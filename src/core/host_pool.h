@@ -1,0 +1,150 @@
+// Host pool management: the controller component that owns every running
+// and pending host, hot spares, and the indexes behind placement lookups.
+//
+// The pool keeps two families of per-MarketKey indexes so the placement hot
+// path never scans the whole fleet:
+//
+//   * capacity indexes (one for spot, one for on-demand): the InstanceIds of
+//     every placeable host of a market, ordered by id. Hot spares are
+//     excluded until promoted. Because InstanceIds are allocated
+//     monotonically at acquisition, id order IS acquisition order -- and,
+//     critically, it equals the iteration order of the old whole-fleet
+//     std::map scan, so FindHostWithCapacity selects bit-identically to the
+//     pre-index controller. (A readiness-ordered list would NOT: launch
+//     latencies reorder readiness relative to acquisition.)
+//
+//   * a pending-spot index: non-hot-spare spot launches per market, so
+//     QueueOrAcquireSpot finds a joinable in-flight host (the slicing
+//     arbitrage) without scanning every pending acquisition.
+//
+// Host readiness fans out to the other components by waiter intent: initial
+// placements to the PlacementEngine, evacuation destinations to the
+// EvacuationCoordinator, planned moves to the RepatriationScheduler.
+
+#ifndef SRC_CORE_HOST_POOL_H_
+#define SRC_CORE_HOST_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/controller_context.h"
+#include "src/market/instance_types.h"
+#include "src/virt/host_vm.h"
+#include "src/virt/vm_spec.h"
+
+namespace spotcheck {
+
+// Why a VM is waiting for a host to come up.
+enum class WaitIntent : uint8_t {
+  kInitialPlacement,       // fresh VM, first host
+  kEvacuationDestination,  // destination of an in-flight evacuation
+  kPlannedMove,            // live-migration target (repatriation/proactive)
+};
+
+struct Waiter {
+  NestedVmId vm;
+  WaitIntent intent = WaitIntent::kInitialPlacement;
+};
+
+class HostPoolManager {
+ public:
+  explicit HostPoolManager(ControllerContext* ctx) : ctx_(ctx) {}
+
+  HostPoolManager(const HostPoolManager&) = delete;
+  HostPoolManager& operator=(const HostPoolManager&) = delete;
+
+  // --- Host table ---------------------------------------------------------
+
+  const std::map<InstanceId, std::unique_ptr<HostVm>>& hosts() const {
+    return hosts_;
+  }
+  const HostVm* GetHost(InstanceId instance) const;
+  HostVm* GetMutableHost(InstanceId instance);
+  std::vector<const HostVm*> Hosts() const;
+
+  // --- Placement lookups --------------------------------------------------
+
+  // First host of `market` (spot or on-demand side) that can take `spec`,
+  // in acquisition order; skips hot spares and non-running natives. O(hosts
+  // of that one market), not O(all hosts).
+  HostVm* FindHostWithCapacity(const MarketKey& market, bool spot,
+                               const NestedVmSpec& spec);
+  // Spot hosts of `market` in acquisition order (snapshot; callers mutate
+  // residency while iterating).
+  std::vector<InstanceId> SpotHostsIn(const MarketKey& market) const;
+
+  // --- Acquisition --------------------------------------------------------
+
+  // Requests a fresh native instance; `first_waiter` (when valid) is placed
+  // on it once it is up.
+  void AcquireHost(MarketKey market, bool is_spot, Waiter first_waiter,
+                   bool hot_spare = false);
+  // Joins an already-launching spot host in `market` when it has a free
+  // nested slot (the slicing arbitrage), otherwise requests a new one.
+  void QueueOrAcquireSpot(const MarketKey& market, Waiter waiter);
+
+  // --- Lifecycle ----------------------------------------------------------
+
+  // Terminates and forgets `instance` once it is empty (hot spares stay up).
+  void MaybeReleaseHost(InstanceId instance);
+  // Tops pending + ready hot spares back up to config.hot_spares.
+  void ReplenishHotSpares();
+
+  // --- Hot spares ---------------------------------------------------------
+
+  bool IsHotSpare(InstanceId instance) const {
+    return hot_spare_set_.contains(instance);
+  }
+  // Readiness-ordered, as spare selection has always been.
+  const std::vector<InstanceId>& hot_spare_hosts() const {
+    return hot_spare_order_;
+  }
+  // Turns a spare into a regular placeable host (it joins the capacity
+  // index); returns the host, or null when unknown.
+  HostVm* PromoteHotSpare(InstanceId instance);
+
+  // --- Introspection ------------------------------------------------------
+
+  size_t num_pending_hosts() const { return pending_hosts_.size(); }
+  int num_pending_hot_spares() const { return pending_hot_spares_; }
+  // The "-- hosts --" section of the controller state dump.
+  std::string DumpHosts() const;
+  // Capacity accounting, dead-resident, and index-consistency checks.
+  bool ValidateInvariants(std::string* error) const;
+
+ private:
+  struct PendingHost {
+    MarketKey market;
+    bool is_spot = true;
+    bool is_hot_spare = false;
+    std::deque<Waiter> waiting;  // VMs to place when the host is up
+  };
+
+  void OnHostReady(InstanceId instance, bool ok);
+  std::set<InstanceId>& CapacityIndex(const MarketKey& market, bool spot) {
+    return (spot ? spot_index_ : ondemand_index_)[market];
+  }
+
+  ControllerContext* ctx_;
+  std::map<InstanceId, std::unique_ptr<HostVm>> hosts_;
+  std::map<InstanceId, PendingHost> pending_hosts_;
+  // Per-market capacity indexes (see file comment); hot spares excluded.
+  std::map<MarketKey, std::set<InstanceId>> spot_index_;
+  std::map<MarketKey, std::set<InstanceId>> ondemand_index_;
+  // Non-hot-spare spot launches per market, for QueueOrAcquireSpot.
+  std::map<MarketKey, std::set<InstanceId>> pending_spot_index_;
+  // Hot spares: readiness-ordered pick list + O(log n) membership.
+  std::vector<InstanceId> hot_spare_order_;
+  std::set<InstanceId> hot_spare_set_;
+  int pending_hot_spares_ = 0;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_HOST_POOL_H_

@@ -1,0 +1,125 @@
+// Pool dynamics: price subscriptions and planned (non-forced) migrations.
+//
+// MarketWatcher subscribes to every spot pool the controller touches and
+// turns price changes into decisions: repatriate exiled VMs when a pool's
+// price falls back below on-demand, proactively drain a pool whose price
+// climbed above on-demand but not yet above the bid (k>1 bidding), and --
+// with the predictive option -- drain on a predictor signal before the
+// price even crosses on-demand.
+//
+// RepatriationScheduler owns the machinery those decisions drive: the
+// deduplicated per-pool waitlist of exiled VMs (with its vm->pool mirror),
+// the pending-move guard that stops double-scheduling, and the planned-move
+// completion/failure handlers invoked by the host pool.
+
+#ifndef SRC_CORE_REPATRIATION_H_
+#define SRC_CORE_REPATRIATION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/controller_context.h"
+#include "src/market/instance_types.h"
+#include "src/market/revocation_predictor.h"
+#include "src/obs/metrics.h"
+#include "src/virt/host_vm.h"
+#include "src/virt/nested_vm.h"
+
+namespace spotcheck {
+
+class MarketWatcher {
+ public:
+  explicit MarketWatcher(ControllerContext* ctx) : ctx_(ctx) {}
+
+  MarketWatcher(const MarketWatcher&) = delete;
+  MarketWatcher& operator=(const MarketWatcher&) = delete;
+
+  // Idempotent: the first call per pool installs the price-change callback.
+  void Subscribe(const MarketKey& key);
+  // Public so pool-dynamics tests can inject price points directly.
+  void OnPriceChange(const MarketKey& key, double price);
+
+  bool IsSubscribed(const MarketKey& key) const {
+    const auto it = subscribed_.find(key);
+    return it != subscribed_.end() && it->second;
+  }
+
+ private:
+  ControllerContext* ctx_;
+  std::map<MarketKey, bool> subscribed_;
+  // Per-market spike predictors (enable_predictive).
+  std::map<MarketKey, RevocationPredictor> predictors_;
+};
+
+class RepatriationScheduler {
+ public:
+  explicit RepatriationScheduler(ControllerContext* ctx);
+
+  RepatriationScheduler(const RepatriationScheduler&) = delete;
+  RepatriationScheduler& operator=(const RepatriationScheduler&) = delete;
+
+  // Adds `vm` to `key`'s repatriation waitlist, exactly once: a VM already
+  // waiting for the same pool is left alone, and one waiting for a different
+  // pool is moved (the newest exile wins). Prevents the duplicate entries
+  // that ProactivelyDrain / failed planned moves / FinalizeEvacuation used
+  // to accumulate for VMs bouncing between pools.
+  void EnqueueRepatriation(const MarketKey& key, NestedVmId vm);
+  // Drains `key`'s waitlist: every waiting VM still exiled off spot is
+  // live-migrated back (or queued on a fresh spot launch).
+  void TryRepatriate(const MarketKey& key);
+  // Live-migrates every settled VM off `key`'s spot hosts onto on-demand
+  // before the pool's price reaches the bid.
+  void ProactivelyDrain(const MarketKey& key);
+
+  // Host-pool callbacks for WaitIntent::kPlannedMove.
+  void OnPlannedMoveHostReady(NestedVm& vm, HostVm& host,
+                              const MarketKey& market, bool is_spot);
+  void OnPlannedMoveLaunchFailed(const MarketKey& market, bool is_spot,
+                                 NestedVmId vm);
+
+  // Planned-move guard (also used by the evacuation staging path).
+  void AddPendingMove(NestedVmId vm) { pending_moves_.insert(vm); }
+  bool HasPendingMove(NestedVmId vm) const {
+    return pending_moves_.contains(vm);
+  }
+
+  int64_t repatriations() const { return repatriations_; }
+  int64_t proactive_migrations() const { return proactive_migrations_; }
+
+  // Introspection for tests and DumpState.
+  const std::map<MarketKey, std::vector<NestedVmId>>& waitlist() const {
+    return repatriation_waitlist_;
+  }
+  const std::map<NestedVmId, MarketKey>& waitlisted() const {
+    return waitlisted_;
+  }
+
+  // Waitlist structural invariants: each VM queued at most once, in the pool
+  // its mirror entry names, with no stale mirror entries.
+  bool ValidateInvariants(std::string* error) const;
+
+ private:
+  ControllerContext* ctx_;
+  // VMs currently exiled to on-demand, keyed by the spot pool they left.
+  std::map<MarketKey, std::vector<NestedVmId>> repatriation_waitlist_;
+  // Mirror of repatriation_waitlist_ (vm -> pool it waits for), kept in sync
+  // by EnqueueRepatriation/TryRepatriate to suppress duplicate entries.
+  std::map<NestedVmId, MarketKey> waitlisted_;
+  // VMs with a planned move (repatriation / proactive drain) whose target
+  // host is still launching; guards against double-scheduling a move.
+  std::set<NestedVmId> pending_moves_;
+
+  int64_t repatriations_ = 0;
+  int64_t proactive_migrations_ = 0;
+
+  MetricCounter* repatriations_metric_ = nullptr;
+  MetricCounter* proactive_migrations_metric_ = nullptr;
+};
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_REPATRIATION_H_
