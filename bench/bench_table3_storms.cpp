@@ -22,26 +22,26 @@ int main(int argc, char** argv) {
   // Both table variants (independent and regionally-coupled markets) are one
   // batch for the parallel grid runner: six independent six-month cells.
   std::vector<EvaluationConfig> configs;
-  for (const auto& row : kRows) {
-    configs.push_back(
-        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore));
-  }
-  for (const auto& row : kRows) {
-    EvaluationConfig config =
-        GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore);
-    config.market_coupling = 0.5;
-    config.shared_events_per_day = 0.1;
-    configs.push_back(config);
+  std::vector<std::string> cells;
+  for (const bool coupled : {false, true}) {
+    for (const auto& row : kRows) {
+      EvaluationConfig config =
+          GridConfig(row.policy, MigrationMechanism::kSpotCheckLazyRestore);
+      if (coupled) {
+        config.market_coupling = 0.5;
+        config.shared_events_per_day = 0.1;
+      }
+      config.chaos = ChaosConfigForLevel(args.chaos_level, args.chaos_seed);
+      config.collect_trace = !args.trace_dir.empty();
+      cells.push_back(std::string(row.label) +
+                      (coupled ? "_coupled" : "_independent"));
+      config.report_label = cells.back();
+      configs.push_back(config);
+    }
   }
   const std::vector<EvaluationResult> results =
       RunPolicyEvaluationGrid(configs, args.jobs);
-  for (size_t i = 0; i < results.size(); ++i) {
-    const bool coupled = i >= std::size(kRows);
-    WriteCellRunReport(args.run_report_dir, "table3_storms",
-                       std::string(kRows[i % std::size(kRows)].label) +
-                           (coupled ? "_coupled" : "_independent"),
-                       results[i]);
-  }
+  WriteGridArtifacts(args, "table3_storms", cells, results);
 
   std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
   std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "src/chaos/chaos_config.h"
 #include "src/common/flags.h"
 #include "src/core/parallel_evaluation.h"
+#include "src/obs/grid_summary.h"
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 
@@ -47,6 +50,9 @@ struct GridBenchArgs {
   // <dir>/<bench>/<cell>/run_report.json (metrics, controller events,
   // summary).
   std::string run_report_dir;
+  // When non-empty, span tracing is enabled for every cell and each writes
+  // <dir>/<bench>/<cell>/trace.json (Chrome/Perfetto trace-event format).
+  std::string trace_dir;
   // Fault-injection intensity (0 = off, 1-3 = ChaosConfigForLevel presets)
   // and the schedule seed. Level 0 leaves every cell bit-identical to a
   // chaos-free run regardless of the seed.
@@ -54,19 +60,21 @@ struct GridBenchArgs {
   uint64_t chaos_seed = 1337;
 };
 
-// Parses --jobs=N, --run-report-dir=PATH, --chaos-level=L, --chaos-seed=S;
-// warns on unknown flags.
+// Parses --jobs=N, --run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L,
+// --chaos-seed=S; warns on unknown flags.
 inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
   GridBenchArgs args;
   args.jobs = static_cast<int>(flags.GetInt("jobs", 0));
   args.run_report_dir = flags.GetString("run-report-dir", "");
+  args.trace_dir = flags.GetString("trace-dir", "");
   args.chaos_level = static_cast<int>(flags.GetInt("chaos-level", 0));
   args.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed", 1337));
   for (const std::string& flag : flags.UnconsumedFlags()) {
     std::fprintf(stderr,
                  "warning: unknown flag --%s (supported: --jobs=N, "
-                 "--run-report-dir=PATH, --chaos-level=L, --chaos-seed=S)\n",
+                 "--run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L, "
+                 "--chaos-seed=S)\n",
                  flag.c_str());
   }
   return args;
@@ -88,6 +96,41 @@ inline void WriteCellRunReport(const std::string& dir, const std::string& bench,
   }
 }
 
+// Per-cell + grid-level artifacts: run reports (--run-report-dir), Chrome
+// traces (--trace-dir), and one merged grid_summary.json next to the cell
+// directories of whichever artifact dir is active.
+inline void WriteGridArtifacts(const GridBenchArgs& args,
+                               const std::string& bench,
+                               const std::vector<std::string>& cells,
+                               const std::vector<EvaluationResult>& results) {
+  if (args.run_report_dir.empty() && args.trace_dir.empty()) {
+    return;
+  }
+  std::vector<std::shared_ptr<const RunReport>> reports;
+  for (size_t i = 0; i < results.size(); ++i) {
+    WriteCellRunReport(args.run_report_dir, bench, cells[i], results[i]);
+    if (!args.trace_dir.empty() && results[i].trace != nullptr) {
+      const std::string path =
+          args.trace_dir + "/" + bench + "/" + cells[i] + "/trace.json";
+      if (!results[i].trace->WriteTo(path)) {
+        std::fprintf(stderr, "warning: could not write trace %s\n",
+                     path.c_str());
+      }
+    }
+    if (results[i].report != nullptr) {
+      reports.push_back(results[i].report);
+    }
+  }
+  const std::string& summary_root =
+      !args.run_report_dir.empty() ? args.run_report_dir : args.trace_dir;
+  const std::string summary_path =
+      summary_root + "/" + bench + "/grid_summary.json";
+  if (!WriteGridSummary(summary_path, reports)) {
+    std::fprintf(stderr, "warning: could not write grid summary %s\n",
+                 summary_path.c_str());
+  }
+}
+
 // Prints one figure's grid and exports it to bench_out/<csv_name>.csv;
 // `metric` extracts the plotted value. All 20 cells run up front on the
 // parallel grid runner (`jobs` workers; 0 = auto), then print in plot order.
@@ -95,27 +138,23 @@ template <typename MetricFn>
 void PrintGrid(const char* header, const char* unit, const char* csv_name,
                MetricFn metric, const GridBenchArgs& args = {}) {
   std::vector<EvaluationConfig> configs;
+  std::vector<std::string> cells;
   configs.reserve(kGridPolicies.size() * kGridMechanisms.size());
+  cells.reserve(configs.capacity());
   for (MappingPolicyKind policy : kGridPolicies) {
     for (MigrationMechanism mechanism : kGridMechanisms) {
       EvaluationConfig config = GridConfig(policy, mechanism);
       config.chaos = ChaosConfigForLevel(args.chaos_level, args.chaos_seed);
+      config.collect_trace = !args.trace_dir.empty();
+      cells.push_back(std::string(MappingPolicyName(policy)) + "_" +
+                      std::string(MigrationMechanismName(mechanism)));
+      config.report_label = cells.back();
       configs.push_back(config);
     }
   }
   const std::vector<EvaluationResult> results =
       RunPolicyEvaluationGrid(configs, args.jobs);
-  if (!args.run_report_dir.empty()) {
-    size_t report_cell = 0;
-    for (MappingPolicyKind policy : kGridPolicies) {
-      for (MigrationMechanism mechanism : kGridMechanisms) {
-        WriteCellRunReport(args.run_report_dir, csv_name,
-                           std::string(MappingPolicyName(policy)) + "_" +
-                               std::string(MigrationMechanismName(mechanism)),
-                           results[report_cell++]);
-      }
-    }
-  }
+  WriteGridArtifacts(args, csv_name, cells, results);
 
   std::vector<std::string> csv_header = {"policy"};
   std::printf("%-10s", "policy");

@@ -2,12 +2,32 @@
 
 namespace spotcheck {
 
+namespace {
+
+// Marks an assignment on the server's "backup/<id>" track.
+void TraceAssign(SpanTracer* tracer, const BackupServer& server, NestedVmId vm,
+                 SimTime now) {
+  if (tracer == nullptr) {
+    return;
+  }
+  const TraceTrackId track = tracer->Track("backup/" + server.id().ToString());
+  const SpanId mark = tracer->Instant(now, "backup.assign", "backup", track);
+  tracer->AttrStr(mark, "vm", vm.ToString());
+}
+
+}  // namespace
+
 BackupServer& BackupPool::Provision(SimTime now) {
   servers_.push_back(std::make_unique<BackupServer>(
       ids_.Next(), config_.server_type, config_.perf, config_.max_vms_per_server));
   servers_.back()->set_restore_bandwidth_scale(restore_bandwidth_scale_);
   provisioned_at_.push_back(now);
   MetricInc(servers_provisioned_metric_);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(
+        now, "backup.provision", "backup",
+        tracer_->Track("backup/" + servers_.back()->id().ToString()));
+  }
   return *servers_.back();
 }
 
@@ -22,6 +42,7 @@ BackupServer& BackupPool::Assign(NestedVmId vm, double demand_mbps, SimTime now)
     if (candidate.AddStream(vm, demand_mbps)) {
       assignment_[vm] = &candidate;
       RecordAssignment(candidate);
+      TraceAssign(tracer_, candidate, vm, now);
       return candidate;
     }
   }
@@ -29,6 +50,7 @@ BackupServer& BackupPool::Assign(NestedVmId vm, double demand_mbps, SimTime now)
   fresh.AddStream(vm, demand_mbps);
   assignment_[vm] = &fresh;
   RecordAssignment(fresh);
+  TraceAssign(tracer_, fresh, vm, now);
   return fresh;
 }
 

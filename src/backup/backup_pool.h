@@ -15,6 +15,7 @@
 #include "src/backup/backup_server.h"
 #include "src/common/ids.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 
@@ -28,11 +29,13 @@ struct BackupPoolConfig {
 
 class BackupPool {
  public:
-  // `metrics` (optional) registers the backup.* instruments; must outlive
-  // the pool.
+  // `metrics` (optional) registers the backup.* instruments; `tracer`
+  // (optional) marks provisioning/assignment on each server's
+  // "backup/<id>" track. Both must outlive the pool.
   explicit BackupPool(BackupPoolConfig config = {},
-                      MetricsRegistry* metrics = nullptr)
-      : config_(config) {
+                      MetricsRegistry* metrics = nullptr,
+                      SpanTracer* tracer = nullptr)
+      : config_(config), tracer_(tracer) {
     if (metrics != nullptr) {
       servers_provisioned_metric_ = &metrics->Counter("backup.servers_provisioned");
       assignments_metric_ = &metrics->Counter("backup.assignments");
@@ -92,6 +95,7 @@ class BackupPool {
   std::unordered_map<NestedVmId, BackupServer*> assignment_;
   size_t rr_cursor_ = 0;
   double restore_bandwidth_scale_ = 1.0;
+  SpanTracer* tracer_ = nullptr;
 
   // Observability instruments; all null without a registry.
   MetricCounter* servers_provisioned_metric_ = nullptr;

@@ -7,7 +7,8 @@ namespace spotcheck {
 ChaosConfig ChaosConfigForLevel(int level, uint64_t seed) {
   ChaosConfig config;
   config.seed = seed;
-  switch (std::clamp(level, 0, 3)) {
+  config.level = std::clamp(level, 0, 3);
+  switch (config.level) {
     case 0:
       break;  // all rates zero: injection disabled
     case 1:

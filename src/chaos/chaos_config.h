@@ -30,6 +30,11 @@ struct ChaosConfig {
   // same workload can be soaked under many fault schedules.
   uint64_t seed = 1337;
 
+  // Preset ladder rung this config came from (purely observational, recorded
+  // in run reports so soak artifacts are self-describing); 0 for hand-built
+  // configs.
+  int level = 0;
+
   // Zones eligible for injected outages: indices [zone_base, zone_base +
   // num_zones). Mirror the controller's zone span.
   int zone_base = 0;

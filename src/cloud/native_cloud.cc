@@ -37,6 +37,17 @@ SimDuration NativeCloud::OperationDelay(CloudOperation op) {
   return delay;
 }
 
+SpanId NativeCloud::TraceOp(std::string_view name, InstanceId instance,
+                            SimDuration delay) {
+  SpanTracer* tracer = config_.tracer;
+  if (tracer == nullptr) {
+    return 0;
+  }
+  const TraceTrackId track = tracer->Track("host/" + instance.ToString());
+  return tracer->AddSpan(sim_->Now(), sim_->Now() + delay, name, "cloud",
+                         track);
+}
+
 SpotMarket& NativeCloud::MarketFor(MarketKey key) {
   return markets_->GetOrCreate(key, config_.market_horizon, config_.market_seed);
 }
@@ -52,10 +63,12 @@ InstanceId NativeCloud::RequestSpotInstance(MarketKey market, double bid,
   instance.requested_at = sim_->Now();
   MetricInc(launch_requests_metric_);
   MarketFor(market);  // Materialize the market (and its replay) now.
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartSpotInstance),
-                      [this, id, ready = std::move(ready)]() mutable {
-                        OnInstanceStarted(id, std::move(ready));
-                      });
+  const SimDuration delay = OperationDelay(CloudOperation::kStartSpotInstance);
+  TraceAttrStr(config_.tracer, TraceOp("cloud.launch_spot", id, delay),
+               "market", market.ToString());
+  sim_->ScheduleAfter(delay, [this, id, ready = std::move(ready)]() mutable {
+    OnInstanceStarted(id, std::move(ready));
+  });
   return id;
 }
 
@@ -70,21 +83,27 @@ InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
   MetricInc(launch_requests_metric_);
   if (rng_.Bernoulli(config_.on_demand_unavailable_probability)) {
     // Out of capacity: fail after the request latency.
-    sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartOnDemandInstance),
-                        [this, id, ready = std::move(ready)]() {
-                          instances_[id].state = InstanceState::kTerminated;
-                          instances_[id].terminated_at = sim_->Now();
-                          MetricInc(launch_failures_metric_);
-                          if (ready) {
-                            ready(id, false);
-                          }
-                        });
+    const SimDuration delay =
+        OperationDelay(CloudOperation::kStartOnDemandInstance);
+    TraceAttrStr(config_.tracer, TraceOp("cloud.launch_ondemand", id, delay),
+                 "market", market.ToString());
+    sim_->ScheduleAfter(delay, [this, id, ready = std::move(ready)]() {
+      instances_[id].state = InstanceState::kTerminated;
+      instances_[id].terminated_at = sim_->Now();
+      MetricInc(launch_failures_metric_);
+      if (ready) {
+        ready(id, false);
+      }
+    });
     return id;
   }
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kStartOnDemandInstance),
-                      [this, id, ready = std::move(ready)]() mutable {
-                        OnInstanceStarted(id, std::move(ready));
-                      });
+  const SimDuration delay =
+      OperationDelay(CloudOperation::kStartOnDemandInstance);
+  TraceAttrStr(config_.tracer, TraceOp("cloud.launch_ondemand", id, delay),
+               "market", market.ToString());
+  sim_->ScheduleAfter(delay, [this, id, ready = std::move(ready)]() mutable {
+    OnInstanceStarted(id, std::move(ready));
+  });
   return id;
 }
 
@@ -261,7 +280,9 @@ void NativeCloud::TerminateInstance(InstanceId id) {
   ReleaseAttachments(id);
   instance.state = InstanceState::kTerminated;
   MetricInc(terminations_metric_);
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kTerminateInstance),
+  const SimDuration delay = OperationDelay(CloudOperation::kTerminateInstance);
+  TraceOp("cloud.terminate", id, delay);
+  sim_->ScheduleAfter(delay,
                       [this, id]() { instances_[id].terminated_at = sim_->Now(); });
 }
 
@@ -314,7 +335,9 @@ void NativeCloud::AttachVolume(VolumeId volume, InstanceId instance,
     return;
   }
   vit->second.busy = true;
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kAttachVolume),
+  const SimDuration delay = OperationDelay(CloudOperation::kAttachVolume);
+  TraceOp("cloud.ebs_attach", instance, delay);
+  sim_->ScheduleAfter(delay,
                       [this, volume, instance, done = std::move(done)]() {
                         VolumeRecord& record = volumes_[volume];
                         record.busy = false;
@@ -341,8 +364,9 @@ void NativeCloud::DetachVolume(VolumeId volume, std::function<void(bool)> done) 
     return;
   }
   vit->second.busy = true;
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kDetachVolume),
-                      [this, volume, done = std::move(done)]() {
+  const SimDuration delay = OperationDelay(CloudOperation::kDetachVolume);
+  TraceOp("cloud.ebs_detach", vit->second.attached_to, delay);
+  sim_->ScheduleAfter(delay, [this, volume, done = std::move(done)]() {
                         VolumeRecord& record = volumes_[volume];
                         record.busy = false;
                         record.attached_to = InstanceId();
@@ -378,7 +402,9 @@ void NativeCloud::AssignAddress(AddressId address, InstanceId instance,
     return;
   }
   ait->second.busy = true;
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kAttachInterface),
+  const SimDuration delay = OperationDelay(CloudOperation::kAttachInterface);
+  TraceOp("cloud.eni_assign", instance, delay);
+  sim_->ScheduleAfter(delay,
                       [this, address, instance, done = std::move(done)]() {
                         AddressRecord& record = addresses_[address];
                         record.busy = false;
@@ -405,8 +431,9 @@ void NativeCloud::UnassignAddress(AddressId address, std::function<void(bool)> d
     return;
   }
   ait->second.busy = true;
-  sim_->ScheduleAfter(OperationDelay(CloudOperation::kDetachInterface),
-                      [this, address, done = std::move(done)]() {
+  const SimDuration delay = OperationDelay(CloudOperation::kDetachInterface);
+  TraceOp("cloud.eni_unassign", ait->second.assigned_to, delay);
+  sim_->ScheduleAfter(delay, [this, address, done = std::move(done)]() {
                         AddressRecord& record = addresses_[address];
                         record.busy = false;
                         record.assigned_to = InstanceId();

@@ -29,6 +29,7 @@
 #include "src/market/instance_types.h"
 #include "src/market/spot_market.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace spotcheck {
@@ -68,6 +69,10 @@ struct NativeCloudConfig {
   // histogram, market.bid_crossings). Purely observational; must outlive the
   // cloud when set.
   MetricsRegistry* metrics = nullptr;
+  // Optional span tracer: every control-plane operation records a span of
+  // its Table-1 latency on the affected instance's "host/<id>" track.
+  // Purely observational; must outlive the cloud when set.
+  SpanTracer* tracer = nullptr;
 };
 
 // (instance, success). Launch failures happen when a spot request's bid is
@@ -179,6 +184,9 @@ class NativeCloud {
   };
 
   SimDuration OperationDelay(CloudOperation op);
+  // Records an operation span [Now, Now + delay) on `instance`'s host track,
+  // adopting the ambient trace parent; 0 when tracing is off.
+  SpanId TraceOp(std::string_view name, InstanceId instance, SimDuration delay);
   void OnInstanceStarted(InstanceId id, InstanceReadyCallback ready);
   void OnMarketPriceChange(MarketKey key, double price);
   void WarnAndScheduleTermination(Instance& instance);

@@ -13,8 +13,9 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
       cloud_(cloud),
       markets_(markets),
       config_(config),
-      engine_(sim, &activity_log_, config.engine, config.metrics),
-      backup_pool_(config.backup, config.metrics) {
+      engine_(sim, &activity_log_, config.engine, config.metrics,
+              config.tracer),
+      backup_pool_(config.backup, config.metrics, config.tracer) {
   // Populate the shared context, then construct the components against it
   // (each expects the platform handles and facade bookkeeping to be wired
   // before its constructor runs; see controller_context.h).
@@ -23,6 +24,7 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
   ctx_.markets = markets_;
   ctx_.config = &config_;
   ctx_.metrics = config_.metrics;
+  ctx_.tracer = config_.tracer;
   ctx_.activity_log = &activity_log_;
   ctx_.event_log = &event_log_;
   ctx_.engine = &engine_;

@@ -60,6 +60,10 @@ struct ControllerConfig {
   // BackupPool the controller owns; must outlive the controller. Purely
   // observational: simulation results are identical with or without it.
   MetricsRegistry* metrics = nullptr;
+  // Optional span tracer, under the same contract: shared with the owned
+  // MigrationEngine/BackupPool, must outlive the controller, and never
+  // affects simulation results.
+  SpanTracer* tracer = nullptr;
 };
 
 }  // namespace spotcheck

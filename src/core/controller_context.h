@@ -37,6 +37,7 @@ class NativeCloud;
 class MarketPlace;
 struct ControllerConfig;
 class MetricsRegistry;
+class SpanTracer;
 class ActivityLog;
 class ControllerEventLog;
 class MigrationEngine;
@@ -59,6 +60,7 @@ struct ControllerContext {
   MarketPlace* markets = nullptr;
   const ControllerConfig* config = nullptr;
   MetricsRegistry* metrics = nullptr;  // nullable
+  SpanTracer* tracer = nullptr;        // nullable
 
   // Facade-owned bookkeeping shared by every component.
   ActivityLog* activity_log = nullptr;

@@ -95,6 +95,11 @@ void EvacuationCoordinator::OnInstanceFailure(InstanceId instance) {
       ctx_->event_log->Record(ctx_->Now(), ControllerEventKind::kVmLost,
                               vm.id(), instance, host->market(),
                               "platform failure, no backup");
+      if (ctx_->tracer != nullptr) {
+        SpanTracer& tracer = *ctx_->tracer;
+        tracer.Instant(ctx_->Now(), "vm.lost", "core",
+                       tracer.Track("vm/" + vm.id().ToString()));
+      }
       SPOTCHECK_LOG(kError) << vm.id().ToString()
                             << " lost to a platform failure (no backup)";
       continue;
@@ -108,12 +113,29 @@ void EvacuationCoordinator::OnInstanceFailure(InstanceId instance) {
     evac.old_market = host->market();
     evac.deadline = ctx_->Now();
     evac.committed = true;  // the surviving checkpoint IS the commit
+    if (ctx_->tracer != nullptr) {
+      SpanTracer& tracer = *ctx_->tracer;
+      evac.span = tracer.Begin(ctx_->Now(), "crash_recovery", "core",
+                               tracer.Track("vm/" + vm.id().ToString()));
+      tracer.AttrStr(evac.span, "mechanism",
+                     MigrationMechanismName(evac.mechanism));
+      tracer.AttrStr(evac.span, "from_market", evac.old_market.ToString());
+      evac.restore_hold_span = tracer.Begin(
+          ctx_->Now(), "backup.restore_hold", "backup",
+          tracer.Track("backup/" + backup->id().ToString()), evac.span);
+    }
+    const ScopedTraceParent trace_parent(ctx_->tracer, evac.span);
     backup->BeginRestore(vm.id());
     MetricInc(backup_restores_metric_);
     ctx_->engine->BeginCrashRecovery(vm, ctx_->Now());
     ctx_->event_log->Record(ctx_->Now(), ControllerEventKind::kCrashRecovery,
                             vm.id(), instance, host->market());
     vm.set_host(InstanceId());
+    if (ctx_->tracer != nullptr) {
+      evac.wait_span = ctx_->tracer->Begin(
+          ctx_->Now(), "evac.wait_destination", "core",
+          ctx_->tracer->Track("vm/" + vm.id().ToString()), evac.span);
+    }
     ctx_->pool->AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
                             Waiter{vm.id(), WaitIntent::kEvacuationDestination});
   }
@@ -133,6 +155,18 @@ void EvacuationCoordinator::EvacuateVm(NestedVm& vm, SimTime deadline) {
   evac.deadline = deadline;
   ctx_->event_log->Record(ctx_->Now(), ControllerEventKind::kEvacuationStarted,
                           vm.id(), evac.old_host, evac.old_market);
+  if (ctx_->tracer != nullptr) {
+    // Root of this VM's causal tree, open until FinalizeEvacuation. Every
+    // span recorded inside this function's scope -- commit phases, backup
+    // holds, host acquisitions, cloud operations -- hangs off it.
+    SpanTracer& tracer = *ctx_->tracer;
+    evac.span = tracer.Begin(ctx_->Now(), "evacuation", "core",
+                             tracer.Track("vm/" + vm.id().ToString()));
+    tracer.AttrStr(evac.span, "mechanism",
+                   MigrationMechanismName(evac.mechanism));
+    tracer.AttrStr(evac.span, "from_market", evac.old_market.ToString());
+  }
+  const ScopedTraceParent trace_parent(ctx_->tracer, evac.span);
 
   // Phase 1: get the state safe. Xen-live has nothing to commit (and nothing
   // saved -- it bets everything on the pre-copy).
@@ -140,6 +174,12 @@ void EvacuationCoordinator::EvacuateVm(NestedVm& vm, SimTime deadline) {
     if (evac.backup != nullptr) {
       evac.backup->BeginRestore(vm.id());
       MetricInc(backup_restores_metric_);
+      if (ctx_->tracer != nullptr) {
+        evac.restore_hold_span = ctx_->tracer->Begin(
+            ctx_->Now(), "backup.restore_hold", "backup",
+            ctx_->tracer->Track("backup/" + evac.backup->id().ToString()),
+            evac.span);
+      }
     }
     ctx_->engine->BeginEvacuation(vm, ctx_->config->mechanism, deadline,
                                   [this, &vm]() {
@@ -161,6 +201,7 @@ void EvacuationCoordinator::EvacuateVm(NestedVm& vm, SimTime deadline) {
     spare->AddVm(vm.id(), vm.spec());
     vm.set_host(spare->instance());
     evac.dest_ready = true;
+    TraceAttrStr(ctx_->tracer, evac.span, "destination", "hot_spare");
     ctx_->pool->ReplenishHotSpares();
     MaybeCompleteEvacuation(vm);
     return;
@@ -173,6 +214,7 @@ void EvacuationCoordinator::EvacuateVm(NestedVm& vm, SimTime deadline) {
       evac.dest_ready = true;
       evac.staged = true;
       evac.staging_market = staging->market();
+      TraceAttrStr(ctx_->tracer, evac.span, "destination", "staging");
       ++stagings_;
       MetricInc(stagings_metric_);
       MaybeCompleteEvacuation(vm);
@@ -180,6 +222,12 @@ void EvacuationCoordinator::EvacuateVm(NestedVm& vm, SimTime deadline) {
     }
   }
   vm.set_host(InstanceId());  // assigned when the on-demand host is up
+  TraceAttrStr(ctx_->tracer, evac.span, "destination", "on_demand");
+  if (ctx_->tracer != nullptr) {
+    evac.wait_span = ctx_->tracer->Begin(
+        ctx_->Now(), "evac.wait_destination", "core",
+        ctx_->tracer->Track("vm/" + vm.id().ToString()), evac.span);
+  }
   ctx_->pool->AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
                           Waiter{vm.id(), WaitIntent::kEvacuationDestination});
 }
@@ -195,6 +243,17 @@ void EvacuationCoordinator::RespawnStateless(NestedVm& vm, SimTime deadline) {
                           vm.id(), vm.host(), ctx_->MarketOfOrDefault(vm.host()));
   const InstanceId old_host_id = vm.host();
   const MarketKey old_market = ctx_->MarketOfOrDefault(old_host_id);
+  SpanId root = 0;
+  SpanId wait = 0;
+  if (ctx_->tracer != nullptr) {
+    SpanTracer& tracer = *ctx_->tracer;
+    const TraceTrackId track = tracer.Track("vm/" + vm.id().ToString());
+    root = tracer.Begin(ctx_->Now(), "stateless_respawn", "core", track);
+    tracer.AttrStr(root, "from_market", old_market.ToString());
+    wait = tracer.Begin(ctx_->Now(), "evac.wait_destination", "core", track,
+                        root);
+  }
+  const ScopedTraceParent trace_parent(ctx_->tracer, root);
   vm.set_state(NestedVmState::kMigrating);  // replica swap in progress
   vm.set_host(InstanceId());
   ctx_->pool->AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
@@ -209,22 +268,29 @@ void EvacuationCoordinator::RespawnStateless(NestedVm& vm, SimTime deadline) {
   evac.old_market = old_market;
   evac.deadline = deadline;
   evac.committed = true;
+  evac.span = root;
+  evac.wait_span = wait;
 }
 
 void EvacuationCoordinator::OnDestinationHostReady(NestedVm& vm, HostVm& host) {
+  const auto it = evacuating_.find(vm.id());
+  EvacuationState* evac = it != evacuating_.end() ? &it->second : nullptr;
   // Reserve capacity; phase 2 of the evacuation runs once the checkpoint
   // commit also lands.
   if (!host.AddVm(vm.id(), vm.spec())) {
     // Capacity race against a co-waiter: this VM's state is still safe
-    // on the backup server, so keep hunting for a destination.
+    // on the backup server, so keep hunting for a destination (the
+    // wait-for-destination span stays open across the retry).
+    const ScopedTraceParent trace_parent(ctx_->tracer,
+                                         evac != nullptr ? evac->span : 0);
     ctx_->pool->AcquireHost(ctx_->FallbackOnDemandMarket(), /*is_spot=*/false,
                             Waiter{vm.id(), WaitIntent::kEvacuationDestination});
     return;
   }
   vm.set_host(host.instance());
-  const auto it = evacuating_.find(vm.id());
-  if (it != evacuating_.end()) {
-    it->second.dest_ready = true;
+  if (evac != nullptr) {
+    TraceEnd(ctx_->tracer, evac->wait_span, ctx_->Now());
+    evac->dest_ready = true;
     MaybeCompleteEvacuation(vm);
   }
 }
@@ -239,6 +305,9 @@ void EvacuationCoordinator::MaybeCompleteEvacuation(NestedVm& vm) {
     return;
   }
   evac.completing = true;
+  // Phase-2 mechanics (live-race arbitration, EC2 ops, restore) record their
+  // spans synchronously inside these calls; parent them under the root.
+  const ScopedTraceParent trace_parent(ctx_->tracer, evac.span);
   if (vm.spec().stateless) {
     // Fresh replica boot: nothing to transfer, no downtime charged to the
     // tier (the old replica served until its termination).
@@ -275,6 +344,7 @@ void EvacuationCoordinator::FinalizeEvacuation(NestedVm& vm,
 
   if (evac.backup != nullptr) {
     evac.backup->EndRestore(vm.id());
+    TraceEnd(ctx_->tracer, evac.restore_hold_span, ctx_->Now());
   }
   // Drop the stale membership in the revoked host; once empty, its (already
   // terminated) record is reaped.
@@ -301,6 +371,8 @@ void EvacuationCoordinator::FinalizeEvacuation(NestedVm& vm,
     ctx_->event_log->Record(ctx_->Now(), ControllerEventKind::kVmLost, vm.id(),
                             evac.old_host, evac.old_market,
                             "live-migration race");
+    TraceAttrNum(ctx_->tracer, evac.span, "lost", 1);
+    TraceEnd(ctx_->tracer, evac.span, ctx_->Now());
     ctx_->pool->MaybeReleaseHost(dest_host);
     return;
   }
@@ -328,10 +400,17 @@ void EvacuationCoordinator::FinalizeEvacuation(NestedVm& vm,
   }
   const HostVm* dest = ctx_->pool->GetHost(vm.host());
   if (dest != nullptr) {
+    // The trailing EBS/ENI rebinds are part of the evacuation's causal tree.
+    const ScopedTraceParent trace_parent(ctx_->tracer, evac.span);
     ctx_->cloud->AttachVolume(vm.root_volume(), dest->instance());
     ctx_->cloud->AssignAddress(vm.address(), dest->instance());
   }
   ctx_->placement->RebindNetwork(vm, outcome.downtime);
+  TraceAttrNum(ctx_->tracer, evac.span, "downtime_s",
+               outcome.downtime.seconds());
+  TraceAttrNum(ctx_->tracer, evac.span, "degraded_s",
+               outcome.degraded.seconds());
+  TraceEnd(ctx_->tracer, evac.span, ctx_->Now());
 }
 
 }  // namespace spotcheck

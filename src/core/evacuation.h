@@ -19,6 +19,7 @@
 #include "src/core/controller_context.h"
 #include "src/market/instance_types.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/migration_engine.h"
 #include "src/virt/nested_vm.h"
@@ -70,6 +71,12 @@ class EvacuationCoordinator {
     // migration to a final host follows once one launches.
     bool staged = false;
     MarketKey staging_market;
+    // Tracing (all 0 when tracing is off): the evacuation's root span on the
+    // VM's track, the open wait-for-destination child, and the backup
+    // server's restore-hold span (BeginRestore -> EndRestore).
+    SpanId span = 0;
+    SpanId wait_span = 0;
+    SpanId restore_hold_span = 0;
   };
 
   void MaybeCompleteEvacuation(NestedVm& vm);

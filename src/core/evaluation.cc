@@ -16,7 +16,8 @@ namespace {
 std::shared_ptr<const RunReport> BuildRunReport(
     const EvaluationConfig& config, const EvaluationResult& result,
     const SpotCheckController& controller, const ChaosEngine* chaos,
-    std::shared_ptr<const MetricsRegistry> metrics) {
+    std::shared_ptr<const MetricsRegistry> metrics,
+    std::shared_ptr<const SpanTracer> trace) {
   auto report = std::make_shared<RunReport>();
   report->label = config.report_label.empty()
                       ? std::string(MappingPolicyName(config.policy)) + "/" +
@@ -55,7 +56,16 @@ std::shared_ptr<const RunReport> BuildRunReport(
     report->AddSummary("result.chaos_faults_injected",
                        static_cast<double>(result.chaos_faults_injected));
   }
+  report->chaos_active = config.chaos.enabled();
+  report->chaos_level = config.chaos.level;
+  report->chaos_seed = config.chaos.seed;
+  if (report->chaos_active) {
+    report->AddSummary("config.chaos_level", config.chaos.level);
+    report->AddSummary("config.chaos_seed",
+                       static_cast<double>(config.chaos.seed));
+  }
   report->metrics = std::move(metrics);
+  report->trace = std::move(trace);
   const std::vector<ControllerEvent>& events = controller.event_log().events();
   report->events.reserve(events.size() +
                          (chaos != nullptr ? chaos->timeline().size() : 0));
@@ -90,7 +100,11 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   // it, so parallel grid cells never share an instrument.
   const std::shared_ptr<MetricsRegistry> metrics =
       config.collect_metrics ? std::make_shared<MetricsRegistry>() : nullptr;
-  Simulator sim(metrics.get());
+  // Same ownership story for the tracer: one per cell, plain pointers below.
+  const std::shared_ptr<SpanTracer> tracer =
+      config.collect_trace ? std::make_shared<SpanTracer>(config.trace)
+                           : nullptr;
+  Simulator sim(metrics.get(), tracer.get());
   MarketPlace markets(&sim, metrics.get());
 
   if (config.market_coupling > 0.0) {
@@ -116,6 +130,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   cloud_config.market_seed = config.seed;
   cloud_config.latency_seed = config.seed ^ 0xfeed;
   cloud_config.metrics = metrics.get();
+  cloud_config.tracer = tracer.get();
   NativeCloud cloud(&sim, &markets, cloud_config);
 
   ControllerConfig controller_config;
@@ -128,6 +143,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   controller_config.num_zones = config.num_zones;
   controller_config.seed = config.seed;
   controller_config.metrics = metrics.get();
+  controller_config.tracer = tracer.get();
   SpotCheckController controller(&sim, &cloud, &markets, controller_config);
 
   // Fault injection: compile the full schedule up front (dedicated Rng
@@ -197,9 +213,15 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   }
   result.trace_cache_hits = markets.trace_cache_hits();
   result.trace_cache_misses = markets.trace_cache_misses();
+  if (tracer != nullptr) {
+    // Evacuations (etc.) still in flight at the horizon stay visible as
+    // clamped, `truncated`-tagged spans rather than vanishing.
+    tracer->CloseOpenSpans(sim.Now());
+    result.trace = tracer;
+  }
   if (metrics != nullptr) {
-    result.report =
-        BuildRunReport(config, result, controller, chaos.get(), metrics);
+    result.report = BuildRunReport(config, result, controller, chaos.get(),
+                                   metrics, tracer);
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include "src/chaos/chaos_config.h"
 #include "src/core/controller.h"
 #include "src/obs/run_report.h"
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 
@@ -52,6 +53,13 @@ struct EvaluationConfig {
   // On by default: instruments are nullable pointers behind one predictable
   // branch, and the numeric results are bit-identical either way.
   bool collect_metrics = true;
+  // Build a per-cell SpanTracer and attach the full causal span record to
+  // the result (and its RunReport). Off by default: spans are bulkier than
+  // metrics. Like metrics, tracing is behavior-free -- the numeric results
+  // are bit-identical either way.
+  bool collect_trace = false;
+  // Tracer knobs (sampling interval for simulator dispatch instants).
+  TraceConfig trace;
   // RunReport label; defaults to "<policy>/<mechanism>" when empty.
   std::string report_label;
 };
@@ -83,6 +91,10 @@ struct EvaluationResult {
   // when the config disabled metrics collection. Excluded from determinism
   // comparisons -- the numeric fields above are the contract.
   std::shared_ptr<const RunReport> report;
+  // The cell's span record (null unless collect_trace); export with
+  // SpanTracer::WriteTo or summarize with AnalyzeTrace. Excluded from
+  // determinism comparisons like the report.
+  std::shared_ptr<const SpanTracer> trace;
 };
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);

@@ -78,6 +78,19 @@ void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
   pending.market = market;
   pending.is_spot = is_spot;
   pending.is_hot_spare = hot_spare;
+  if (ctx_->tracer != nullptr) {
+    // Open until OnHostReady; adopts the ambient parent, so an acquisition
+    // issued mid-evacuation hangs off that evacuation's root span.
+    SpanTracer& tracer = *ctx_->tracer;
+    pending.span =
+        tracer.Begin(ctx_->Now(), "pool.acquire", "core",
+                     tracer.Track("host/" + instance.ToString()));
+    tracer.AttrStr(pending.span, "market", market.ToString());
+    tracer.AttrNum(pending.span, "spot", is_spot ? 1 : 0);
+    if (hot_spare) {
+      tracer.AttrNum(pending.span, "hot_spare", 1);
+    }
+  }
   if (first_waiter.vm.valid()) {
     pending.waiting.push_back(first_waiter);
   }
@@ -119,6 +132,8 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
   if (pending.is_hot_spare) {
     --pending_hot_spares_;
   }
+  TraceAttrNum(ctx_->tracer, pending.span, "ok", ok ? 1 : 0);
+  TraceEnd(ctx_->tracer, pending.span, ctx_->Now());
 
   if (!ok) {
     // A spot request lost the race against a price move (or on-demand

@@ -35,6 +35,7 @@
 #include "src/common/ids.h"
 #include "src/core/controller_context.h"
 #include "src/market/instance_types.h"
+#include "src/obs/trace.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/vm_spec.h"
 
@@ -124,6 +125,9 @@ class HostPoolManager {
     bool is_spot = true;
     bool is_hot_spare = false;
     std::deque<Waiter> waiting;  // VMs to place when the host is up
+    // Open "pool.acquire" span covering request -> ready/failed (0 when
+    // tracing is off).
+    SpanId span = 0;
   };
 
   void OnHostReady(InstanceId instance, bool ok);

@@ -36,6 +36,15 @@ PlacementEngine::PlacementEngine(ControllerContext* ctx)
 void PlacementEngine::PlaceVm(NestedVm& vm) {
   const MarketKey pool = mapping_.ChoosePool(
       *ctx_->markets, ctx_->config->bidding, ctx_->Now());
+  SpanId span = 0;
+  if (ctx_->tracer != nullptr) {
+    SpanTracer& tracer = *ctx_->tracer;
+    span = tracer.Begin(ctx_->Now(), "placement.place", "core",
+                        tracer.Track("vm/" + vm.id().ToString()));
+    tracer.AttrStr(span, "pool", pool.ToString());
+    placing_spans_[vm.id()] = span;
+  }
+  const ScopedTraceParent trace_parent(ctx_->tracer, span);
   if (HostVm* host =
           ctx_->pool->FindHostWithCapacity(pool, /*spot=*/true, vm.spec())) {
     AttachVmToHost(vm, *host);
@@ -52,6 +61,11 @@ void PlacementEngine::OnInitialPlacementHostReady(NestedVm& vm, HostVm& host) {
 }
 
 void PlacementEngine::AttachVmToHost(NestedVm& vm, HostVm& host) {
+  const auto span_it = placing_spans_.find(vm.id());
+  const SpanId span = span_it != placing_spans_.end() ? span_it->second : 0;
+  // Cloud operations triggered while binding (volume/address attachment,
+  // retried spot launches) nest under the open placement span.
+  const ScopedTraceParent trace_parent(ctx_->tracer, span);
   if (!host.AddVm(vm.id(), vm.spec())) {
     // Lost a capacity race (or a mis-sized host); place the VM afresh.
     SPOTCHECK_LOG(kWarning) << vm.id().ToString() << " does not fit on "
@@ -83,6 +97,11 @@ void PlacementEngine::AttachVmToHost(NestedVm& vm, HostVm& host) {
     }
   }
   AssignBackup(vm);
+  if (span != 0) {
+    ctx_->tracer->AttrStr(span, "host", host.instance().ToString());
+    ctx_->tracer->End(span, ctx_->Now());
+    placing_spans_.erase(span_it);
+  }
 }
 
 void PlacementEngine::AssignBackup(NestedVm& vm) {

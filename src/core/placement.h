@@ -9,10 +9,13 @@
 #ifndef SRC_CORE_PLACEMENT_H_
 #define SRC_CORE_PLACEMENT_H_
 
+#include <map>
 #include <vector>
 
+#include "src/common/ids.h"
 #include "src/core/controller_context.h"
 #include "src/core/mapping_policy.h"
+#include "src/obs/trace.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/nested_vm.h"
 
@@ -59,6 +62,9 @@ class PlacementEngine {
  private:
   ControllerContext* ctx_;
   MappingPolicy mapping_;
+  // Open "placement.place" spans: PlaceVm -> first successful attach.
+  // Empty when tracing is off.
+  std::map<NestedVmId, SpanId> placing_spans_;
 };
 
 }  // namespace spotcheck

@@ -118,15 +118,29 @@ void RepatriationScheduler::TryRepatriate(const MarketKey& key) {
     ctx_->event_log->Record(ctx_->Now(),
                             ControllerEventKind::kRepatriationStarted, vm_id,
                             vm.host(), key);
+    SpanId span = 0;
+    if (ctx_->tracer != nullptr) {
+      SpanTracer& tracer = *ctx_->tracer;
+      span = tracer.Begin(ctx_->Now(), "repatriation", "core",
+                          tracer.Track("vm/" + vm_id.ToString()));
+      tracer.AttrStr(span, "to_market", key.ToString());
+      move_spans_[vm_id] = span;
+    }
+    const ScopedTraceParent trace_parent(ctx_->tracer, span);
     if (host != nullptr) {
       HostVm& dest = *host;
       if (vm.spec().stateless) {
         ctx_->placement->MoveVmToHost(vm, dest);
+        EndMoveSpan(vm.id(), "completed");
       } else {
-        ctx_->engine->LiveMigrate(vm,
-                                  [this, &vm, &dest](const MigrationOutcome&) {
-                                    ctx_->placement->MoveVmToHost(vm, dest);
-                                  });
+        ctx_->engine->LiveMigrate(
+            vm, [this, &vm, &dest](const MigrationOutcome&) {
+              const auto it = move_spans_.find(vm.id());
+              const ScopedTraceParent parent(
+                  ctx_->tracer, it != move_spans_.end() ? it->second : 0);
+              ctx_->placement->MoveVmToHost(vm, dest);
+              EndMoveSpan(vm.id(), "completed");
+            });
       }
     } else {
       pending_moves_.insert(vm_id);
@@ -161,6 +175,15 @@ void RepatriationScheduler::ProactivelyDrain(const MarketKey& key) {
       ctx_->event_log->Record(ctx_->Now(),
                               ControllerEventKind::kProactiveDrain, vm_id,
                               instance, key);
+      SpanId span = 0;
+      if (ctx_->tracer != nullptr) {
+        SpanTracer& tracer = *ctx_->tracer;
+        span = tracer.Begin(ctx_->Now(), "proactive_drain", "core",
+                            tracer.Track("vm/" + vm_id.ToString()));
+        tracer.AttrStr(span, "from_market", key.ToString());
+        move_spans_[vm_id] = span;
+      }
+      const ScopedTraceParent trace_parent(ctx_->tracer, span);
       ctx_->pool->AcquireHost(ctx_->FallbackOnDemandMarket(),
                               /*is_spot=*/false,
                               Waiter{vm_id, WaitIntent::kPlannedMove});
@@ -179,21 +202,31 @@ void RepatriationScheduler::OnPlannedMoveHostReady(NestedVm& vm, HostVm& host,
   pending_moves_.erase(vm.id());
   if (vm.state() != NestedVmState::kRunning &&
       vm.state() != NestedVmState::kDegraded) {
+    EndMoveSpan(vm.id(), "aborted");
     return;
   }
   if (!host.AddVm(vm.id(), vm.spec())) {
     // Another waiter on this host won the capacity race; requeue instead of
     // over-committing the host.
+    EndMoveSpan(vm.id(), "requeued");
     if (ctx_->config->enable_repatriation && is_spot) {
       EnqueueRepatriation(market, vm.id());
     }
     return;
   }
+  const auto span_it = move_spans_.find(vm.id());
+  const SpanId span = span_it != move_spans_.end() ? span_it->second : 0;
+  const ScopedTraceParent trace_parent(ctx_->tracer, span);
   if (vm.spec().stateless) {
     ctx_->placement->MoveVmToHost(vm, host);
+    EndMoveSpan(vm.id(), "completed");
   } else {
     ctx_->engine->LiveMigrate(vm, [this, &vm, &host](const MigrationOutcome&) {
+      const auto it = move_spans_.find(vm.id());
+      const ScopedTraceParent parent(
+          ctx_->tracer, it != move_spans_.end() ? it->second : 0);
       ctx_->placement->MoveVmToHost(vm, host);
+      EndMoveSpan(vm.id(), "completed");
     });
   }
 }
@@ -202,9 +235,22 @@ void RepatriationScheduler::OnPlannedMoveLaunchFailed(const MarketKey& market,
                                                       bool is_spot,
                                                       NestedVmId vm) {
   pending_moves_.erase(vm);
+  EndMoveSpan(vm, "launch-failed");
   if (ctx_->config->enable_repatriation && is_spot) {
     EnqueueRepatriation(market, vm);
   }
+}
+
+void RepatriationScheduler::EndMoveSpan(NestedVmId vm, const char* status) {
+  const auto it = move_spans_.find(vm);
+  if (it == move_spans_.end()) {
+    return;
+  }
+  if (ctx_->tracer != nullptr) {
+    ctx_->tracer->AttrStr(it->second, "status", status);
+    ctx_->tracer->End(it->second, ctx_->Now());
+  }
+  move_spans_.erase(it);
 }
 
 bool RepatriationScheduler::ValidateInvariants(std::string* error) const {

@@ -26,6 +26,7 @@
 #include "src/market/instance_types.h"
 #include "src/market/revocation_predictor.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/nested_vm.h"
 
@@ -103,6 +104,10 @@ class RepatriationScheduler {
   bool ValidateInvariants(std::string* error) const;
 
  private:
+  // Closes `vm`'s open move span (if any) with a status attribute; no-op
+  // when no span is open for it.
+  void EndMoveSpan(NestedVmId vm, const char* status);
+
   ControllerContext* ctx_;
   // VMs currently exiled to on-demand, keyed by the spot pool they left.
   std::map<MarketKey, std::vector<NestedVmId>> repatriation_waitlist_;
@@ -112,6 +117,9 @@ class RepatriationScheduler {
   // VMs with a planned move (repatriation / proactive drain) whose target
   // host is still launching; guards against double-scheduling a move.
   std::set<NestedVmId> pending_moves_;
+  // Open "repatriation" / "proactive_drain" spans, schedule -> settle.
+  // Empty when tracing is off.
+  std::map<NestedVmId, SpanId> move_spans_;
 
   int64_t repatriations_ = 0;
   int64_t proactive_migrations_ = 0;

@@ -1,0 +1,189 @@
+#include "src/obs/grid_summary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <system_error>
+
+#include "src/obs/json.h"
+
+namespace spotcheck {
+
+namespace {
+
+// Lifecycle kinds worth a per-market breakdown; other event kinds (placement
+// churn, billing rows) would drown the table without informing it.
+constexpr const char* kMarketKinds[] = {
+    "revocation-warning", "evacuation-started",  "evacuation-completed",
+    "crash-recovery",     "repatriation-started", "vm-lost",
+};
+
+bool IsMarketKind(const std::string& kind) {
+  for (const char* k : kMarketKinds) {
+    if (kind == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SlowEvacuation {
+  std::string cell;
+  std::string vm;
+  double time_s = 0.0;
+  double downtime_s = 0.0;
+  double degraded_s = 0.0;
+};
+
+}  // namespace
+
+std::string BuildGridSummaryJson(
+    const std::vector<std::shared_ptr<const RunReport>>& reports,
+    size_t max_slowest) {
+  std::vector<std::string> cells;
+  // Key-sorted maps keep the document deterministic regardless of cell order.
+  std::map<std::string, double> totals;
+  std::map<std::string, std::map<std::string, int64_t>> per_market;
+  std::vector<SlowEvacuation> evacuations;
+  bool chaos_active = false;
+  int chaos_level = 0;
+  uint64_t chaos_seed = 0;
+
+  for (const auto& report : reports) {
+    if (report == nullptr) {
+      continue;
+    }
+    cells.push_back(report->label);
+    if (report->chaos_active) {
+      chaos_active = true;
+      chaos_level = report->chaos_level;
+      chaos_seed = report->chaos_seed;
+    }
+    for (const auto& [name, value] : report->summary) {
+      if (name.rfind("result.", 0) == 0) {
+        totals[name] += value;
+      }
+    }
+    for (const RunReportEvent& event : report->events) {
+      if (event.market.empty() || !IsMarketKind(event.kind)) {
+        continue;
+      }
+      ++per_market[event.market][event.kind];
+      if (event.kind == "evacuation-completed") {
+        SlowEvacuation evac;
+        evac.cell = report->label;
+        evac.vm = event.vm;
+        evac.time_s = event.time_s;
+        // The controller records completion details as
+        // "downtime=12.3s degraded=45.6s".
+        if (std::sscanf(event.detail.c_str(), "downtime=%lfs degraded=%lfs",
+                        &evac.downtime_s, &evac.degraded_s) == 2) {
+          evacuations.push_back(std::move(evac));
+        }
+      }
+    }
+  }
+
+  std::sort(evacuations.begin(), evacuations.end(),
+            [](const SlowEvacuation& a, const SlowEvacuation& b) {
+              if (a.downtime_s != b.downtime_s) {
+                return a.downtime_s > b.downtime_s;
+              }
+              if (a.time_s != b.time_s) {
+                return a.time_s < b.time_s;
+              }
+              if (a.cell != b.cell) {
+                return a.cell < b.cell;
+              }
+              return a.vm < b.vm;
+            });
+  if (evacuations.size() > max_slowest) {
+    evacuations.resize(max_slowest);
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("num_cells");
+  json.Int(static_cast<int64_t>(cells.size()));
+  json.Key("cells");
+  json.BeginArray();
+  for (const std::string& cell : cells) {
+    json.String(cell);
+  }
+  json.EndArray();
+
+  json.Key("chaos");
+  json.BeginObject();
+  json.Key("active");
+  json.Bool(chaos_active);
+  json.Key("level");
+  json.Int(chaos_level);
+  json.Key("seed");
+  json.Int(static_cast<int64_t>(chaos_seed));
+  json.EndObject();
+
+  json.Key("totals");
+  json.BeginObject();
+  for (const auto& [name, value] : totals) {
+    json.Key(name);
+    json.Double(value);
+  }
+  json.EndObject();
+
+  json.Key("per_market");
+  json.BeginObject();
+  for (const auto& [market, kinds] : per_market) {
+    json.Key(market);
+    json.BeginObject();
+    for (const auto& [kind, count] : kinds) {
+      json.Key(kind);
+      json.Int(count);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.Key("slowest_evacuations");
+  json.BeginArray();
+  for (const SlowEvacuation& evac : evacuations) {
+    json.BeginObject();
+    json.Key("cell");
+    json.String(evac.cell);
+    json.Key("vm");
+    json.String(evac.vm);
+    json.Key("time_s");
+    json.Double(evac.time_s);
+    json.Key("downtime_s");
+    json.Double(evac.downtime_s);
+    json.Key("degraded_s");
+    json.Double(evac.degraded_s);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.str();
+}
+
+bool WriteGridSummary(
+    const std::string& path,
+    const std::vector<std::shared_ptr<const RunReport>>& reports,
+    size_t max_slowest) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = BuildGridSummaryJson(reports, max_slowest);
+  const bool write_ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool close_ok = std::fclose(f) == 0;
+  return write_ok && close_ok;
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,37 @@
+// Grid-level aggregation over per-cell run reports.
+//
+// RunPolicyEvaluationGrid produces one RunReport per cell; a bench sweeping
+// a 5x5 policy/mechanism grid therefore scatters 25 run_report.json files.
+// This module folds them into a single `grid_summary.json`: cell labels,
+// summed result totals, per-market lifecycle-event breakdowns, and the
+// slowest evacuations observed anywhere in the grid. Like the rest of
+// spotcheck_obs it depends on nothing above src/common.
+
+#ifndef SRC_OBS_GRID_SUMMARY_H_
+#define SRC_OBS_GRID_SUMMARY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/run_report.h"
+
+namespace spotcheck {
+
+// Builds the grid_summary.json document from every non-null report. Cells
+// appear in the given order; totals/markets are key-sorted; the slowest-
+// evacuation list is capped at `max_slowest` entries.
+std::string BuildGridSummaryJson(
+    const std::vector<std::shared_ptr<const RunReport>>& reports,
+    size_t max_slowest = 10);
+
+// Writes BuildGridSummaryJson() to `path` (creating parent directories);
+// false on I/O error.
+bool WriteGridSummary(
+    const std::string& path,
+    const std::vector<std::shared_ptr<const RunReport>>& reports,
+    size_t max_slowest = 10);
+
+}  // namespace spotcheck
+
+#endif  // SRC_OBS_GRID_SUMMARY_H_

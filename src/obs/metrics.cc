@@ -101,6 +101,8 @@ void MetricsRegistry::WriteJson(JsonWriter& json) const {
     json.BeginObject();
     json.Key("value");
     json.Double(gauge->value());
+    json.Key("min");
+    json.Double(gauge->min());
     json.Key("max");
     json.Double(gauge->max());
     json.EndObject();

@@ -41,21 +41,30 @@ class MetricCounter {
   int64_t value_ = 0;
 };
 
-// Last-written value plus the running peak (queue depths, pool sizes).
+// Last-written value plus the running extremes (queue depths, pool sizes).
+// The floor matters as much as the peak: a hot-spare pool that ever hit
+// zero is a bounded-evacuation hazard even if its mean looks healthy.
 class MetricGauge {
  public:
   void Set(double v) {
     value_ = v;
-    if (v > max_) {
+    if (!initialized_ || v > max_) {
       max_ = v;
     }
+    if (!initialized_ || v < min_) {
+      min_ = v;
+    }
+    initialized_ = true;
   }
   double value() const { return value_; }
   double max() const { return max_; }
+  double min() const { return min_; }
 
  private:
   double value_ = 0.0;
   double max_ = 0.0;
+  double min_ = 0.0;
+  bool initialized_ = false;
 };
 
 // Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into

@@ -5,6 +5,8 @@
 #include <system_error>
 
 #include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_analyzer.h"
 
 namespace spotcheck {
 
@@ -22,6 +24,16 @@ std::string RunReport::ToJson() const {
   }
   json.EndObject();
 
+  json.Key("chaos");
+  json.BeginObject();
+  json.Key("active");
+  json.Bool(chaos_active);
+  json.Key("level");
+  json.Int(chaos_level);
+  json.Key("seed");
+  json.Int(static_cast<int64_t>(chaos_seed));
+  json.EndObject();
+
   json.Key("trace_catalog");
   json.BeginObject();
   json.Key("hits");
@@ -29,6 +41,13 @@ std::string RunReport::ToJson() const {
   json.Key("misses");
   json.Int(trace_cache_misses);
   json.EndObject();
+
+  json.Key("trace_summary");
+  if (trace != nullptr) {
+    AnalyzeTrace(*trace).WriteJson(json);
+  } else {
+    json.Null();
+  }
 
   json.Key("metrics");
   if (metrics != nullptr) {

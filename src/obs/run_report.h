@@ -25,6 +25,8 @@
 
 namespace spotcheck {
 
+class SpanTracer;
+
 // One controller decision, flattened to strings for serialization.
 struct RunReportEvent {
   double time_s = 0.0;
@@ -49,13 +51,23 @@ struct RunReport {
   // TraceCatalog diagnostics (scheduling-order dependent under concurrency).
   int64_t trace_cache_hits = 0;
   int64_t trace_cache_misses = 0;
+  // The cell's span tracer, when tracing was enabled (null otherwise). The
+  // report embeds its TraceAnalyzer summary, not the raw spans -- the full
+  // trace ships separately as trace.json.
+  std::shared_ptr<const SpanTracer> trace;
+  // Chaos provenance: soak artifacts must be self-describing, so a report
+  // produced under fault injection records which preset ladder rung and
+  // schedule seed shaped it.
+  bool chaos_active = false;
+  int chaos_level = 0;
+  uint64_t chaos_seed = 0;
 
   void AddSummary(std::string name, double value) {
     summary.emplace_back(std::move(name), value);
   }
 
-  // {"label": ..., "summary": {...}, "trace_catalog": {...},
-  //  "metrics": {...}, "events": [...]}
+  // {"label": ..., "summary": {...}, "chaos": {...}, "trace_catalog": {...},
+  //  "trace_summary": {...}|null, "metrics": {...}, "events": [...]}
   std::string ToJson() const;
 
   // Writes ToJson() to `path` (creating parent directories); false on I/O

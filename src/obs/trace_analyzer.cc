@@ -1,0 +1,195 @@
+#include "src/obs/trace_analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/obs/json.h"
+
+namespace spotcheck {
+
+namespace {
+
+bool IsEvacuationRoot(const TraceSpan& span) {
+  return span.parent == 0 &&
+         (span.name == "evacuation" || span.name == "crash_recovery");
+}
+
+EvacuationCriticalPath BuildCriticalPath(const SpanTracer& tracer,
+                                         const TraceSpan& root,
+                                         std::vector<const TraceSpan*> children) {
+  EvacuationCriticalPath path;
+  path.root = root.id;
+  path.root_name = root.name;
+  path.track = std::string(tracer.TrackName(root.track));
+  path.start_s = root.start.seconds();
+  path.duration_s = root.duration().seconds();
+
+  // Walk the root's interval left to right. Children sorted by (start, id);
+  // overlap (concurrent cloud ops) is handled by advancing a cursor to the
+  // furthest end seen, so each wall-clock microsecond is attributed once.
+  std::sort(children.begin(), children.end(),
+            [](const TraceSpan* a, const TraceSpan* b) {
+              if (a->start != b->start) {
+                return a->start < b->start;
+              }
+              return a->id < b->id;
+            });
+  SimTime cursor = root.start;
+  for (const TraceSpan* child : children) {
+    if (child->instant) {
+      continue;
+    }
+    // Children may legitimately outlive the root -- lazy restore keeps
+    // paging after the VM resumes -- so each child is clamped to the root's
+    // interval: the critical path explains the root's duration, nothing more.
+    const SimTime start = std::max(child->start, root.start);
+    const SimTime end = std::min(child->end, root.end);
+    if (end <= cursor) {
+      continue;
+    }
+    if (start > cursor) {
+      path.segments.push_back({"(wait)", (start - cursor).seconds()});
+      cursor = start;
+    }
+    path.segments.push_back({child->name, (end - cursor).seconds()});
+    cursor = end;
+  }
+  if (root.end > cursor) {
+    path.segments.push_back({"(other)", (root.end - cursor).seconds()});
+  }
+  return path;
+}
+
+}  // namespace
+
+const SpanTypeStats* TraceSummary::FindType(std::string_view name) const {
+  for (const SpanTypeStats& stats : span_types) {
+    if (stats.name == name) {
+      return &stats;
+    }
+  }
+  return nullptr;
+}
+
+TraceSummary AnalyzeTrace(const SpanTracer& tracer,
+                          size_t max_critical_paths) {
+  TraceSummary summary;
+  summary.num_spans = static_cast<int64_t>(tracer.spans().size());
+  summary.num_tracks = static_cast<int64_t>(tracer.track_names().size());
+
+  // Duration distribution per span name, instants excluded.
+  std::map<std::string, std::vector<double>, std::less<>> durations;
+  // Direct children of each evacuation-class root, by root id.
+  std::map<SpanId, std::vector<const TraceSpan*>> children_of;
+  std::vector<const TraceSpan*> roots;
+
+  for (const TraceSpan& span : tracer.spans()) {
+    if (!span.instant) {
+      durations[span.name].push_back(span.duration().seconds());
+    }
+    if (IsEvacuationRoot(span)) {
+      roots.push_back(&span);
+      children_of[span.id];
+    } else if (span.parent != 0) {
+      auto it = children_of.find(span.parent);
+      if (it != children_of.end()) {
+        it->second.push_back(&span);
+      }
+    }
+  }
+
+  for (auto& [name, values] : durations) {
+    std::sort(values.begin(), values.end());
+    SpanTypeStats stats;
+    stats.name = name;
+    stats.count = static_cast<int64_t>(values.size());
+    for (const double v : values) {
+      stats.total_s += v;
+    }
+    const size_t n = values.size();
+    stats.p50_s = values[(n - 1) / 2];
+    stats.p99_s = values[static_cast<size_t>(0.99 * static_cast<double>(n - 1))];
+    stats.max_s = values.back();
+    summary.span_types.push_back(std::move(stats));
+  }
+
+  // Slowest evacuations first; ties broken by start then id so the order is
+  // independent of span recording order across identical runs.
+  std::sort(roots.begin(), roots.end(),
+            [](const TraceSpan* a, const TraceSpan* b) {
+              if (a->duration() != b->duration()) {
+                return a->duration() > b->duration();
+              }
+              if (a->start != b->start) {
+                return a->start < b->start;
+              }
+              return a->id < b->id;
+            });
+  if (roots.size() > max_critical_paths) {
+    roots.resize(max_critical_paths);
+  }
+  for (const TraceSpan* root : roots) {
+    summary.slowest_evacuations.push_back(
+        BuildCriticalPath(tracer, *root, children_of[root->id]));
+  }
+  return summary;
+}
+
+void TraceSummary::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("num_spans");
+  json.Int(num_spans);
+  json.Key("num_tracks");
+  json.Int(num_tracks);
+
+  json.Key("span_types");
+  json.BeginObject();
+  for (const SpanTypeStats& stats : span_types) {
+    json.Key(stats.name);
+    json.BeginObject();
+    json.Key("count");
+    json.Int(stats.count);
+    json.Key("total_s");
+    json.Double(stats.total_s);
+    json.Key("p50_s");
+    json.Double(stats.p50_s);
+    json.Key("p99_s");
+    json.Double(stats.p99_s);
+    json.Key("max_s");
+    json.Double(stats.max_s);
+    json.EndObject();
+  }
+  json.EndObject();
+
+  json.Key("slowest_evacuations");
+  json.BeginArray();
+  for (const EvacuationCriticalPath& path : slowest_evacuations) {
+    json.BeginObject();
+    json.Key("root_span");
+    json.Int(path.root);
+    json.Key("kind");
+    json.String(path.root_name);
+    json.Key("track");
+    json.String(path.track);
+    json.Key("start_s");
+    json.Double(path.start_s);
+    json.Key("duration_s");
+    json.Double(path.duration_s);
+    json.Key("critical_path");
+    json.BeginArray();
+    for (const CriticalPathSegment& segment : path.segments) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(segment.name);
+      json.Key("duration_s");
+      json.Double(segment.duration_s);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+}  // namespace spotcheck

@@ -1,0 +1,67 @@
+// Offline analysis over a SpanTracer: per-span-type latency distributions
+// and the critical path of each evacuation-class root span. Feeds the run
+// report's "trace_summary" section so a soak artifact answers "where did the
+// bounded-time budget go" without opening the full trace in Perfetto.
+
+#ifndef SRC_OBS_TRACE_ANALYZER_H_
+#define SRC_OBS_TRACE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/obs/trace.h"
+
+namespace spotcheck {
+
+class JsonWriter;
+
+// Latency distribution of one span name ("evac.commit", "cloud.terminate",
+// ...), instants excluded. Percentiles are nearest-rank over the sorted
+// duration list (index floor(p * (n - 1))).
+struct SpanTypeStats {
+  std::string name;
+  int64_t count = 0;
+  double total_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+// One segment of an evacuation's critical path: a direct child span, a
+// "(wait)" gap between children, or the "(other)" tail after the last child.
+struct CriticalPathSegment {
+  std::string name;
+  double duration_s = 0.0;
+};
+
+// The critical path of one evacuation/crash-recovery root span: its direct
+// children laid end to end along the root's interval, gaps made explicit.
+struct EvacuationCriticalPath {
+  SpanId root = 0;
+  std::string root_name;   // "evacuation" or "crash_recovery"
+  std::string track;       // "vm/nvm-N"
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::vector<CriticalPathSegment> segments;
+};
+
+struct TraceSummary {
+  int64_t num_spans = 0;
+  int64_t num_tracks = 0;
+  // Sorted by name for deterministic output.
+  std::vector<SpanTypeStats> span_types;
+  // Slowest first (duration desc, start asc, root id asc as tiebreaks).
+  std::vector<EvacuationCriticalPath> slowest_evacuations;
+
+  const SpanTypeStats* FindType(std::string_view name) const;
+  void WriteJson(JsonWriter& json) const;
+};
+
+// Computes the summary; keeps at most `max_critical_paths` evacuations.
+TraceSummary AnalyzeTrace(const SpanTracer& tracer,
+                          size_t max_critical_paths = 10);
+
+}  // namespace spotcheck
+
+#endif  // SRC_OBS_TRACE_ANALYZER_H_

@@ -4,15 +4,21 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 
-Simulator::Simulator(MetricsRegistry* metrics) {
+Simulator::Simulator(MetricsRegistry* metrics, SpanTracer* tracer)
+    : tracer_(tracer) {
   if (metrics != nullptr) {
     events_scheduled_metric_ = &metrics->Counter("sim.events_scheduled");
     events_fired_metric_ = &metrics->Counter("sim.events_fired");
     events_cancelled_metric_ = &metrics->Counter("sim.events_cancelled");
     heap_depth_metric_ = &metrics->Gauge("sim.heap_depth");
+  }
+  if (tracer_ != nullptr) {
+    sim_track_ = tracer_->Track("sim");
+    dispatch_sample_interval_ = tracer_->config().sim_event_sample_interval;
   }
 }
 
@@ -153,6 +159,13 @@ void Simulator::RunOne() {
   now_ = ev.when;
   ++events_executed_;
   MetricInc(events_fired_metric_);
+  if (tracer_ != nullptr && dispatch_sample_interval_ > 0 &&
+      events_executed_ % dispatch_sample_interval_ == 0) {
+    const SpanId mark =
+        tracer_->Instant(now_, "sim.dispatch", "sim", sim_track_);
+    tracer_->AttrNum(mark, "events_executed",
+                     static_cast<double>(events_executed_));
+  }
   // The callback is moved out before invocation: it may schedule new events
   // (growing or reusing the slot pool, which would invalidate in-place
   // storage) or Cancel() its own now-stale handle (a no-op).

@@ -35,6 +35,7 @@ namespace spotcheck {
 class MetricCounter;
 class MetricGauge;
 class MetricsRegistry;
+class SpanTracer;
 
 using EventCallback = UniqueCallback;
 
@@ -59,8 +60,12 @@ class Simulator {
  public:
   // `metrics`, when non-null, receives the kernel's counters
   // (sim.events_scheduled / fired / cancelled) and the peak heap depth
-  // (sim.heap_depth). Purely observational; must outlive the simulator.
-  explicit Simulator(MetricsRegistry* metrics = nullptr);
+  // (sim.heap_depth). `tracer`, when non-null, gets a sampled "sim.dispatch"
+  // instant every TraceConfig::sim_event_sample_interval executed events (a
+  // heartbeat track for orienting in Perfetto, not a per-event log). Both are
+  // purely observational and must outlive the simulator.
+  explicit Simulator(MetricsRegistry* metrics = nullptr,
+                     SpanTracer* tracer = nullptr);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -148,6 +153,12 @@ class Simulator {
   MetricCounter* events_fired_metric_ = nullptr;
   MetricCounter* events_cancelled_metric_ = nullptr;
   MetricGauge* heap_depth_metric_ = nullptr;
+
+  // Sampled dispatch tracing; tracer_ null when built without one. The track
+  // id is stored raw (TraceTrackId is an alias we cannot forward-declare).
+  SpanTracer* tracer_ = nullptr;
+  uint32_t sim_track_ = 0;
+  int64_t dispatch_sample_interval_ = 0;
 };
 
 }  // namespace spotcheck

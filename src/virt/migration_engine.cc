@@ -38,8 +38,8 @@ bool MechanismNeedsBackup(MigrationMechanism mechanism) {
 
 MigrationEngine::MigrationEngine(Simulator* sim, ActivityLog* log,
                                  MigrationEngineConfig config,
-                                 MetricsRegistry* metrics)
-    : sim_(sim), log_(log), config_(config) {
+                                 MetricsRegistry* metrics, SpanTracer* tracer)
+    : sim_(sim), log_(log), config_(config), tracer_(tracer) {
   if (metrics != nullptr) {
     live_migrations_metric_ = &metrics->Counter("virt.live_migrations");
     evacuations_metric_ = &metrics->Counter("virt.evacuations");
@@ -55,6 +55,10 @@ MigrationEngine::MigrationEngine(Simulator* sim, ActivityLog* log,
   }
 }
 
+TraceTrackId MigrationEngine::VmTrack(const NestedVm& vm) {
+  return tracer_ != nullptr ? tracer_->Track("vm/" + vm.id().ToString()) : 0;
+}
+
 void MigrationEngine::LiveMigrate(NestedVm& vm, MigrationDoneCallback done) {
   PreCopyParams params;
   params.memory_mb = vm.spec().memory_mb;
@@ -67,6 +71,17 @@ void MigrationEngine::LiveMigrate(NestedVm& vm, MigrationDoneCallback done) {
   const SimTime pause_start = start + plan.total - plan.downtime;
   const SimTime resume_at = start + plan.total;
   log_->Record(vm.id(), pause_start, resume_at, ActivityKind::kDowntime);
+  if (tracer_ != nullptr) {
+    // The whole pre-copy timeline is known up front; record it eagerly.
+    const TraceTrackId track = VmTrack(vm);
+    const SpanId live =
+        tracer_->AddSpan(start, resume_at, "migrate.live", "virt", track);
+    tracer_->AttrNum(live, "rounds", static_cast<double>(plan.rounds));
+    tracer_->AddSpan(start, pause_start, "migrate.precopy", "virt", track,
+                     live);
+    tracer_->AddSpan(pause_start, resume_at, "migrate.stop_and_copy", "virt",
+                     track, live);
+  }
 
   sim_->ScheduleAt(resume_at, [this, &vm, plan, resume_at, done = std::move(done)]() {
     vm.set_state(NestedVmState::kRunning);
@@ -94,6 +109,12 @@ void MigrationEngine::LiveEvacuate(NestedVm& vm, SimTime deadline,
     ++failed_migrations_;
     MetricInc(failed_migrations_metric_);
     log_->MarkDeath(vm.id(), deadline);
+    if (tracer_ != nullptr) {
+      const SpanId mark = tracer_->Instant(now, "evac.live_race_lost", "virt",
+                                           VmTrack(vm));
+      tracer_->AttrNum(mark, "precopy_s", plan.total.seconds());
+      tracer_->AttrNum(mark, "warning_s", (deadline - now).seconds());
+    }
     SPOTCHECK_LOG(kWarning) << "nested VM " << vm.id().ToString()
                             << " lost: live migration (" << plan.total.seconds()
                             << "s) cannot beat the termination deadline";
@@ -142,6 +163,15 @@ void MigrationEngine::BeginEvacuation(NestedVm& vm, MigrationMechanism mechanism
   pause_start_[vm.id()] = pause_start;
 
   const SimTime commit_done = std::min(pause_start + commit, deadline);
+  if (tracer_ != nullptr) {
+    const TraceTrackId track = VmTrack(vm);
+    if (pause_start > now) {
+      const SpanId ramp =
+          tracer_->AddSpan(now, pause_start, "evac.commit_ramp", "virt", track);
+      tracer_->AttrNum(ramp, "stale_threshold_mb", plan.stale_threshold_mb);
+    }
+    tracer_->AddSpan(pause_start, commit_done, "evac.commit", "virt", track);
+  }
   sim_->ScheduleAt(commit_done, [on_committed = std::move(on_committed)]() {
     if (on_committed) {
       on_committed();
@@ -154,6 +184,9 @@ void MigrationEngine::BeginCrashRecovery(NestedVm& vm, SimTime failed_at) {
   pause_start_[vm.id()] = failed_at;
   ++crash_recoveries_;
   MetricInc(crash_recoveries_metric_);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(failed_at, "evac.crash_detected", "virt", VmTrack(vm));
+  }
 }
 
 void MigrationEngine::CompleteEvacuation(NestedVm& vm,
@@ -185,6 +218,23 @@ void MigrationEngine::CompleteEvacuation(NestedVm& vm,
   const SimTime resume_at =
       sim_->Now() + config_.ec2_ops_downtime + outcome.downtime;
   const SimDuration lazy_degraded = outcome.degraded;
+  if (tracer_ != nullptr) {
+    // Phase 2's timeline is computed synchronously: EC2 EBS/ENI moves, then
+    // the restore, then (lazy only) the demand-paging window.
+    const TraceTrackId track = VmTrack(vm);
+    const SimTime ec2_done = sim_->Now() + config_.ec2_ops_downtime;
+    tracer_->AddSpan(sim_->Now(), ec2_done, "evac.ec2_ops", "virt", track);
+    const SpanId restore_span = tracer_->AddSpan(
+        ec2_done, resume_at,
+        kind == RestoreKind::kLazy ? "evac.restore_lazy" : "evac.restore_full",
+        "virt", track);
+    tracer_->AttrNum(restore_span, "concurrent", concurrent);
+    tracer_->AttrNum(restore_span, "bandwidth_mbps", restore.bandwidth_mbps);
+    if (lazy_degraded > SimDuration::Zero()) {
+      tracer_->AddSpan(resume_at, resume_at + lazy_degraded,
+                       "evac.lazy_paging", "virt", track);
+    }
+  }
   log_->Record(vm.id(), pause_start, resume_at, ActivityKind::kDowntime);
   if (lazy_degraded > SimDuration::Zero()) {
     log_->Record(vm.id(), resume_at, resume_at + lazy_degraded,

@@ -30,6 +30,7 @@
 
 #include "src/common/time.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/virt/activity_log.h"
 #include "src/virt/migration_models.h"
@@ -75,9 +76,12 @@ using MigrationDoneCallback = std::function<void(const MigrationOutcome&)>;
 class MigrationEngine {
  public:
   // `metrics` (optional) registers the virt.* counters and the
-  // restore-duration / downtime histograms; must outlive the engine.
+  // restore-duration / downtime histograms; `tracer` (optional) records the
+  // per-phase spans (pre-copy, stop-and-copy, commit ramp, EC2 ops, restore,
+  // lazy paging) on each VM's track. Both must outlive the engine.
   MigrationEngine(Simulator* sim, ActivityLog* log, MigrationEngineConfig config = {},
-                  MetricsRegistry* metrics = nullptr);
+                  MetricsRegistry* metrics = nullptr,
+                  SpanTracer* tracer = nullptr);
 
   const MigrationEngineConfig& config() const { return config_; }
 
@@ -124,9 +128,13 @@ class MigrationEngine {
   int64_t failed_migrations() const { return failed_migrations_; }
 
  private:
+  // Interns the VM's "vm/<id>" track; 0 when tracing is off.
+  TraceTrackId VmTrack(const NestedVm& vm);
+
   Simulator* sim_;
   ActivityLog* log_;
   MigrationEngineConfig config_;
+  SpanTracer* tracer_ = nullptr;
   // Pause instants of evacuations between phase 1 and phase 2.
   std::map<NestedVmId, SimTime> pause_start_;
   int64_t live_migrations_ = 0;

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "src/chaos/chaos_engine.h"
 #include "src/chaos/fault_plan.h"
 #include "src/core/controller.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace spotcheck {
@@ -54,7 +56,11 @@ struct SoakParams {
 SoakTotals RunSoak(const SoakParams& params) {
   SoakTotals totals;
   MetricsRegistry metrics;
-  Simulator sim(&metrics);
+  // Soaks run with tracing on: chaos drives the controller down every
+  // evacuation path, which is exactly where the event-log/span cross-check
+  // below has teeth.
+  SpanTracer tracer;
+  Simulator sim(&metrics, &tracer);
   MarketPlace markets(&sim, &metrics);
 
   NativeCloudConfig cloud_config;
@@ -62,12 +68,14 @@ SoakTotals RunSoak(const SoakParams& params) {
   cloud_config.latency_seed = params.workload_seed ^ 0xfeed;
   cloud_config.market_horizon = params.horizon + SimDuration::Days(1);
   cloud_config.metrics = &metrics;
+  cloud_config.tracer = &tracer;
   NativeCloud cloud(&sim, &markets, cloud_config);
 
   ControllerConfig config;
   config.seed = params.workload_seed;
   config.hot_spares = 1;
   config.metrics = &metrics;
+  config.tracer = &tracer;
   SpotCheckController controller(&sim, &cloud, &markets, config);
 
   ChaosConfig chaos_config =
@@ -152,6 +160,56 @@ SoakTotals RunSoak(const SoakParams& params) {
   // The chaos timeline recorded at least every injected fault.
   EXPECT_GE(static_cast<int64_t>(chaos.timeline().size()),
             totals.injected_total);
+
+  // --- Event-log / span-tracer cross-check --------------------------------
+  // Every evacuation-class controller event must have exactly one root span
+  // with the same name vocabulary, on the same VM track, at the same
+  // simulated microsecond -- and no root span may exist without its event.
+  tracer.CloseOpenSpans(sim.Now());
+  const auto tuple_key = [](std::string_view name, std::string_view track,
+                            int64_t micros) {
+    return std::string(name) + "|" + std::string(track) + "|" +
+           std::to_string(micros);
+  };
+  std::multiset<std::string> from_events;
+  for (const ControllerEvent& event : controller.event_log().events()) {
+    const char* span_name = nullptr;
+    switch (event.kind) {
+      case ControllerEventKind::kEvacuationStarted:
+        span_name = "evacuation";
+        break;
+      case ControllerEventKind::kCrashRecovery:
+        span_name = "crash_recovery";
+        break;
+      case ControllerEventKind::kStatelessRespawn:
+        span_name = "stateless_respawn";
+        break;
+      default:
+        break;
+    }
+    if (span_name != nullptr) {
+      from_events.insert(tuple_key(span_name, "vm/" + event.vm.ToString(),
+                                   event.time.micros()));
+    }
+  }
+  std::multiset<std::string> from_spans;
+  for (const TraceSpan& span : tracer.spans()) {
+    if (span.parent != 0 &&
+        (span.name == "evacuation" || span.name == "crash_recovery" ||
+         span.name == "stateless_respawn")) {
+      ADD_FAILURE() << "lifecycle root span has a parent: " << span.name;
+    }
+    if (span.parent == 0 &&
+        (span.name == "evacuation" || span.name == "crash_recovery" ||
+         span.name == "stateless_respawn")) {
+      from_spans.insert(tuple_key(span.name, tracer.TrackName(span.track),
+                                  span.start.micros()));
+    }
+  }
+  EXPECT_EQ(from_events, from_spans)
+      << "controller event log and span tracer disagree about evacuations "
+         "(seed=" << params.workload_seed
+      << " chaos_seed=" << params.chaos_seed << ")";
 
   totals.revocations = controller.revocation_events();
   totals.repatriations = controller.repatriations();

@@ -133,6 +133,38 @@ TEST(DeterminismGoldenTest, GridIsBitIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(DeterminismGoldenTest, TracingIsBehaviorFreeAtAnyJobCount) {
+  // Span tracing must never perturb a number: trace-enabled cells on the
+  // parallel grid serialize identically to trace-free (and metrics-free)
+  // cells run serially.
+  const std::vector<EvaluationConfig> baseline = GoldenCells();
+  std::vector<EvaluationConfig> traced = GoldenCells();
+  for (EvaluationConfig& config : traced) {
+    config.collect_trace = true;
+  }
+  std::vector<EvaluationConfig> bare = GoldenCells();
+  for (EvaluationConfig& config : bare) {
+    config.collect_metrics = false;
+  }
+  const std::vector<EvaluationResult> off =
+      RunPolicyEvaluationGrid(baseline, /*jobs=*/1);
+  const std::vector<EvaluationResult> on =
+      RunPolicyEvaluationGrid(traced, /*jobs=*/4);
+  const std::vector<EvaluationResult> null_obs =
+      RunPolicyEvaluationGrid(bare, /*jobs=*/1);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(Serialize(baseline[i], off[i]), Serialize(baseline[i], on[i]))
+        << "cell " << CellName(baseline[i]) << " perturbed by tracing";
+    EXPECT_EQ(Serialize(baseline[i], off[i]),
+              Serialize(baseline[i], null_obs[i]))
+        << "cell " << CellName(baseline[i]) << " perturbed by observability";
+    ASSERT_NE(on[i].trace, nullptr);
+    EXPECT_FALSE(on[i].trace->spans().empty());
+    EXPECT_EQ(off[i].trace, nullptr);
+  }
+}
+
 TEST(DeterminismGoldenTest, RunReportTotalsReconcileWithResult) {
   const EvaluationConfig config = GoldenCells().front();
   const EvaluationResult result = RunPolicyEvaluation(config);

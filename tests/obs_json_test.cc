@@ -1,0 +1,134 @@
+#include "src/obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "tests/json_test_util.h"
+
+namespace spotcheck {
+namespace {
+
+using testjson::JsonValue;
+using testjson::ParseJson;
+
+// Round-trips `raw` through Escape and the independent reference parser; the
+// decoded string must equal the original bytes.
+void ExpectEscapeRoundTrip(const std::string& raw) {
+  const std::string doc = "\"" + JsonWriter::Escape(raw) + "\"";
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(doc, &value)) << "invalid JSON: " << doc;
+  ASSERT_EQ(value.kind, JsonValue::Kind::kString);
+  EXPECT_EQ(value.str, raw) << "round-trip mangled: " << doc;
+}
+
+TEST(JsonEscapeTest, AllControlCharactersRoundTrip) {
+  // Every byte JSON forbids raw inside a string, including NUL -- each must
+  // escape to something the reference parser decodes back bit-exactly.
+  for (int c = 0x00; c < 0x20; ++c) {
+    std::string raw;
+    raw.push_back(static_cast<char>(c));
+    ExpectEscapeRoundTrip(raw);
+    // And embedded mid-string, where a truncating escape would show up.
+    ExpectEscapeRoundTrip("ab" + raw + "cd");
+  }
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashesRoundTrip) {
+  ExpectEscapeRoundTrip("\"");
+  ExpectEscapeRoundTrip("\\");
+  ExpectEscapeRoundTrip("\\\\");
+  ExpectEscapeRoundTrip("\\\"");
+  ExpectEscapeRoundTrip("say \"hi\" to c:\\path\\file");
+  ExpectEscapeRoundTrip("trailing backslash\\");
+}
+
+TEST(JsonEscapeTest, AllSingleBytesRoundTrip) {
+  // The writer treats >= 0x20 bytes (other than quote/backslash) as opaque;
+  // the parser must hand every one of the 256 values back unchanged.
+  for (int c = 0; c < 256; ++c) {
+    std::string raw;
+    raw.push_back(static_cast<char>(c));
+    ExpectEscapeRoundTrip(raw);
+  }
+}
+
+TEST(JsonEscapeTest, FuzzedStringsRoundTrip) {
+  // Deterministic LCG fuzz: random byte soup, heavy on the interesting
+  // characters, must always survive the escape -> parse round trip.
+  uint64_t state = 0x5eed;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  const char interesting[] = {'"', '\\', '\n', '\t', '\0', '\x1f', 'u', '/'};
+  for (int round = 0; round < 200; ++round) {
+    std::string raw;
+    const uint32_t len = next() % 64;
+    for (uint32_t i = 0; i < len; ++i) {
+      if (next() % 4 == 0) {
+        raw.push_back(interesting[next() % sizeof(interesting)]);
+      } else {
+        raw.push_back(static_cast<char>(next() % 256));
+      }
+    }
+    ExpectEscapeRoundTrip(raw);
+  }
+}
+
+TEST(JsonWriterTest, DocumentsParseWithReferenceParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name with \"quotes\" and \\slashes\\");
+  w.String("line1\nline2\x01");
+  w.Key("numbers");
+  w.BeginArray();
+  w.Int(-42);
+  w.Double(0.1);
+  w.Double(1e300);
+  w.Null();
+  w.Bool(true);
+  w.EndArray();
+  w.Key("empty_object");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("empty_array");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(w.str(), &doc)) << w.str();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue* text = doc.Find("name with \"quotes\" and \\slashes\\");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->str, "line1\nline2\x01");
+  const JsonValue* numbers = doc.Find("numbers");
+  ASSERT_NE(numbers, nullptr);
+  ASSERT_EQ(numbers->array.size(), 5u);
+  EXPECT_DOUBLE_EQ(numbers->array[0].number, -42.0);
+  EXPECT_DOUBLE_EQ(numbers->array[1].number, 0.1);  // %.17g round-trips
+  EXPECT_DOUBLE_EQ(numbers->array[2].number, 1e300);
+  EXPECT_EQ(numbers->array[3].kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(numbers->array[4].boolean);
+  EXPECT_EQ(doc.Find("empty_object")->object.size(), 0u);
+  EXPECT_EQ(doc.Find("empty_array")->array.size(), 0u);
+}
+
+TEST(JsonWriterTest, NanAndInfinityBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(w.str(), &doc)) << w.str();
+  ASSERT_EQ(doc.array.size(), 2u);
+  EXPECT_EQ(doc.array[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.array[1].kind, JsonValue::Kind::kNull);
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -16,7 +16,7 @@ TEST(MetricCounterTest, IncrementsAccumulate) {
   EXPECT_EQ(counter.value(), 42);
 }
 
-TEST(MetricGaugeTest, TracksValueAndPeak) {
+TEST(MetricGaugeTest, TracksValueAndExtremes) {
   MetricsRegistry registry;
   MetricGauge& gauge = registry.Gauge("test.depth");
   gauge.Set(3.0);
@@ -24,6 +24,30 @@ TEST(MetricGaugeTest, TracksValueAndPeak) {
   gauge.Set(5.0);
   EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
   EXPECT_DOUBLE_EQ(gauge.max(), 9.0);
+  EXPECT_DOUBLE_EQ(gauge.min(), 3.0);
+}
+
+TEST(MetricGaugeTest, ExtremesTrackFirstSetNotZero) {
+  // A gauge that only ever sees negative (or only positive) values must not
+  // smuggle the initial 0 into min/max.
+  MetricsRegistry registry;
+  MetricGauge& negative = registry.Gauge("test.negative");
+  negative.Set(-4.0);
+  negative.Set(-2.0);
+  EXPECT_DOUBLE_EQ(negative.max(), -2.0);
+  EXPECT_DOUBLE_EQ(negative.min(), -4.0);
+  MetricGauge& positive = registry.Gauge("test.positive");
+  positive.Set(7.0);
+  EXPECT_DOUBLE_EQ(positive.min(), 7.0);
+  EXPECT_DOUBLE_EQ(positive.max(), 7.0);
+}
+
+TEST(MetricGaugeTest, FreshGaugeReportsZeros) {
+  MetricsRegistry registry;
+  MetricGauge& gauge = registry.Gauge("test.untouched");
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge.min(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 0.0);
 }
 
 TEST(MetricHistogramTest, BinsObservationsAndClampsOutliers) {
@@ -115,6 +139,7 @@ TEST(MetricsRegistryTest, JsonSerializesAllKindsSorted) {
   EXPECT_LT(a_pos, b_pos);
   EXPECT_NE(json.find("\"g.depth\""), std::string::npos);
   EXPECT_NE(json.find("\"max\": 4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 4.5"), std::string::npos);
   EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
   EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
 }
