@@ -29,8 +29,8 @@ int main() {
   ExportSeriesCsv("fig1_price_trace", {"hour", "price_per_hour"}, rows);
 
   double max_price = 0.0;
-  for (const PricePoint& p : trace.points()) {
-    max_price = std::max(max_price, p.price);
+  for (double price : trace.prices()) {
+    max_price = std::max(max_price, price);
   }
   const SimTime end = SimTime() + SimDuration::Days(2.5);
   std::printf("\non-demand price:        $%.3f/hr\n", od);

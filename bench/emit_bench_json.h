@@ -37,9 +37,10 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
                                   static_cast<double>(run.iterations) * 1e9
                             : 0.0;
       const auto items = run.counters.find("items_per_second");
-      entry.items_per_second =
-          items != run.counters.end() ? static_cast<double>(items->second.value)
-                                      : 0.0;
+      if (items != run.counters.end()) {
+        entry.has_items_per_second = true;
+        entry.items_per_second = static_cast<double>(items->second.value);
+      }
       entry.iterations = static_cast<int64_t>(run.iterations);
       entries_.push_back(std::move(entry));
     }
@@ -56,12 +57,22 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
     std::fprintf(out, "{\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
-      std::fprintf(out,
-                   "  \"%s\": {\"ns_per_op\": %.3f, \"items_per_second\": "
-                   "%.3f, \"iterations\": %lld}%s\n",
-                   e.name.c_str(), e.ns_per_op, e.items_per_second,
-                   static_cast<long long>(e.iterations),
-                   i + 1 < entries_.size() ? "," : "");
+      // items_per_second is only meaningful for benchmarks that set an item
+      // count; omit the field (rather than a misleading 0.000) otherwise.
+      if (e.has_items_per_second) {
+        std::fprintf(out,
+                     "  \"%s\": {\"ns_per_op\": %.3f, \"items_per_second\": "
+                     "%.3f, \"iterations\": %lld}%s\n",
+                     e.name.c_str(), e.ns_per_op, e.items_per_second,
+                     static_cast<long long>(e.iterations),
+                     i + 1 < entries_.size() ? "," : "");
+      } else {
+        std::fprintf(out,
+                     "  \"%s\": {\"ns_per_op\": %.3f, \"iterations\": %lld}%s\n",
+                     e.name.c_str(), e.ns_per_op,
+                     static_cast<long long>(e.iterations),
+                     i + 1 < entries_.size() ? "," : "");
+      }
     }
     std::fprintf(out, "}\n");
     std::fclose(out);
@@ -72,6 +83,7 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
   struct Entry {
     std::string name;
     double ns_per_op = 0.0;
+    bool has_items_per_second = false;
     double items_per_second = 0.0;
     int64_t iterations = 0;
   };

@@ -97,14 +97,25 @@ inline void WriteCellRunReport(const std::string& dir, const std::string& bench,
 }
 
 // Per-cell + grid-level artifacts: run reports (--run-report-dir), Chrome
-// traces (--trace-dir), and one merged grid_summary.json next to the cell
-// directories of whichever artifact dir is active.
+// traces (--trace-dir), one merged grid_summary.json next to the cell
+// directories of whichever artifact dir is active, and -- when the pool
+// profiled itself -- <trace-dir>/<bench>/grid_workers.json with one
+// wall-clock track per grid worker.
 inline void WriteGridArtifacts(const GridBenchArgs& args,
                                const std::string& bench,
                                const std::vector<std::string>& cells,
-                               const std::vector<EvaluationResult>& results) {
+                               const std::vector<EvaluationResult>& results,
+                               const SpanTracer* worker_tracer = nullptr) {
   if (args.run_report_dir.empty() && args.trace_dir.empty()) {
     return;
+  }
+  if (worker_tracer != nullptr && !args.trace_dir.empty()) {
+    const std::string path =
+        args.trace_dir + "/" + bench + "/grid_workers.json";
+    if (!worker_tracer->WriteTo(path)) {
+      std::fprintf(stderr, "warning: could not write worker trace %s\n",
+                   path.c_str());
+    }
   }
   std::vector<std::shared_ptr<const RunReport>> reports;
   for (size_t i = 0; i < results.size(); ++i) {
@@ -152,9 +163,18 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
       configs.push_back(config);
     }
   }
+  // With --trace-dir the pool also profiles itself (one wall-clock track
+  // per worker), so grid-scaling regressions show up in the artifacts.
+  std::unique_ptr<SpanTracer> worker_tracer;
+  if (!args.trace_dir.empty()) {
+    worker_tracer = std::make_unique<SpanTracer>();
+  }
+  GridRunOptions grid_options;
+  grid_options.jobs = args.jobs;
+  grid_options.worker_tracer = worker_tracer.get();
   const std::vector<EvaluationResult> results =
-      RunPolicyEvaluationGrid(configs, args.jobs);
-  WriteGridArtifacts(args, csv_name, cells, results);
+      RunPolicyEvaluationGrid(configs, grid_options);
+  WriteGridArtifacts(args, csv_name, cells, results, worker_tracer.get());
 
   std::vector<std::string> csv_header = {"policy"};
   std::printf("%-10s", "policy");

@@ -45,7 +45,12 @@ double BillingMeter::StreamCost(const Stream& stream, SimTime until) const {
     return 0.0;
   }
   if (stream.trace != nullptr) {
-    return stream.trace->MeanPrice(stream.started, until) * hours;
+    const Window window{stream.trace, stream.started.micros(), until.micros()};
+    const auto [it, inserted] = mean_price_memo_.try_emplace(window, 0.0);
+    if (inserted) {
+      it->second = stream.trace->MeanPrice(stream.started, until);
+    }
+    return it->second * hours;
   }
   return stream.fixed_rate * hours;
 }

@@ -1,5 +1,7 @@
 #include "src/cloud/native_cloud.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/common/log.h"
@@ -142,7 +144,9 @@ void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) 
       });
     }
     billing_.StartMetered(id, sim_->Now(), &market.trace());
-    running_spot_[instance.market].push_back(id);
+    SpotIndex& index = running_spot_[instance.market];
+    index.ids.push_back(id);
+    index.min_bid = std::min(index.min_bid, instance.bid);
   } else {
     billing_.StartFixed(id, sim_->Now(), market.on_demand_price());
   }
@@ -160,13 +164,24 @@ void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
   if (bucket_it == running_spot_.end()) {
     return;
   }
-  // Compact terminated/warned ids and collect those to warn; warning happens
-  // after the sweep since it mutates instance state.
-  std::vector<InstanceId>& bucket = bucket_it->second;
-  std::vector<InstanceId> to_warn;
-  std::vector<InstanceId> still_running;
-  still_running.reserve(bucket.size());
-  for (InstanceId id : bucket) {
+  SpotIndex& bucket = bucket_it->second;
+  // Price changes outnumber revocations by orders of magnitude; when the new
+  // price does not cross the (conservative) cached minimum bid, nobody can be
+  // warned and the sweep below would only perform lazy compaction early, so
+  // skip it entirely.
+  if (bucket.ids.empty() || price <= bucket.min_bid) {
+    return;
+  }
+  // Compact terminated/warned ids in place, retighten the cached minimum over
+  // the survivors, and collect those to warn; warning happens after the sweep
+  // since it mutates instance state (and may re-enter through the handler).
+  // Borrow the scratch buffer (moved, not referenced, so a handler that
+  // re-enters this function gets its own empty buffer).
+  std::vector<InstanceId> to_warn = std::move(to_warn_scratch_);
+  to_warn.clear();
+  double min_bid = std::numeric_limits<double>::infinity();
+  size_t kept = 0;
+  for (InstanceId id : bucket.ids) {
     const Instance& instance = instances_[id];
     if (instance.state != InstanceState::kRunning) {
       continue;  // warned or terminated: drop from the index
@@ -174,13 +189,16 @@ void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
     if (price > instance.bid) {
       to_warn.push_back(id);
     } else {
-      still_running.push_back(id);
+      min_bid = std::min(min_bid, instance.bid);
+      bucket.ids[kept++] = id;
     }
   }
-  bucket = std::move(still_running);
+  bucket.ids.resize(kept);
+  bucket.min_bid = min_bid;
   for (InstanceId id : to_warn) {
     WarnAndScheduleTermination(instances_[id]);
   }
+  to_warn_scratch_ = std::move(to_warn);
 }
 
 void NativeCloud::WarnAndScheduleTermination(Instance& instance) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -211,7 +212,16 @@ class NativeCloud {
   std::map<InstanceId, Instance> instances_;
   // Running spot instances per market, so price changes only touch the
   // affected market's instances (terminated ids are compacted lazily).
-  std::map<MarketKey, std::vector<InstanceId>> running_spot_;
+  // `min_bid` is a conservative lower bound over the listed instances
+  // (never above the true minimum of the still-running ones), letting the
+  // millions of price changes that cross nobody's bid return after one
+  // comparison; it is tightened on every full sweep.
+  struct SpotIndex {
+    std::vector<InstanceId> ids;
+    double min_bid = std::numeric_limits<double>::infinity();
+  };
+  std::map<MarketKey, SpotIndex> running_spot_;
+  std::vector<InstanceId> to_warn_scratch_;  // reused sweep buffer
   std::map<VolumeId, VolumeRecord> volumes_;
   std::map<AddressId, AddressRecord> addresses_;
   // Markets we already subscribed to for revocation monitoring.

@@ -62,8 +62,23 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Lets the macro below turn a LogMessage chain into a void expression (the
+// `&` binds after every `<<`).
+struct LogVoidify {
+  void operator&(LogMessage&) {}   // after a << chain
+  void operator&(LogMessage&&) {}  // bare, argument-less line
+};
+
 }  // namespace spotcheck
 
-#define SPOTCHECK_LOG(level) ::spotcheck::LogMessage(::spotcheck::LogLevel::level)
+// Short-circuits BEFORE evaluating the streamed arguments: a filtered-out
+// line costs one level comparison, not string formatting (Write() applies the
+// same min_level filter, so nothing observable changes). The ternary form is
+// safe in unbraced if/else bodies where an `if`-based macro would dangle.
+#define SPOTCHECK_LOG(level)                                               \
+  (::spotcheck::LogLevel::level < ::spotcheck::Logger::Get().min_level()) \
+      ? (void)0                                                            \
+      : ::spotcheck::LogVoidify() &                                        \
+            ::spotcheck::LogMessage(::spotcheck::LogLevel::level)
 
 #endif  // SRC_COMMON_LOG_H_

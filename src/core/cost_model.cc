@@ -36,14 +36,14 @@ TraceDerivedInputs DeriveFromTrace(const PriceTrace& trace, double bid,
   double below_weighted = 0.0;
   double below_seconds = 0.0;
   SimTime cursor = from;
-  const auto& points = trace.points();
+  const std::vector<int64_t>& times = trace.times_us();
   size_t i = 0;
-  while (i < points.size() && points[i].time <= from) {
+  while (i < times.size() && times[i] <= from.micros()) {
     ++i;
   }
   while (cursor < to) {
-    const SimTime next = (i < points.size() && points[i].time < to)
-                             ? points[i].time
+    const SimTime next = (i < times.size() && times[i] < to.micros())
+                             ? SimTime::FromMicros(times[i])
                              : to;
     const double price = trace.PriceAt(cursor);
     if (price <= bid) {

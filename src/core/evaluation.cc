@@ -1,6 +1,10 @@
 #include "src/core/evaluation.h"
 
 #include <algorithm>
+#include <map>
+#include <memory_resource>
+#include <string>
+#include <unordered_map>
 
 #include "src/chaos/chaos_engine.h"
 #include "src/chaos/fault_plan.h"
@@ -69,13 +73,36 @@ std::shared_ptr<const RunReport> BuildRunReport(
   const std::vector<ControllerEvent>& events = controller.event_log().events();
   report->events.reserve(events.size() +
                          (chaos != nullptr ? chaos->timeline().size() : 0));
+  // Tens of thousands of event rows name the same handful of markets and a
+  // few thousand ids; stringify each distinct one once instead of per row.
+  std::map<MarketKey, std::string> market_names;
+  std::unordered_map<uint64_t, std::string> vm_names;
+  std::unordered_map<uint64_t, std::string> host_names;
   for (const ControllerEvent& event : events) {
     RunReportEvent row;
     row.time_s = event.time.seconds();
     row.kind = std::string(ControllerEventKindName(event.kind));
-    row.vm = event.vm.valid() ? event.vm.ToString() : "";
-    row.host = event.host.valid() ? event.host.ToString() : "";
-    row.market = event.market.ToString();
+    if (event.vm.valid()) {
+      auto [it, inserted] = vm_names.try_emplace(event.vm.value());
+      if (inserted) {
+        it->second = event.vm.ToString();
+      }
+      row.vm = it->second;
+    }
+    if (event.host.valid()) {
+      auto [it, inserted] = host_names.try_emplace(event.host.value());
+      if (inserted) {
+        it->second = event.host.ToString();
+      }
+      row.host = it->second;
+    }
+    {
+      auto [it, inserted] = market_names.try_emplace(event.market);
+      if (inserted) {
+        it->second = event.market.ToString();
+      }
+      row.market = it->second;
+    }
     row.detail = event.detail;
     report->events.push_back(std::move(row));
   }
@@ -104,7 +131,13 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   const std::shared_ptr<SpanTracer> tracer =
       config.collect_trace ? std::make_shared<SpanTracer>(config.trace)
                            : nullptr;
-  Simulator sim(metrics.get(), tracer.get());
+  // Cell-private arena for the kernel's queue/slot storage: grid workers
+  // stop meeting each other on the process allocator's locks, and the
+  // pool's size-classed free lists soak up the event-slot churn. Single
+  // ownership per cell, no synchronization (the cell is single-threaded);
+  // declared before the simulator so it strictly outlives it.
+  std::pmr::unsynchronized_pool_resource arena;
+  Simulator sim(metrics.get(), tracer.get(), &arena);
   MarketPlace markets(&sim, metrics.get());
 
   if (config.market_coupling > 0.0) {

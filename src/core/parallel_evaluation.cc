@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 
@@ -30,12 +33,49 @@ int ResolveEvaluationJobs(int jobs) {
 
 std::vector<EvaluationResult> RunPolicyEvaluationGrid(
     const std::vector<EvaluationConfig>& configs, int jobs) {
+  GridRunOptions options;
+  options.jobs = jobs;
+  return RunPolicyEvaluationGrid(configs, options);
+}
+
+std::vector<EvaluationResult> RunPolicyEvaluationGrid(
+    const std::vector<EvaluationConfig>& configs, const GridRunOptions& options) {
   std::vector<EvaluationResult> results(configs.size());
-  const int workers = std::min(ResolveEvaluationJobs(jobs),
+  const int workers = std::min(ResolveEvaluationJobs(options.jobs),
                                static_cast<int>(configs.size()));
+  // Wall-clock origin for worker-profile spans; sim-time in the worker
+  // tracer is "wall microseconds since the grid started".
+  const auto grid_started = std::chrono::steady_clock::now();
+  std::mutex tracer_mu;
+  const auto record_cell = [&](int worker, size_t cell,
+                               std::chrono::steady_clock::time_point started) {
+    if (options.worker_tracer == nullptr) {
+      return;
+    }
+    const auto us = [&grid_started](std::chrono::steady_clock::time_point t) {
+      return SimTime::FromMicros(
+          std::chrono::duration_cast<std::chrono::microseconds>(t -
+                                                                grid_started)
+              .count());
+    };
+    const SimTime end_us = us(std::chrono::steady_clock::now());
+    std::lock_guard<std::mutex> lock(tracer_mu);
+    SpanTracer& tracer = *options.worker_tracer;
+    const TraceTrackId track =
+        tracer.Track("grid/worker-" + std::to_string(worker));
+    const SpanId span =
+        tracer.AddSpan(us(started), end_us, "grid.cell", "grid", track);
+    tracer.AttrNum(span, "cell_index", static_cast<double>(cell));
+    if (!configs[cell].report_label.empty()) {
+      tracer.AttrStr(span, "cell", configs[cell].report_label);
+    }
+  };
+
   if (workers <= 1) {
     for (size_t i = 0; i < configs.size(); ++i) {
+      const auto started = std::chrono::steady_clock::now();
       results[i] = RunPolicyEvaluation(configs[i]);
+      record_cell(0, i, started);
     }
     return results;
   }
@@ -46,14 +86,16 @@ std::vector<EvaluationResult> RunPolicyEvaluationGrid(
   std::atomic<size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
-  auto worker = [&]() {
+  auto worker = [&](int worker_id) {
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) {
         return;
       }
       try {
+        const auto started = std::chrono::steady_clock::now();
         results[i] = RunPolicyEvaluation(configs[i]);
+        record_cell(worker_id, i, started);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) {
@@ -66,7 +108,7 @@ std::vector<EvaluationResult> RunPolicyEvaluationGrid(
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    pool.emplace_back(worker);
+    pool.emplace_back(worker, w);
   }
   for (std::thread& t : pool) {
     t.join();

@@ -17,10 +17,27 @@
 
 namespace spotcheck {
 
+class SpanTracer;
+
 // Resolves a worker count: `jobs` if positive, else the SPOTCHECK_JOBS
 // environment variable if set to a positive integer, else
 // std::thread::hardware_concurrency() (at least 1).
 int ResolveEvaluationJobs(int jobs = 0);
+
+struct GridRunOptions {
+  // Worker count; 0 = SPOTCHECK_JOBS env, then hardware concurrency.
+  int jobs = 0;
+  // When non-null, the pool profiles ITSELF: each worker records one
+  // wall-clock "grid.cell" span (category "grid", track "grid/worker-N",
+  // microseconds since the grid started, tagged with the cell index and
+  // report label) per cell it ran. This is the before/after evidence for
+  // worker-scaling work -- gaps between spans are queue starvation, unequal
+  // track lengths are imbalance. The tracer is accessed under an internal
+  // mutex after each cell completes (SpanTracer itself is single-threaded)
+  // and is purely observational: results are bit-identical with or without
+  // it. Must outlive the call.
+  SpanTracer* worker_tracer = nullptr;
+};
 
 // Runs one evaluation per config on a pool of ResolveEvaluationJobs(jobs)
 // worker threads and returns the results in config order. With one worker
@@ -28,6 +45,8 @@ int ResolveEvaluationJobs(int jobs = 0);
 // the remaining cells still complete and the first exception is rethrown.
 std::vector<EvaluationResult> RunPolicyEvaluationGrid(
     const std::vector<EvaluationConfig>& configs, int jobs = 0);
+std::vector<EvaluationResult> RunPolicyEvaluationGrid(
+    const std::vector<EvaluationConfig>& configs, const GridRunOptions& options);
 
 }  // namespace spotcheck
 

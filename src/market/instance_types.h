@@ -76,7 +76,14 @@ struct MarketKey {
 
   auto operator<=>(const MarketKey&) const = default;
   std::string ToString() const {
-    return std::string(InstanceTypeName(type)) + "@" + zone.ToString();
+    // Single allocation (report building stringifies markets in bulk).
+    const std::string_view name = InstanceTypeName(type);
+    std::string out;
+    out.reserve(name.size() + 17);
+    out.append(name);
+    out.append("@zone-");
+    out.append(std::to_string(zone.index));
+    return out;
   }
 };
 

@@ -28,7 +28,8 @@ int CountBidCrossings(const PriceTrace& trace, double bid, SimTime from,
                       SimTime to) {
   int crossings = 0;
   bool above = trace.PriceAt(from) > bid;
-  for (const PricePoint& p : trace.points()) {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const PricePoint p = trace.point(i);
     if (p.time < from || p.time >= to) {
       continue;
     }

@@ -7,105 +7,163 @@
 
 namespace spotcheck {
 
-PriceTrace::PriceTrace(std::vector<PricePoint> points) : points_(std::move(points)) {}
+PriceTrace::PriceTrace(std::vector<PricePoint> points) {
+  times_us_.reserve(points.size());
+  prices_.reserve(points.size());
+  for (const PricePoint& p : points) {
+    Append(p.time, p.price);
+  }
+}
 
 SimTime PriceTrace::start() const {
-  return points_.empty() ? SimTime() : points_.front().time;
+  return empty() ? SimTime() : SimTime::FromMicros(times_us_.front());
 }
 
 SimTime PriceTrace::end() const {
-  return points_.empty() ? SimTime() : points_.back().time;
+  return empty() ? SimTime() : SimTime::FromMicros(times_us_.back());
+}
+
+size_t PriceTrace::UpperBound(int64_t t_us) const {
+  return static_cast<size_t>(
+      std::upper_bound(times_us_.begin(), times_us_.end(), t_us) -
+      times_us_.begin());
 }
 
 double PriceTrace::PriceAt(SimTime t) const {
-  if (points_.empty()) {
+  if (empty()) {
     return 0.0;
   }
   // First point with time > t; predecessor holds the in-effect price.
-  const auto it = std::upper_bound(
-      points_.begin(), points_.end(), t,
-      [](SimTime value, const PricePoint& p) { return value < p.time; });
-  if (it == points_.begin()) {
-    return points_.front().price;
-  }
-  return std::prev(it)->price;
+  const size_t ub = UpperBound(t.micros());
+  return prices_[ub == 0 ? 0 : ub - 1];
 }
 
 double PriceTrace::Cursor::PriceAt(SimTime t) {
-  const std::vector<PricePoint>& pts = trace_->points_;
   if (has_query_ && t < last_query_) {
     ++backward_seeks_;
   }
   has_query_ = true;
   last_query_ = t;
-  if (pts.empty()) {
+  const size_t n = trace_->times_us_.size();
+  if (n == 0) {
     return 0.0;
   }
-  if (index_ >= pts.size() || t < pts[index_].time) {
+  const int64_t t_us = t.micros();
+  const int64_t* times = trace_->times_us_.data();
+  size_t i = index_;
+  if (i >= n || t_us < times[i]) {
     // Backwards jump (or trace replaced under us): re-locate by binary
-    // search, keeping the invariant that pts[index_] is the last change
+    // search, keeping the invariant that point index_ is the last change
     // point at or before t (index 0 also covers "before the first point").
-    const auto it = std::upper_bound(
-        pts.begin(), pts.end(), t,
-        [](SimTime value, const PricePoint& p) { return value < p.time; });
-    index_ = it == pts.begin() ? 0 : static_cast<size_t>(it - pts.begin()) - 1;
-    return pts[index_].price;
+    const size_t ub = trace_->UpperBound(t_us);
+    index_ = ub == 0 ? 0 : ub - 1;
+    return trace_->prices_[index_];
   }
-  // Forward: advance change point by change point. Under the monotone sweep
-  // pattern every point is visited once, so the walk is amortized O(1).
-  while (index_ + 1 < pts.size() && pts[index_ + 1].time <= t) {
-    ++index_;
+  // Forward: advance over the packed time column four comparisons at a
+  // time. The comparisons are branch-free (summed flags), so the common
+  // "advance 0 or 1 points" query costs one vectorizable round; under the
+  // monotone sweep pattern every point is visited once, so the walk stays
+  // amortized O(1).
+  while (i + 4 < n) {
+    const int step = static_cast<int>(times[i + 1] <= t_us) +
+                     static_cast<int>(times[i + 2] <= t_us) +
+                     static_cast<int>(times[i + 3] <= t_us) +
+                     static_cast<int>(times[i + 4] <= t_us);
+    i += static_cast<size_t>(step);
+    if (step < 4) {
+      break;
+    }
   }
-  return pts[index_].price;
+  while (i + 1 < n && times[i + 1] <= t_us) {
+    ++i;
+  }
+  index_ = i;
+  return trace_->prices_[i];
 }
 
 void PriceTrace::Append(SimTime t, double price) {
-  if (!points_.empty() && t < points_.back().time) {
+  if (!times_us_.empty() && t.micros() < times_us_.back()) {
     return;  // Ignore out-of-order appends.
   }
-  points_.push_back({t, price});
+  const size_t index = times_us_.size();
+  times_us_.push_back(t.micros());
+  prices_.push_back(price);
+  const size_t block = index >> kBlockLog2;
+  if (block == block_min_.size()) {
+    block_min_.push_back(price);
+    block_max_.push_back(price);
+  } else {
+    block_min_[block] = std::min(block_min_[block], price);
+    block_max_[block] = std::max(block_max_[block], price);
+  }
 }
 
 double PriceTrace::MeanPrice(SimTime from, SimTime to) const {
-  if (points_.empty() || to <= from) {
+  if (empty() || to <= from) {
     return 0.0;
   }
+  const size_t n = times_us_.size();
+  const int64_t* times = times_us_.data();
+  const double* prices = prices_.data();
+  const int64_t to_us = to.micros();
+  // i: first change point after the sweep position; j: governing point.
+  size_t i = UpperBound(from.micros());
+  size_t j = i == 0 ? 0 : i - 1;
+  int64_t cursor_us = from.micros();
   double weighted = 0.0;
-  SimTime cursor = from;
-  Cursor price_cursor(this);
-  // Walk change points inside (from, to).
-  auto it = std::upper_bound(
-      points_.begin(), points_.end(), from,
-      [](SimTime value, const PricePoint& p) { return value < p.time; });
-  while (cursor < to) {
-    const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
-    weighted += price_cursor.PriceAt(cursor) * (next - cursor).seconds();
-    cursor = next;
-    if (it != points_.end() && it->time <= cursor) {
-      ++it;
+  // Tight segment walk: one multiply and one add per change point, exactly
+  // the terms (and order) of the original cursor-based sweep.
+  while (cursor_us < to_us) {
+    const int64_t next_us = (i < n && times[i] < to_us) ? times[i] : to_us;
+    weighted +=
+        prices[j] * SimDuration::Micros(next_us - cursor_us).seconds();
+    cursor_us = next_us;
+    if (i < n && times[i] <= cursor_us) {
+      j = i;
+      ++i;
     }
   }
   return weighted / (to - from).seconds();
 }
 
 double PriceTrace::FractionAtOrBelow(double bid, SimTime from, SimTime to) const {
-  if (points_.empty() || to <= from) {
+  if (empty() || to <= from) {
     return 0.0;
   }
+  const size_t n = times_us_.size();
+  const int64_t* times = times_us_.data();
+  const double* prices = prices_.data();
+  const int64_t to_us = to.micros();
+  size_t i = UpperBound(from.micros());
+  size_t j = i == 0 ? 0 : i - 1;
+  int64_t cursor_us = from.micros();
   double covered = 0.0;
-  SimTime cursor = from;
-  Cursor price_cursor(this);
-  auto it = std::upper_bound(
-      points_.begin(), points_.end(), from,
-      [](SimTime value, const PricePoint& p) { return value < p.time; });
-  while (cursor < to) {
-    const SimTime next = (it != points_.end() && it->time < to) ? it->time : to;
-    if (price_cursor.PriceAt(cursor) <= bid) {
-      covered += (next - cursor).seconds();
+  while (cursor_us < to_us) {
+    // Block skip: while the governing point opens a summary block whose
+    // minimum price exceeds the bid, none of its 64 segments can
+    // contribute, so jump the sweep to the block boundary. Skipped
+    // segments added nothing in the scalar walk, so the accumulated sum
+    // is bit-identical.
+    while (j + 1 == i && (j & (kBlockSize - 1)) == 0 &&
+           block_min_[j >> kBlockLog2] > bid) {
+      const size_t next_block = j + kBlockSize;
+      if (next_block >= n || times[next_block] >= to_us) {
+        // The remainder of the query window sits under this (or a
+        // truncated final) block: nothing more can contribute.
+        return covered / (to - from).seconds();
+      }
+      cursor_us = times[next_block];
+      j = next_block;
+      i = next_block + 1;
     }
-    cursor = next;
-    if (it != points_.end() && it->time <= cursor) {
-      ++it;
+    const int64_t next_us = (i < n && times[i] < to_us) ? times[i] : to_us;
+    if (prices[j] <= bid) {
+      covered += SimDuration::Micros(next_us - cursor_us).seconds();
+    }
+    cursor_us = next_us;
+    if (i < n && times[i] <= cursor_us) {
+      j = i;
+      ++i;
     }
   }
   return covered / (to - from).seconds();
@@ -142,8 +200,9 @@ PriceTrace::JumpSeries PriceTrace::HourlyJumps(SimTime from, SimTime to) const {
 
 std::string PriceTrace::ToCsv() const {
   CsvWriter writer;
-  for (const auto& p : points_) {
-    writer.AddRow({std::to_string(p.time.seconds()), std::to_string(p.price)});
+  for (size_t i = 0; i < times_us_.size(); ++i) {
+    writer.AddRow({std::to_string(time(i).seconds()),
+                   std::to_string(prices_[i])});
   }
   return writer.ToString();
 }

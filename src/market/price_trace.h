@@ -4,10 +4,20 @@
 // holds between change points. Traces are either synthesized by a
 // SpotPriceProcess or loaded from CSV (timestamp_seconds,price per row, as
 // exported from EC2 spot price history).
+//
+// Storage is structure-of-arrays: one contiguous int64 column of change
+// times (microseconds) and one double column of prices. The scan loops the
+// simulator leans on -- monotone cursor advance, time-weighted means,
+// threshold coverage -- walk a single packed column, so they autovectorize
+// and touch half the cache lines of an array-of-structs walk. Threshold
+// queries additionally skip 64-point blocks via a per-block min/max summary
+// maintained on Append. All fast paths preserve the exact floating-point
+// accumulation order of the scalar walk, so results are bit-identical.
 
 #ifndef SRC_MARKET_PRICE_TRACE_H_
 #define SRC_MARKET_PRICE_TRACE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,11 +36,17 @@ class PriceTrace {
   // Points must be time-sorted; the first point defines the trace start.
   explicit PriceTrace(std::vector<PricePoint> points);
 
-  bool empty() const { return points_.empty(); }
-  size_t size() const { return points_.size(); }
-  const std::vector<PricePoint>& points() const { return points_; }
+  bool empty() const { return times_us_.empty(); }
+  size_t size() const { return times_us_.size(); }
   SimTime start() const;
   SimTime end() const;
+
+  // Column access (structure-of-arrays), plus per-point accessors.
+  const std::vector<int64_t>& times_us() const { return times_us_; }
+  const std::vector<double>& prices() const { return prices_; }
+  SimTime time(size_t i) const { return SimTime::FromMicros(times_us_[i]); }
+  double price(size_t i) const { return prices_[i]; }
+  PricePoint point(size_t i) const { return {time(i), prices_[i]}; }
 
   // Price in effect at time t: the last change point at or before t. Before
   // the first point, returns the first price; on an empty trace, returns 0.
@@ -39,7 +55,8 @@ class PriceTrace {
   // Amortized-O(1) lookup for the forward-in-time access pattern the
   // simulator exhibits (prices queried at non-decreasing times). The cursor
   // remembers the change point in effect at the last query and advances
-  // linearly; a query earlier than the previous one falls back to binary
+  // linearly (four comparisons per step, branch-free, over the packed time
+  // column); a query earlier than the previous one falls back to binary
   // search. The referenced trace must outlive the cursor and must not be
   // appended to while the cursor is in use.
   class Cursor {
@@ -90,7 +107,19 @@ class PriceTrace {
   static PriceTrace FromCsv(const std::string& text);
 
  private:
-  std::vector<PricePoint> points_;
+  // Points per min/max summary block; power of two so index math is shifts.
+  static constexpr size_t kBlockLog2 = 6;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockLog2;
+
+  // First index with times_us_[i] > t_us (upper bound on the time column).
+  size_t UpperBound(int64_t t_us) const;
+
+  std::vector<int64_t> times_us_;
+  std::vector<double> prices_;
+  // Per-block price min/max over prices_[b*64 .. b*64+63] (last block
+  // partial); lets threshold scans skip blocks that cannot match.
+  std::vector<double> block_min_;
+  std::vector<double> block_max_;
 };
 
 }  // namespace spotcheck

@@ -56,7 +56,8 @@ PredictorScore EvaluatePredictor(const PredictorConfig& config,
   double up_seconds = 0.0;
   SimTime last = from;
 
-  for (const PricePoint& point : trace.points()) {
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const PricePoint point = trace.point(i);
     if (point.time < from || point.time >= to) {
       continue;
     }

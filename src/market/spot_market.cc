@@ -18,7 +18,7 @@ double SpotMarket::CurrentPrice() const {
     return override_price_;
   }
   if (sim_ == nullptr) {
-    return trace_->empty() ? 0.0 : trace_->points().front().price;
+    return trace_->empty() ? 0.0 : trace_->price(0);
   }
   return now_cursor_.PriceAt(sim_->Now());
 }
@@ -58,11 +58,23 @@ void SpotMarket::Unsubscribe(int64_t id) { listeners_.erase(id); }
 
 void SpotMarket::Attach(Simulator* sim) {
   sim_ = sim;
-  for (const PricePoint& point : trace_->points()) {
-    if (point.time < sim->Now()) {
+  // Replay the trace as a slotless stream: a six-month trace is ~100k change
+  // points, and scheduling each as a regular event would pin ~100k callback
+  // slots for the whole run. The stream consumes one sequence number per
+  // point, exactly like the per-point ScheduleAt it replaces, so event
+  // interleaving (and determinism) is unchanged.
+  const uint32_t stream = sim->RegisterReplayStream(
+      [](void* ctx, uint32_t index) {
+        auto* market = static_cast<SpotMarket*>(ctx);
+        market->FireListeners(market->trace_->price(index));
+      },
+      this);
+  for (size_t i = 0; i < trace_->size(); ++i) {
+    const SimTime when = trace_->time(i);
+    if (when < sim->Now()) {
       continue;
     }
-    sim->ScheduleAt(point.time, [this, price = point.price]() { FireListeners(price); });
+    sim->ScheduleStreamEvent(when, stream, static_cast<uint32_t>(i));
   }
 }
 
@@ -73,14 +85,20 @@ void SpotMarket::FireListeners(double price) {
     return;
   }
   MetricInc(price_changes_metric_);
-  // Copy: listeners may subscribe/unsubscribe during dispatch.
-  std::vector<PriceListener> snapshot;
-  snapshot.reserve(listeners_.size());
+  // Snapshot ids, not functions: listeners may subscribe during dispatch
+  // (they see the next change, same as before), and looking each id back
+  // up skips any listener unsubscribed mid-dispatch. Millions of fires per
+  // cell make per-fire std::function copies (a heap allocation apiece) the
+  // wrong trade. The id buffer is reused across fires.
+  dispatch_ids_.clear();
   for (const auto& [id, listener] : listeners_) {
-    snapshot.push_back(listener);
+    dispatch_ids_.push_back(id);
   }
-  for (const auto& listener : snapshot) {
-    listener(*this, price);
+  for (const int64_t id : dispatch_ids_) {
+    const auto it = listeners_.find(id);
+    if (it != listeners_.end()) {
+      it->second(*this, price);
+    }
   }
 }
 
@@ -88,10 +106,16 @@ SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
                                      uint64_t seed) {
   auto it = markets_.find(key);
   if (it == markets_.end()) {
-    bool was_hit = false;
+    TraceCatalog::Lookup lookup;
     auto market = std::make_unique<SpotMarket>(
-        key, TraceCatalog::Global().GetOrGenerate(key, horizon, seed, &was_hit));
-    ++(was_hit ? trace_cache_hits_ : trace_cache_misses_);
+        key, TraceCatalog::Global().GetOrGenerate(key, horizon, seed, &lookup));
+    ++(lookup.hit ? trace_cache_hits_ : trace_cache_misses_);
+    if (metrics_ != nullptr) {
+      // Wall time this cell spent blocked on the shared catalog; observational
+      // only (wall clock never feeds simulation state).
+      MetricInc(&metrics_->Counter("sim.trace_catalog.lock_wait_ns"),
+                lookup.lock_wait_ns);
+    }
     market->set_metrics(metrics_);
     market->Attach(sim_);
     it = markets_.emplace(key, std::move(market)).first;

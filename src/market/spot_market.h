@@ -76,6 +76,7 @@ class SpotMarket {
   double override_price_ = 0.0;
   int64_t next_listener_id_ = 0;
   std::map<int64_t, PriceListener> listeners_;
+  std::vector<int64_t> dispatch_ids_;  // reused FireListeners scratch
   MetricCounter* price_lookups_metric_ = nullptr;
   MetricCounter* price_changes_metric_ = nullptr;
 };

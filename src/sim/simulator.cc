@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -8,12 +9,43 @@
 
 namespace spotcheck {
 
-Simulator::Simulator(MetricsRegistry* metrics, SpanTracer* tracer)
-    : tracer_(tracer) {
+// Calendar-queue invariants (every method below preserves all of them):
+//   I1  Every queued event lives either in its ring bucket
+//       (abs = when.us >> width_log2_, bucket abs & kBucketMask, with
+//       ring_base_abs_ <= abs < ring_base_abs_ + kNumBuckets) or in
+//       overflow_.
+//   I2  Every ring event orders strictly before every overflow event by
+//       (when, seq). InsertEvent enforces this by diverting an in-window
+//       event to overflow when it would not precede overflow_min_; Wrap()
+//       re-establishes it by draining a prefix of the ladder.
+//       Consequence: the global minimum is always in the ring whenever the
+//       ring is non-empty, so pop never compares against the ladder.
+//   I3  No queued ring event has abs < scan_abs_ (inserts move scan_abs_
+//       backward; pops advance it over empty buckets).
+//   I4  A bucket with bucket_sorted_ set is sorted descending by
+//       (when, seq); the scan sorts a bucket on first contact and inserts
+//       keep sorted buckets sorted, so the active bucket pops from back().
+//   I5  overflow_[0 .. overflow_sorted_n_) is sorted descending; the tail
+//       is unsorted appends. overflow_min_ is the ladder minimum whenever
+//       the ladder is non-empty.
+//   I6  seq is assigned in scheduling order (PushEvent), so ascending
+//       (when, seq) pop order is exactly the old heap's order and results
+//       are bit-identical.
+
+Simulator::Simulator(MetricsRegistry* metrics, SpanTracer* tracer,
+                     std::pmr::memory_resource* memory)
+    : memory_(memory != nullptr ? memory : std::pmr::get_default_resource()),
+      buckets_(static_cast<size_t>(kNumBuckets), memory_),
+      bucket_sorted_(static_cast<size_t>(kNumBuckets), 1),
+      overflow_(memory_),
+      slots_(memory_),
+      free_slots_(memory_),
+      tracer_(tracer) {
   if (metrics != nullptr) {
     events_scheduled_metric_ = &metrics->Counter("sim.events_scheduled");
     events_fired_metric_ = &metrics->Counter("sim.events_fired");
     events_cancelled_metric_ = &metrics->Counter("sim.events_cancelled");
+    calendar_wraps_metric_ = &metrics->Counter("sim.calendar.wraps");
     heap_depth_metric_ = &metrics->Gauge("sim.heap_depth");
   }
   if (tracer_ != nullptr) {
@@ -50,58 +82,243 @@ void Simulator::ReleaseSlot(uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-// 4-ary layout: children of node i are 4i+1 .. 4i+4. Half the levels of a
-// binary heap, and sibling groups sit in adjacent cache lines.
-void Simulator::SiftUp(size_t i) {
-  const QueuedEvent ev = heap_[i];
-  while (i > 0) {
-    const size_t parent = (i - 1) / 4;
-    if (!Earlier(ev, heap_[parent])) {
-      break;
-    }
-    heap_[i] = heap_[parent];
-    i = parent;
+void Simulator::OverflowAppend(const QueuedEvent& ev) {
+  if (overflow_.empty() || Earlier(ev, overflow_min_)) {
+    overflow_min_ = ev;
   }
-  heap_[i] = ev;
+  overflow_.push_back(ev);  // lands in the unsorted tail (I5)
 }
 
-void Simulator::SiftDown(size_t i) {
-  const QueuedEvent ev = heap_[i];
-  const size_t n = heap_.size();
-  while (true) {
-    const size_t first_child = i * 4 + 1;
-    if (first_child >= n) {
-      break;
+// Rare slow path: an insert targets a bucket below the window start (the
+// window jumped forward during a Wrap(), then the clock was rolled back by
+// a RunUntil deadline and something scheduled into the gap). Slide the
+// window start back to `abs`; bucket positions (abs & mask) do not depend
+// on ring_base_abs_, so surviving events stay put and only events now
+// beyond the shortened window move to the ladder.
+void Simulator::RebaseRingTo(int64_t abs) {
+  const int64_t new_end = abs + kNumBuckets;
+  if (ring_count_ > 0) {
+    for (Bucket& bucket : buckets_) {
+      if (bucket.empty()) {
+        continue;
+      }
+      std::erase_if(bucket, [&](const QueuedEvent& ev) {
+        if (BucketAbs(ev.when) >= new_end) {
+          OverflowAppend(ev);
+          --ring_count_;
+          return true;
+        }
+        return false;
+      });
     }
-    size_t best = first_child;
-    const size_t end = std::min(first_child + 4, n);
-    for (size_t c = first_child + 1; c < end; ++c) {
-      if (Earlier(heap_[c], heap_[best])) {
-        best = c;
+  }
+  ring_base_abs_ = abs;
+  scan_abs_ = abs;
+}
+
+void Simulator::InsertEvent(const QueuedEvent& ev) {
+  // I2: anything that would not run before the ladder minimum belongs in
+  // the ladder, even if its bucket is inside the window.
+  if (!overflow_.empty() && !Earlier(ev, overflow_min_)) {
+    OverflowAppend(ev);
+    return;
+  }
+  const int64_t abs = BucketAbs(ev.when);
+  if (abs >= ring_base_abs_ + kNumBuckets) {
+    OverflowAppend(ev);
+    return;
+  }
+  if (abs < ring_base_abs_) {
+    RebaseRingTo(abs);
+  }
+  const size_t index = static_cast<size_t>(abs & kBucketMask);
+  Bucket& bucket = buckets_[index];
+  if (bucket_sorted_[index]) {
+    // Keep a sorted bucket sorted (I4) only while that is cheap: insertion
+    // cost is the number of tail elements shifted, so bound it. Imminent
+    // events (the cascade-at-now pattern) sit near the back and stay O(1);
+    // anything deeper -- e.g. bulk pre-loading a crowded bucket, which
+    // would otherwise go quadratic -- degrades the bucket to unsorted and
+    // is re-sorted once when the scan reaches it.
+    const auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), ev,
+        [](const QueuedEvent& a, const QueuedEvent& b) { return Earlier(b, a); });
+    if (bucket.end() - pos <= 16) {
+      bucket.insert(pos, ev);
+    } else {
+      bucket.push_back(ev);
+      bucket_sorted_[index] = 0;
+    }
+  } else {
+    bucket.push_back(ev);
+  }
+  ++ring_count_;
+  if (abs < scan_abs_) {
+    scan_abs_ = abs;  // I3
+  }
+}
+
+// Sorts [first, last) descending by (when, seq). The dominant producer of a
+// large unsorted tail is market attachment, which appends each price trace as
+// one long time-ascending run, so the tail is typically a few dozen runs that
+// introsort cannot exploit. Detect maximal runs, reverse the ascending ones,
+// and merge pairwise -- O(n log k) for k runs -- falling back to plain sort
+// when the tail is genuinely unordered. The comparator is a strict total
+// order (seq is unique), so every correct sort yields the same permutation.
+void Simulator::SortTail(OverflowIter first, OverflowIter last) {
+  const auto desc = [](const QueuedEvent& a, const QueuedEvent& b) {
+    return Earlier(b, a);
+  };
+  const size_t n = static_cast<size_t>(last - first);
+  if (n < 256) {
+    std::sort(first, last, desc);
+    return;
+  }
+  // Run boundaries: bounds[i]..bounds[i+1] is sorted descending.
+  std::vector<OverflowIter> bounds;
+  bounds.push_back(first);
+  for (OverflowIter it = first; it != last;) {
+    OverflowIter run_end = it + 1;
+    if (run_end != last) {
+      const bool run_desc = desc(*it, *run_end);
+      ++run_end;
+      while (run_end != last && desc(*(run_end - 1), *run_end) == run_desc) {
+        ++run_end;
+      }
+      if (!run_desc) {
+        std::reverse(it, run_end);
       }
     }
-    if (!Earlier(heap_[best], ev)) {
-      break;
+    bounds.push_back(run_end);
+    it = run_end;
+    if (bounds.size() > 1 + n / 64) {
+      // Too fragmented for merging to win (the reversals above are harmless
+      // to re-sort).
+      std::sort(first, last, desc);
+      return;
     }
-    heap_[i] = heap_[best];
-    i = best;
   }
-  heap_[i] = ev;
+  // Merge adjacent run pairs until one remains.
+  while (bounds.size() > 2) {
+    std::vector<OverflowIter> next;
+    next.push_back(bounds[0]);
+    size_t i = 1;
+    while (i + 1 < bounds.size()) {
+      std::inplace_merge(next.back(), bounds[i], bounds[i + 1], desc);
+      next.push_back(bounds[i + 1]);
+      i += 2;
+    }
+    if (i < bounds.size()) {
+      next.push_back(bounds[i]);
+    }
+    bounds = std::move(next);
+  }
 }
 
-void Simulator::PopHeapTop() {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    SiftDown(0);
+// The ring is empty and the ladder is not: advance the window to the
+// ladder's minimum and drain the in-window prefix into buckets. Bucket
+// width is retuned here -- and only here -- from the density of the
+// upcoming chunk, so retuning never remaps a queued ring event.
+void Simulator::Wrap() {
+  if (overflow_sorted_n_ < overflow_.size()) {
+    const auto desc = [](const QueuedEvent& a, const QueuedEvent& b) {
+      return Earlier(b, a);
+    };
+    const auto mid =
+        overflow_.begin() + static_cast<int64_t>(overflow_sorted_n_);
+    SortTail(mid, overflow_.end());
+    std::inplace_merge(overflow_.begin(), mid, overflow_.end(), desc);
+    overflow_sorted_n_ = overflow_.size();
   }
+
+  // Width policy: spread the next ~2*kNumBuckets events over the ring
+  // (target occupancy ~2 events/bucket). Clamped so degenerate spans
+  // (everything at one instant / centuries apart) stay sane.
+  const QueuedEvent min_ev = overflow_.back();
+  const size_t lookahead =
+      std::min(overflow_.size(), static_cast<size_t>(2 * kNumBuckets));
+  const int64_t span =
+      overflow_[overflow_.size() - lookahead].when.micros() -
+      min_ev.when.micros();
+  if (span > 0) {
+    const uint64_t per_bucket =
+        static_cast<uint64_t>(span) / static_cast<uint64_t>(kNumBuckets) + 1;
+    width_log2_ = std::clamp(static_cast<int>(std::bit_width(per_bucket)),
+                             kMinWidthLog2, kMaxWidthLog2);
+  }
+
+  ring_base_abs_ = BucketAbs(min_ev.when);
+  scan_abs_ = ring_base_abs_;
+  const int64_t window_end = ring_base_abs_ + kNumBuckets;
+  while (!overflow_.empty()) {
+    const QueuedEvent& ev = overflow_.back();
+    const int64_t abs = BucketAbs(ev.when);
+    if (abs >= window_end) {
+      break;
+    }
+    const size_t index = static_cast<size_t>(abs & kBucketMask);
+    buckets_[index].push_back(ev);
+    bucket_sorted_[index] = 0;  // drained ascending; sort lazily on contact
+    ++ring_count_;
+    overflow_.pop_back();
+  }
+  overflow_sorted_n_ = overflow_.size();
+  if (!overflow_.empty()) {
+    overflow_min_ = overflow_.back();
+  }
+  MetricInc(calendar_wraps_metric_);
+}
+
+const Simulator::QueuedEvent* Simulator::FindEarliest() {
+  if (queued_count() == 0) {
+    return nullptr;
+  }
+  if (ring_count_ == 0) {
+    Wrap();  // ladder is non-empty; guarantees ring_count_ > 0
+  }
+  // I2+I3: the global minimum is in the first non-empty bucket at or above
+  // scan_abs_; ring_count_ > 0 bounds the scan inside the window.
+  size_t index = static_cast<size_t>(scan_abs_ & kBucketMask);
+  while (buckets_[index].empty()) {
+    ++scan_abs_;
+    index = static_cast<size_t>(scan_abs_ & kBucketMask);
+  }
+  Bucket& bucket = buckets_[index];
+  if (!bucket_sorted_[index]) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const QueuedEvent& a, const QueuedEvent& b) {
+                return Earlier(b, a);
+              });
+    bucket_sorted_[index] = 1;
+  }
+  return &bucket.back();
+}
+
+Simulator::QueuedEvent Simulator::PopEarliest() {
+  Bucket& bucket = buckets_[static_cast<size_t>(scan_abs_ & kBucketMask)];
+  const QueuedEvent ev = bucket.back();
+  bucket.pop_back();
+  --ring_count_;
+  return ev;
 }
 
 void Simulator::PushEvent(SimTime when, uint32_t slot, uint32_t generation) {
-  heap_.push_back(QueuedEvent{when, next_seq_++, slot, generation});
-  SiftUp(heap_.size() - 1);
+  InsertEvent(QueuedEvent{when, next_seq_++, slot, generation});
   MetricInc(events_scheduled_metric_);
-  MetricSet(heap_depth_metric_, static_cast<double>(heap_.size()));
+  MetricSet(heap_depth_metric_, static_cast<double>(queued_count()));
+}
+
+uint32_t Simulator::RegisterReplayStream(StreamFireFn fire, void* ctx) {
+  streams_.push_back(ReplayStream{fire, ctx});
+  return static_cast<uint32_t>(streams_.size() - 1);
+}
+
+void Simulator::ScheduleStreamEvent(SimTime when, uint32_t stream,
+                                    uint32_t index) {
+  if (when < now_) {
+    when = now_;
+  }
+  PushEvent(when, kStreamBit | stream, index);
 }
 
 EventHandle Simulator::ScheduleAt(SimTime when, EventCallback callback) {
@@ -137,7 +354,7 @@ void Simulator::Cancel(EventHandle handle) {
   }
   Slot& s = slots_[handle.slot_ - 1];
   // A stale handle (event already ran -> generation bumped) or a double
-  // cancel is an exact no-op, so heap_.size() - cancelled_pending_ stays
+  // cancel is an exact no-op, so queued_count() - cancelled_pending_ stays
   // truthful.
   if (!s.live || s.generation != handle.generation_ || s.cancelled) {
     return;
@@ -148,8 +365,25 @@ void Simulator::Cancel(EventHandle handle) {
 }
 
 void Simulator::RunOne() {
-  const QueuedEvent ev = heap_.front();
-  PopHeapTop();
+  FindEarliest();  // positions scan_abs_ (O(1) if RunUntil just peeked)
+  const QueuedEvent ev = PopEarliest();
+  if (ev.slot & kStreamBit) {
+    // Stream events have no slot and cannot be cancelled; the fire is
+    // derived from (stream, point index).
+    now_ = ev.when;
+    ++events_executed_;
+    MetricInc(events_fired_metric_);
+    if (tracer_ != nullptr && dispatch_sample_interval_ > 0 &&
+        events_executed_ % dispatch_sample_interval_ == 0) {
+      const SpanId mark =
+          tracer_->Instant(now_, "sim.dispatch", "sim", sim_track_);
+      tracer_->AttrNum(mark, "events_executed",
+                       static_cast<double>(events_executed_));
+    }
+    const ReplayStream& stream = streams_[ev.slot & ~kStreamBit];
+    stream.fire(stream.ctx, ev.generation);
+    return;
+  }
   Slot& s = slots_[ev.slot - 1];
   if (s.cancelled) {
     --cancelled_pending_;
@@ -184,7 +418,7 @@ void Simulator::RunOne() {
 
 int64_t Simulator::Run() {
   int64_t ran = 0;
-  while (!heap_.empty()) {
+  while (queued_count() > 0) {
     const int64_t before = events_executed_;
     RunOne();
     ran += events_executed_ - before;
@@ -194,7 +428,11 @@ int64_t Simulator::Run() {
 
 int64_t Simulator::RunUntil(SimTime deadline) {
   int64_t ran = 0;
-  while (!heap_.empty() && heap_.front().when <= deadline) {
+  while (true) {
+    const QueuedEvent* next = FindEarliest();
+    if (next == nullptr || next->when > deadline) {
+      break;
+    }
     const int64_t before = events_executed_;
     RunOne();
     ran += events_executed_ - before;
@@ -206,7 +444,7 @@ int64_t Simulator::RunUntil(SimTime deadline) {
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
+  while (queued_count() > 0) {
     const int64_t before = events_executed_;
     RunOne();
     if (events_executed_ > before) {

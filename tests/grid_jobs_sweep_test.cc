@@ -1,0 +1,83 @@
+// Jobs-sweep bit-identity: the full 5x4 figure grid (every mapping policy
+// crossed with every migration mechanism, the cell shape behind Figures
+// 10-12 and Table 3) must produce bitwise-equal results at --jobs 1, 2,
+// and 8. This is the contract that lets the benches run the grid at any
+// worker count and still emit byte-identical figure CSVs: cells share
+// nothing mutable except the sharded TraceCatalog, whose generation path
+// must be scheduling-independent. A shorter horizon than the benches keeps
+// the sweep affordable in unoptimized builds; the full-length 180-day
+// cells are covered by determinism_golden_test.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/evaluation.h"
+#include "src/core/parallel_evaluation.h"
+
+namespace spotcheck {
+namespace {
+
+std::vector<EvaluationConfig> FullGrid() {
+  constexpr MappingPolicyKind kPolicies[] = {
+      MappingPolicyKind::k1PM, MappingPolicyKind::k2PML,
+      MappingPolicyKind::k4PED, MappingPolicyKind::k4PCost,
+      MappingPolicyKind::k4PStability};
+  constexpr MigrationMechanism kMechanisms[] = {
+      MigrationMechanism::kXenLiveMigration,
+      MigrationMechanism::kYankFullRestore,
+      MigrationMechanism::kSpotCheckFullRestore,
+      MigrationMechanism::kSpotCheckLazyRestore};
+  std::vector<EvaluationConfig> configs;
+  for (MappingPolicyKind policy : kPolicies) {
+    for (MigrationMechanism mechanism : kMechanisms) {
+      EvaluationConfig config;
+      config.policy = policy;
+      config.mechanism = mechanism;
+      config.num_vms = 40;
+      config.horizon = SimDuration::Days(30);
+      config.seed = 2;
+      configs.push_back(config);
+    }
+  }
+  return configs;
+}
+
+std::string Num(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Every deterministic result field at full precision. Trace-catalog
+// hit/miss counts are scheduling-dependent (whichever cell asks first
+// generates) and deliberately excluded.
+std::string Serialize(const std::vector<EvaluationResult>& results) {
+  std::ostringstream out;
+  for (const EvaluationResult& r : results) {
+    out << Num(r.avg_cost_per_vm_hour) << ';' << Num(r.unavailability_pct)
+        << ';' << Num(r.degradation_pct) << ';' << Num(r.storms.quarter) << ';'
+        << Num(r.storms.half) << ';' << Num(r.storms.three_quarters) << ';'
+        << Num(r.storms.all) << ';' << r.revocation_events << ';'
+        << r.evacuations << ';' << r.repatriations << ';'
+        << r.failed_migrations << ';' << r.stagings << ';'
+        << r.stateless_respawns << ';' << r.num_backup_servers << ';'
+        << Num(r.native_cost) << ';' << Num(r.backup_cost) << ';'
+        << Num(r.vm_hours) << '\n';
+  }
+  return out.str();
+}
+
+TEST(GridJobsSweepTest, FullGridIsBitIdenticalAtOneTwoAndEightWorkers) {
+  const std::vector<EvaluationConfig> configs = FullGrid();
+  const std::string serial = Serialize(RunPolicyEvaluationGrid(configs, 1));
+  EXPECT_EQ(serial, Serialize(RunPolicyEvaluationGrid(configs, 2)))
+      << "--jobs=2 changed a result";
+  EXPECT_EQ(serial, Serialize(RunPolicyEvaluationGrid(configs, 8)))
+      << "--jobs=8 changed a result";
+}
+
+}  // namespace
+}  // namespace spotcheck

@@ -43,9 +43,8 @@ TEST(CorrelatedTracesTest, ZeroCouplingMatchesIndependentGeneration) {
     const PriceTrace independent = GenerateMarketTrace(keys[i], kHorizon, kSeed);
     ASSERT_EQ(correlated[i].size(), independent.size()) << i;
     for (size_t p = 0; p < independent.size(); ++p) {
-      EXPECT_EQ(correlated[i].points()[p].time, independent.points()[p].time);
-      EXPECT_DOUBLE_EQ(correlated[i].points()[p].price,
-                       independent.points()[p].price);
+      EXPECT_EQ(correlated[i].time(p), independent.time(p));
+      EXPECT_DOUBLE_EQ(correlated[i].price(p), independent.price(p));
     }
   }
 }
@@ -87,11 +86,11 @@ TEST(CorrelatedTracesTest, TracesRemainWellFormed) {
   const auto keys = FourPools();
   const auto traces = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 2.0, 0.7);
   for (size_t i = 0; i < traces.size(); ++i) {
-    const auto& points = traces[i].points();
-    ASSERT_FALSE(points.empty());
-    for (size_t p = 1; p < points.size(); ++p) {
-      EXPECT_LE(points[p - 1].time, points[p].time);
-      EXPECT_GT(points[p].price, 0.0);
+    const auto& trace = traces[i];
+    ASSERT_FALSE(trace.empty());
+    for (size_t p = 1; p < trace.size(); ++p) {
+      EXPECT_LE(trace.times_us()[p - 1], trace.times_us()[p]);
+      EXPECT_GT(trace.price(p), 0.0);
     }
   }
 }
@@ -102,7 +101,7 @@ TEST(CorrelatedTracesTest, Deterministic) {
   const auto b = GenerateCorrelatedTraces(keys, kHorizon, kSeed, 0.5, 0.8);
   for (size_t i = 0; i < keys.size(); ++i) {
     ASSERT_EQ(a[i].size(), b[i].size());
-    EXPECT_DOUBLE_EQ(a[i].points().back().price, b[i].points().back().price);
+    EXPECT_DOUBLE_EQ(a[i].prices().back(), b[i].prices().back());
   }
 }
 

@@ -16,16 +16,16 @@ TEST(SpotPriceProcessTest, DeterministicForSameSeed) {
   const PriceTrace tb = b.Generate(SimDuration::Days(10));
   ASSERT_EQ(ta.size(), tb.size());
   for (size_t i = 0; i < ta.size(); ++i) {
-    EXPECT_EQ(ta.points()[i].time, tb.points()[i].time);
-    EXPECT_DOUBLE_EQ(ta.points()[i].price, tb.points()[i].price);
+    EXPECT_EQ(ta.time(i), tb.time(i));
+    EXPECT_DOUBLE_EQ(ta.price(i), tb.price(i));
   }
 }
 
 TEST(SpotPriceProcessTest, PricesArePositive) {
   SpotPriceProcess process(CalibratedParams(InstanceType::kM3Large), Rng(kSeed));
   const PriceTrace trace = process.Generate(SimDuration::Days(30));
-  for (const auto& p : trace.points()) {
-    EXPECT_GT(p.price, 0.0);
+  for (double price : trace.prices()) {
+    EXPECT_GT(price, 0.0);
   }
 }
 
@@ -69,8 +69,8 @@ TEST(SpotPriceProcessTest, SpikesExceedOnDemandPrice) {
   SpotPriceProcess process(params, Rng(kSeed));
   const PriceTrace trace = process.Generate(SimDuration::Days(10));
   double max_price = 0.0;
-  for (const auto& p : trace.points()) {
-    max_price = std::max(max_price, p.price);
+  for (double price : trace.prices()) {
+    max_price = std::max(max_price, price);
   }
   // Figure 1 shows spikes far above the $0.06 on-demand price.
   EXPECT_GT(max_price, 2.0 * params.on_demand_price);
@@ -113,7 +113,7 @@ TEST(GenerateMarketTraceTest, DistinctMarketsDistinctTraces) {
   // Same seed, different zone -> different stream.
   bool differs = ta.size() != tb.size();
   for (size_t i = 0; !differs && i < std::min(ta.size(), tb.size()); ++i) {
-    differs = ta.points()[i].price != tb.points()[i].price;
+    differs = ta.price(i) != tb.price(i);
   }
   EXPECT_TRUE(differs);
 }
@@ -123,7 +123,7 @@ TEST(GenerateMarketTraceTest, ReproducibleAcrossCalls) {
   const PriceTrace t1 = GenerateMarketTrace(key, SimDuration::Days(5), kSeed);
   const PriceTrace t2 = GenerateMarketTrace(key, SimDuration::Days(5), kSeed);
   ASSERT_EQ(t1.size(), t2.size());
-  EXPECT_DOUBLE_EQ(t1.points().back().price, t2.points().back().price);
+  EXPECT_DOUBLE_EQ(t1.prices().back(), t2.prices().back());
 }
 
 }  // namespace

@@ -33,17 +33,17 @@ class MarketPropertyTest : public testing::TestWithParam<MarketPoint> {
 
 TEST_P(MarketPropertyTest, PricesPositiveAndBounded) {
   const auto params = CalibratedParams(MarketKey{type_, AvailabilityZone{1}});
-  for (const PricePoint& p : trace_.points()) {
-    EXPECT_GT(p.price, 0.0);
-    EXPECT_LE(p.price,
+  for (double price : trace_.prices()) {
+    EXPECT_GT(price, 0.0);
+    EXPECT_LE(price,
               params.spike_cap_multiple * params.on_demand_price + 1e-9);
   }
 }
 
 TEST_P(MarketPropertyTest, ChangePointsStrictlyOrdered) {
-  const auto& points = trace_.points();
-  for (size_t i = 1; i < points.size(); ++i) {
-    EXPECT_LE(points[i - 1].time, points[i].time);
+  const auto& times = trace_.times_us();
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
   }
 }
 
@@ -62,9 +62,9 @@ TEST_P(MarketPropertyTest, AvailabilityMonotoneInBid) {
 TEST_P(MarketPropertyTest, MeanPriceWithinObservedRange) {
   double lo = 1e9;
   double hi = 0.0;
-  for (const PricePoint& p : trace_.points()) {
-    lo = std::min(lo, p.price);
-    hi = std::max(hi, p.price);
+  for (double price : trace_.prices()) {
+    lo = std::min(lo, price);
+    hi = std::max(hi, price);
   }
   const double mean = trace_.MeanPrice(SimTime(), End());
   EXPECT_GE(mean, lo - 1e-12);
@@ -94,8 +94,8 @@ TEST_P(MarketPropertyTest, Deterministic) {
       GenerateMarketTrace(MarketKey{type_, AvailabilityZone{1}}, horizon_, seed_);
   ASSERT_EQ(again.size(), trace_.size());
   for (size_t i = 0; i < again.size(); ++i) {
-    EXPECT_EQ(again.points()[i].time, trace_.points()[i].time);
-    EXPECT_DOUBLE_EQ(again.points()[i].price, trace_.points()[i].price);
+    EXPECT_EQ(again.time(i), trace_.time(i));
+    EXPECT_DOUBLE_EQ(again.price(i), trace_.price(i));
   }
 }
 

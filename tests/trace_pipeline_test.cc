@@ -14,10 +14,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/chaos/chaos_config.h"
 #include "src/core/evaluation.h"
+#include "src/core/parallel_evaluation.h"
 #include "src/obs/grid_summary.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_analyzer.h"
@@ -327,6 +329,63 @@ TEST(TracePipelineTest, GridSummaryMergesCells) {
     EXPECT_LE(downtime, previous);  // sorted, slowest first
     previous = downtime;
   }
+}
+
+TEST(TracePipelineTest, GridWorkerTraceCoversEveryCell) {
+  // Four cheap cells through the pool with self-profiling on: every cell
+  // must show up as one wall-clock "grid.cell" span on a grid/worker-N
+  // track, and the analyzer must see nonzero coverage -- this is the same
+  // artifact the CI trace smoke uploads as grid_workers.json.
+  std::vector<EvaluationConfig> configs;
+  for (int i = 0; i < 4; ++i) {
+    EvaluationConfig config;
+    config.policy = MappingPolicyKind::k1PM;
+    config.mechanism = i % 2 == 0 ? MigrationMechanism::kSpotCheckLazyRestore
+                                  : MigrationMechanism::kSpotCheckFullRestore;
+    config.num_vms = 4;
+    config.horizon = SimDuration::Days(5);
+    config.seed = 2;
+    config.report_label = "cell-" + std::to_string(i);
+    configs.push_back(config);
+  }
+  SpanTracer worker_tracer;
+  GridRunOptions options;
+  options.jobs = 2;
+  options.worker_tracer = &worker_tracer;
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, options);
+  ASSERT_EQ(results.size(), configs.size());
+
+  // One span per cell, all on worker tracks, none degenerate.
+  ASSERT_EQ(worker_tracer.spans().size(), configs.size());
+  std::set<double> cell_indices;
+  for (const TraceSpan& span : worker_tracer.spans()) {
+    EXPECT_EQ(span.name, "grid.cell");
+    EXPECT_EQ(span.category, "grid");
+    EXPECT_FALSE(span.open);
+    EXPECT_LE(span.start, span.end);
+    const std::string_view track = worker_tracer.TrackName(span.track);
+    EXPECT_TRUE(track.starts_with("grid/worker-")) << track;
+    bool found_index = false;
+    for (const TraceAttrValue& attr : span.attrs) {
+      if (attr.key == "cell_index" && attr.is_number) {
+        cell_indices.insert(attr.number);
+        found_index = true;
+      }
+    }
+    EXPECT_TRUE(found_index) << "span missing cell_index attr";
+  }
+  EXPECT_EQ(cell_indices.size(), configs.size()) << "a cell was not recorded";
+
+  // The analyzer sees the coverage: grid.cell is a real span type with
+  // nonzero accumulated wall time.
+  const TraceSummary summary = AnalyzeTrace(worker_tracer);
+  EXPECT_EQ(summary.num_spans, static_cast<int64_t>(configs.size()));
+  const SpanTypeStats* stats = summary.FindType("grid.cell");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, static_cast<int64_t>(configs.size()));
+  EXPECT_GT(stats->total_s, 0.0);
+  EXPECT_GE(stats->max_s, stats->p50_s);
 }
 
 }  // namespace
