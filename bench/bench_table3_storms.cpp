@@ -39,9 +39,21 @@ int main(int argc, char** argv) {
       configs.push_back(config);
     }
   }
+  // Like PrintGrid: with --trace-dir the pool profiles itself, and the
+  // contention report lands in grid_summary.json's "contention" section.
+  std::unique_ptr<SpanTracer> worker_tracer;
+  if (!args.trace_dir.empty()) {
+    worker_tracer = std::make_unique<SpanTracer>();
+  }
+  GridRunOptions grid_options;
+  grid_options.jobs = args.jobs;
+  grid_options.worker_tracer = worker_tracer.get();
+  GridContentionReport contention;
+  grid_options.contention = &contention;
   const std::vector<EvaluationResult> results =
-      RunPolicyEvaluationGrid(configs, args.jobs);
-  WriteGridArtifacts(args, "table3_storms", cells, results);
+      RunPolicyEvaluationGrid(configs, grid_options);
+  WriteGridArtifacts(args, "table3_storms", cells, results, worker_tracer.get(),
+                     &contention);
 
   std::printf("=== Table 3: probability of concurrent revocations (N=40 VMs) ===\n");
   std::printf("%-8s  %12s  %12s  %12s  %12s\n", "pools", "N/4", "N/2", "3N/4", "N");

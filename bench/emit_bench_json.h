@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace spotcheck {
@@ -55,6 +56,13 @@ class JsonEmitReporter : public benchmark::ConsoleReporter {
       return;
     }
     std::fprintf(out, "{\n");
+    // Machine context first: perf gates that consume this file (the grid
+    // scaling check) must judge ratios against the cores of the machine
+    // that MEASURED them, not whatever machine later runs the gate.
+    std::fprintf(out,
+                 "  \"_context\": {\"hardware_concurrency\": %u}%s\n",
+                 std::thread::hardware_concurrency(),
+                 entries_.empty() ? "" : ",");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       // items_per_second is only meaningful for benchmarks that set an item

@@ -98,14 +98,16 @@ inline void WriteCellRunReport(const std::string& dir, const std::string& bench,
 
 // Per-cell + grid-level artifacts: run reports (--run-report-dir), Chrome
 // traces (--trace-dir), one merged grid_summary.json next to the cell
-// directories of whichever artifact dir is active, and -- when the pool
-// profiled itself -- <trace-dir>/<bench>/grid_workers.json with one
-// wall-clock track per grid worker.
+// directories of whichever artifact dir is active (including the
+// per-worker "contention" breakdown when the runner produced one), and --
+// when the pool profiled itself -- <trace-dir>/<bench>/grid_workers.json
+// with one wall-clock track per grid worker.
 inline void WriteGridArtifacts(const GridBenchArgs& args,
                                const std::string& bench,
                                const std::vector<std::string>& cells,
                                const std::vector<EvaluationResult>& results,
-                               const SpanTracer* worker_tracer = nullptr) {
+                               const SpanTracer* worker_tracer = nullptr,
+                               const GridContentionReport* contention = nullptr) {
   if (args.run_report_dir.empty() && args.trace_dir.empty()) {
     return;
   }
@@ -136,7 +138,7 @@ inline void WriteGridArtifacts(const GridBenchArgs& args,
       !args.run_report_dir.empty() ? args.run_report_dir : args.trace_dir;
   const std::string summary_path =
       summary_root + "/" + bench + "/grid_summary.json";
-  if (!WriteGridSummary(summary_path, reports)) {
+  if (!WriteGridSummary(summary_path, reports, /*max_slowest=*/10, contention)) {
     std::fprintf(stderr, "warning: could not write grid summary %s\n",
                  summary_path.c_str());
   }
@@ -172,9 +174,12 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
   GridRunOptions grid_options;
   grid_options.jobs = args.jobs;
   grid_options.worker_tracer = worker_tracer.get();
+  GridContentionReport contention;
+  grid_options.contention = &contention;
   const std::vector<EvaluationResult> results =
       RunPolicyEvaluationGrid(configs, grid_options);
-  WriteGridArtifacts(args, csv_name, cells, results, worker_tracer.get());
+  WriteGridArtifacts(args, csv_name, cells, results, worker_tracer.get(),
+                     &contention);
 
   std::vector<std::string> csv_header = {"policy"};
   std::printf("%-10s", "policy");

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_grid_scaling.py (the CI grid-scaling gate).
+
+Covers the parse/compare path end to end via subprocess, including the exact
+failure mode that slipped through the old inline gate: a 0.93x measurement
+from a 4-core machine must FAIL, and a sub-4-core measurement must SKIP
+loudly (exit 0 with a SKIPPED marker), never silently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_grid_scaling.py")
+
+
+def bench_json(one_ns, four_ns, cores=4):
+    doc = {
+        "_context": {"hardware_concurrency": cores},
+        "BM_ParallelEvaluationGrid/1/real_time": {
+            "ns_per_op": one_ns,
+            "iterations": 10,
+        },
+        "BM_ParallelEvaluationGrid/4/real_time": {
+            "ns_per_op": four_ns,
+            "iterations": 10,
+        },
+    }
+    return json.dumps(doc)
+
+
+def run_gate(contents, *args):
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        f.write(contents)
+        path = f.name
+    try:
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *args],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        os.unlink(path)
+
+
+class GateTest(unittest.TestCase):
+    def test_passes_on_good_speedup(self):
+        # 3x speedup on 4 cores clears the default 2.5x bar.
+        proc = run_gate(bench_json(3_000_000, 1_000_000))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("PASSED", proc.stdout)
+
+    def test_fails_on_the_pre_fix_numbers(self):
+        # The measurement the old gate waved through: Grid/4 SLOWER than
+        # Grid/1 (8.62 ms vs 8.01 ms, 0.93x) on a 4-core machine.
+        proc = run_gate(bench_json(8_008_653, 8_619_119, cores=4))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("0.93x", proc.stderr)
+        self.assertIn("FAILED", proc.stderr)
+
+    def test_fails_just_below_threshold(self):
+        proc = run_gate(bench_json(2_490_000, 1_000_000),
+                        "--min-speedup=2.5")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_passes_at_exact_threshold(self):
+        proc = run_gate(bench_json(2_500_000, 1_000_000),
+                        "--min-speedup=2.5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_skips_loudly_below_four_cores(self):
+        # A bad ratio measured on 2 cores is not a regression -- but the
+        # skip must be printed, never silent.
+        proc = run_gate(bench_json(8_008_653, 8_619_119, cores=2))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("SKIPPED", proc.stdout)
+
+    def test_require_forbids_the_skip(self):
+        proc = run_gate(bench_json(8_008_653, 8_619_119, cores=2),
+                        "--require")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_cores_override_beats_json_context(self):
+        proc = run_gate(bench_json(8_008_653, 8_619_119, cores=2),
+                        "--cores=4")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_missing_grid_key_is_a_parse_error(self):
+        doc = {"_context": {"hardware_concurrency": 4}}
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("ERROR", proc.stderr)
+
+    def test_missing_ns_per_op_is_a_parse_error(self):
+        doc = json.loads(bench_json(1, 1))
+        del doc["BM_ParallelEvaluationGrid/4/real_time"]["ns_per_op"]
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_non_positive_timing_is_a_parse_error(self):
+        proc = run_gate(bench_json(1_000_000, 0))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_malformed_json_is_a_parse_error(self):
+        proc = run_gate("{not json")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_missing_file_is_a_parse_error(self):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "/nonexistent/BENCH.json"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 2)
+
+    def test_old_format_json_without_context_still_judged(self):
+        # Pre-PR7 BENCH_micro.json had no _context; the gate falls back to
+        # this machine's cores (forced with --cores here) with a warning.
+        doc = json.loads(bench_json(3_000_000, 1_000_000))
+        del doc["_context"]
+        proc = run_gate(json.dumps(doc), "--cores=4")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -45,6 +45,16 @@ class BillingMeter {
   // Total instance-hours across all streams, open ones evaluated at `now`.
   double TotalInstanceHours(SimTime now) const;
 
+  // Current MeanPrice-memo population (tests: the memo must stay bounded
+  // and must not grow across repeated identical queries).
+  size_t mean_price_memo_size() const { return mean_price_memo_.size(); }
+
+  // The memo clears itself rather than admit more distinct windows than
+  // this. High enough that a 180-day cell's recurring windows (storm-batch
+  // stops, batched acquisitions) all stay resident; low enough that
+  // per-probe one-off windows can't grow the meter for its whole life.
+  static constexpr size_t kMeanPriceMemoCap = 4096;
+
  private:
   struct Stream {
     SimTime started;
@@ -59,8 +69,9 @@ class BillingMeter {
   // MeanPrice over an identical (trace, started, until) window recurs
   // constantly: a revocation storm stops every same-market stream at the
   // same instant, and pool acquisitions start them in batches. Caching the
-  // exact computed double (never recomputing, so results stay bitwise
-  // identical) turns the duplicate O(window) trace walks into hash hits.
+  // exact computed double turns the duplicate O(window) trace walks into
+  // hash hits; evictions only ever force an exact recomputation, so results
+  // stay bitwise identical. Bounded by kMeanPriceMemoCap (clear-on-cap).
   struct Window {
     const PriceTrace* trace;
     int64_t started_us;

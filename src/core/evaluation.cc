@@ -1,6 +1,7 @@
 #include "src/core/evaluation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory_resource>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "src/chaos/chaos_engine.h"
 #include "src/chaos/fault_plan.h"
+#include "src/core/mapping_policy.h"
 #include "src/market/spot_market.h"
 #include "src/market/spot_price_process.h"
 #include "src/sim/simulator.h"
@@ -246,6 +248,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   }
   result.trace_cache_hits = markets.trace_cache_hits();
   result.trace_cache_misses = markets.trace_cache_misses();
+  result.trace_cache_lock_wait_ns = markets.trace_cache_lock_wait_ns();
   if (tracer != nullptr) {
     // Evacuations (etc.) still in flight at the horizon stay visible as
     // clamped, `truncated`-tagged spans rather than vanishing.
@@ -253,10 +256,42 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
     result.trace = tracer;
   }
   if (metrics != nullptr) {
+    const auto build_started = std::chrono::steady_clock::now();
     result.report = BuildRunReport(config, result, controller, chaos.get(),
                                    metrics, tracer);
+    result.report_build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - build_started)
+                                 .count();
   }
   return result;
+}
+
+std::vector<EvaluationTraceKey> EvaluationTraceKeys(
+    const EvaluationConfig& config) {
+  if (config.market_coupling > 0.0) {
+    // Correlated traces are pre-populated via AddWithTrace and never touch
+    // the catalog.
+    return {};
+  }
+  // Mirror the wiring above: the controller derives its pools from
+  // ControllerConfig defaults (nested_type) plus this config's policy and
+  // zone count, and NativeCloud fetches traces at horizon + 1 day with the
+  // config's seed.
+  const ControllerConfig defaults;
+  std::vector<AvailabilityZone> zones;
+  for (int i = 0; i < std::max(config.num_zones, 1); ++i) {
+    zones.push_back(AvailabilityZone{defaults.zone.index + i});
+  }
+  // Candidate enumeration ignores the Rng (only weighted ChoosePool draws
+  // from it), so any seed yields the same key set.
+  MappingPolicy mapping(config.policy, defaults.nested_type, zones, Rng(0));
+  const SimDuration horizon = config.horizon + SimDuration::Days(1);
+  std::vector<EvaluationTraceKey> keys;
+  keys.reserve(mapping.candidates().size());
+  for (const MarketKey& market : mapping.candidates()) {
+    keys.push_back(EvaluationTraceKey{market, horizon, config.seed});
+  }
+  return keys;
 }
 
 }  // namespace spotcheck

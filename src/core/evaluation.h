@@ -87,6 +87,12 @@ struct EvaluationResult {
   // excluded from determinism comparisons.
   int64_t trace_cache_hits = 0;
   int64_t trace_cache_misses = 0;
+  // Wall-clock diagnostics (excluded from determinism comparisons like the
+  // cache counters): time blocked on the shared TraceCatalog, and time spent
+  // building this cell's RunReport (the allocation-heavy tail of a cell; the
+  // grid's per-worker contention report aggregates both).
+  int64_t trace_cache_lock_wait_ns = 0;
+  int64_t report_build_ns = 0;
   // Full observability report (metrics, controller events, summary); null
   // when the config disabled metrics collection. Excluded from determinism
   // comparisons -- the numeric fields above are the contract.
@@ -98,6 +104,24 @@ struct EvaluationResult {
 };
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);
+
+// One (market, horizon, seed) tuple a cell will fetch from the process-wide
+// TraceCatalog.
+struct EvaluationTraceKey {
+  MarketKey market;
+  SimDuration horizon;
+  uint64_t seed = 0;
+};
+
+// The catalog keys `config`'s simulation resolves through MarketPlace::
+// GetOrCreate: the mapping policy's candidate pools across the config's
+// zones, at the horizon/seed NativeCloud passes through. Empty when the
+// config pre-populates correlated traces (market_coupling > 0), which
+// bypass the catalog. The grid runner generates these once, on the calling
+// thread, before spawning workers -- otherwise every cold worker piles onto
+// the single-flight generation of the same first trace.
+std::vector<EvaluationTraceKey> EvaluationTraceKeys(
+    const EvaluationConfig& config);
 
 }  // namespace spotcheck
 

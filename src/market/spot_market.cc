@@ -110,6 +110,7 @@ SpotMarket& MarketPlace::GetOrCreate(MarketKey key, SimDuration horizon,
     auto market = std::make_unique<SpotMarket>(
         key, TraceCatalog::Global().GetOrGenerate(key, horizon, seed, &lookup));
     ++(lookup.hit ? trace_cache_hits_ : trace_cache_misses_);
+    trace_cache_lock_wait_ns_ += lookup.lock_wait_ns;
     if (metrics_ != nullptr) {
       // Wall time this cell spent blocked on the shared catalog; observational
       // only (wall clock never feeds simulation state).

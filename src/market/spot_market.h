@@ -108,6 +108,9 @@ class MarketPlace {
   // freshly generated, for this MarketPlace only.
   int64_t trace_cache_hits() const { return trace_cache_hits_; }
   int64_t trace_cache_misses() const { return trace_cache_misses_; }
+  // Wall time this MarketPlace's fetches spent blocked on the shared
+  // catalog (shard mutexes + single-flight waits). Observational only.
+  int64_t trace_cache_lock_wait_ns() const { return trace_cache_lock_wait_ns_; }
 
  private:
   Simulator* sim_;
@@ -115,6 +118,7 @@ class MarketPlace {
   std::map<MarketKey, std::unique_ptr<SpotMarket>> markets_;
   int64_t trace_cache_hits_ = 0;
   int64_t trace_cache_misses_ = 0;
+  int64_t trace_cache_lock_wait_ns_ = 0;
 };
 
 }  // namespace spotcheck

@@ -40,7 +40,7 @@ struct SlowEvacuation {
 
 std::string BuildGridSummaryJson(
     const std::vector<std::shared_ptr<const RunReport>>& reports,
-    size_t max_slowest) {
+    size_t max_slowest, const GridContentionReport* contention) {
   std::vector<std::string> cells;
   // Key-sorted maps keep the document deterministic regardless of cell order.
   std::map<std::string, double> totals;
@@ -144,6 +144,45 @@ std::string BuildGridSummaryJson(
   }
   json.EndObject();
 
+  if (contention != nullptr) {
+    // Per-worker contention breakdown: where each grid worker's wall time
+    // went, and what the pool paid up front. The scaling-debug section --
+    // a worker whose catalog_lock_wait or report_build dwarfs the others'
+    // is the shared bottleneck.
+    json.Key("contention");
+    json.BeginObject();
+    json.Key("prewarm_traces");
+    json.Int(contention->prewarm_traces);
+    json.Key("prewarm_ms");
+    json.Double(static_cast<double>(contention->prewarm_ns) / 1e6);
+    json.Key("tracer_merge_ms");
+    json.Double(static_cast<double>(contention->tracer_merge_ns) / 1e6);
+    json.Key("total_ms");
+    json.Double(static_cast<double>(contention->total_ns) / 1e6);
+    json.Key("workers");
+    json.BeginArray();
+    for (const GridWorkerProfile& w : contention->workers) {
+      json.BeginObject();
+      json.Key("worker");
+      json.Int(w.worker);
+      json.Key("cells");
+      json.Int(w.cells);
+      json.Key("busy_ms");
+      json.Double(static_cast<double>(w.busy_ns) / 1e6);
+      json.Key("report_build_ms");
+      json.Double(static_cast<double>(w.report_build_ns) / 1e6);
+      json.Key("catalog_hits");
+      json.Int(w.catalog_hits);
+      json.Key("catalog_misses");
+      json.Int(w.catalog_misses);
+      json.Key("catalog_lock_wait_ms");
+      json.Double(static_cast<double>(w.catalog_lock_wait_ns) / 1e6);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
   json.Key("slowest_evacuations");
   json.BeginArray();
   for (const SlowEvacuation& evac : evacuations) {
@@ -169,7 +208,7 @@ std::string BuildGridSummaryJson(
 bool WriteGridSummary(
     const std::string& path,
     const std::vector<std::shared_ptr<const RunReport>>& reports,
-    size_t max_slowest) {
+    size_t max_slowest, const GridContentionReport* contention) {
   const std::filesystem::path fs_path(path);
   if (fs_path.has_parent_path()) {
     std::error_code ec;
@@ -179,7 +218,8 @@ bool WriteGridSummary(
   if (f == nullptr) {
     return false;
   }
-  const std::string text = BuildGridSummaryJson(reports, max_slowest);
+  const std::string text =
+      BuildGridSummaryJson(reports, max_slowest, contention);
   const bool write_ok =
       std::fwrite(text.data(), 1, text.size(), f) == text.size();
   const bool close_ok = std::fclose(f) == 0;

@@ -7,12 +7,13 @@
 
 namespace spotcheck {
 
-TraceTrackId SpanTracer::Track(std::string_view name) {
+TraceTrackId SpanTracer::Track(std::string_view name, TraceClock clock) {
   auto it = track_ids_.find(name);
   if (it != track_ids_.end()) {
     return it->second;
   }
   track_names_.emplace_back(name);
+  track_clocks_.push_back(clock);
   const TraceTrackId id = static_cast<TraceTrackId>(track_names_.size());
   track_ids_.emplace(std::string(name), id);
   return id;
@@ -97,14 +98,33 @@ void SpanTracer::CloseOpenSpans(SimTime at) {
 
 namespace {
 
-void WriteEventHeader(JsonWriter& json, std::string_view phase,
+// Sim-time tracks render as threads of process 1; wall-clock tracks as
+// threads of process 2. Two processes keep the two timebases from being
+// overlaid on one seemingly-shared timeline in Perfetto.
+constexpr int64_t kSimPid = 1;
+constexpr int64_t kWallPid = 2;
+
+void WriteEventHeader(JsonWriter& json, std::string_view phase, int64_t pid,
                       TraceTrackId track) {
   json.Key("ph");
   json.String(phase);
   json.Key("pid");
-  json.Int(1);
+  json.Int(pid);
   json.Key("tid");
   json.Int(track);
+}
+
+void WriteProcessName(JsonWriter& json, int64_t pid, std::string_view name) {
+  json.BeginObject();
+  WriteEventHeader(json, "M", pid, 0);
+  json.Key("name");
+  json.String("process_name");
+  json.Key("args");
+  json.BeginObject();
+  json.Key("name");
+  json.String(name);
+  json.EndObject();
+  json.EndObject();
 }
 
 }  // namespace
@@ -116,10 +136,23 @@ void SpanTracer::WriteChromeTraceJson(JsonWriter& json) const {
   json.Key("traceEvents");
   json.BeginArray();
 
+  bool any_wall = false;
+  for (const TraceClock clock : track_clocks_) {
+    any_wall = any_wall || clock == TraceClock::kWall;
+  }
+  WriteProcessName(json, kSimPid, "sim-time");
+  if (any_wall) {
+    WriteProcessName(json, kWallPid, "wall-clock (us since grid start)");
+  }
+
+  const auto pid_of = [this](TraceTrackId track) {
+    return TrackClockDomain(track) == TraceClock::kWall ? kWallPid : kSimPid;
+  };
+
   // One metadata event per track names the Perfetto "thread" it renders as.
   for (TraceTrackId track = 1; track <= track_names_.size(); ++track) {
     json.BeginObject();
-    WriteEventHeader(json, "M", track);
+    WriteEventHeader(json, "M", pid_of(track), track);
     json.Key("name");
     json.String("thread_name");
     json.Key("args");
@@ -132,7 +165,8 @@ void SpanTracer::WriteChromeTraceJson(JsonWriter& json) const {
 
   for (const TraceSpan& span : spans_) {
     json.BeginObject();
-    WriteEventHeader(json, span.instant ? "i" : "X", span.track);
+    WriteEventHeader(json, span.instant ? "i" : "X", pid_of(span.track),
+                     span.track);
     json.Key("name");
     json.String(span.name);
     if (!span.category.empty()) {

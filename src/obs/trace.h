@@ -49,6 +49,15 @@ class JsonWriter;
 using SpanId = uint32_t;
 using TraceTrackId = uint32_t;
 
+// Which clock a track's span timestamps come from. Almost every track is
+// kSim: timestamps are simulation time and comparable across tracks. The
+// grid worker-profile tracks are kWall: "wall microseconds since the grid
+// started", a different timebase entirely. Tagging the domain keeps the two
+// from being overlaid on one timeline (Chrome export renders wall tracks as
+// a separate process) or mixed into one latency distribution (AnalyzeTrace
+// reports wall-clock spans separately from sim-time percentiles).
+enum class TraceClock : uint8_t { kSim, kWall };
+
 // One typed span attribute: numeric or string (never both).
 struct TraceAttrValue {
   std::string key;
@@ -92,8 +101,10 @@ class SpanTracer {
   const TraceConfig& config() const { return config_; }
 
   // Interns `name` as a track (Perfetto "thread"); same name, same id.
-  // Convention: "sim", "vm/nvm-3", "host/i-17", "backup/bak-1".
-  TraceTrackId Track(std::string_view name);
+  // Convention: "sim", "vm/nvm-3", "host/i-17", "backup/bak-1". `clock`
+  // tags the track's timebase (see TraceClock) and is fixed at the first
+  // intern; re-interning an existing name ignores the argument.
+  TraceTrackId Track(std::string_view name, TraceClock clock = TraceClock::kSim);
 
   // Opens a span; End() closes it. parent 0 adopts the ambient parent.
   SpanId Begin(SimTime start, std::string_view name, std::string_view category,
@@ -140,6 +151,11 @@ class SpanTracer {
                ? std::string_view()
                : track_names_[track - 1];
   }
+  // A track's clock domain; unknown/zero ids read as kSim.
+  TraceClock TrackClockDomain(TraceTrackId track) const {
+    return track == 0 || track > track_clocks_.size() ? TraceClock::kSim
+                                                      : track_clocks_[track - 1];
+  }
 
   // Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
   // wrapper object), loadable in Perfetto UI / chrome://tracing. Tracks
@@ -156,6 +172,7 @@ class SpanTracer {
   TraceConfig config_;
   std::vector<TraceSpan> spans_;
   std::vector<std::string> track_names_;
+  std::vector<TraceClock> track_clocks_;  // parallel to track_names_
   std::map<std::string, TraceTrackId, std::less<>> track_ids_;
   std::vector<SpanId> parent_stack_;
 };
@@ -185,8 +202,9 @@ class ScopedTraceParent {
 
 // Null-tolerant recording helpers, mirroring MetricInc/MetricSet: every
 // instrumented component keeps a nullable SpanTracer* and calls these.
-inline TraceTrackId TraceTrack(SpanTracer* t, std::string_view name) {
-  return t != nullptr ? t->Track(name) : 0;
+inline TraceTrackId TraceTrack(SpanTracer* t, std::string_view name,
+                               TraceClock clock = TraceClock::kSim) {
+  return t != nullptr ? t->Track(name, clock) : 0;
 }
 inline SpanId TraceBegin(SpanTracer* t, SimTime start, std::string_view name,
                          std::string_view category, TraceTrackId track,

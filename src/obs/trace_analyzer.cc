@@ -77,13 +77,26 @@ TraceSummary AnalyzeTrace(const SpanTracer& tracer,
   summary.num_spans = static_cast<int64_t>(tracer.spans().size());
   summary.num_tracks = static_cast<int64_t>(tracer.track_names().size());
 
-  // Duration distribution per span name, instants excluded.
+  // Duration distribution per span name, instants excluded. Wall-clock
+  // tracks (the grid's worker-profile spans) use a different timebase, so
+  // they get their own distribution table instead of skewing the sim-time
+  // percentiles.
   std::map<std::string, std::vector<double>, std::less<>> durations;
+  std::map<std::string, std::vector<double>, std::less<>> wall_durations;
   // Direct children of each evacuation-class root, by root id.
   std::map<SpanId, std::vector<const TraceSpan*>> children_of;
   std::vector<const TraceSpan*> roots;
 
   for (const TraceSpan& span : tracer.spans()) {
+    const bool wall =
+        tracer.TrackClockDomain(span.track) == TraceClock::kWall;
+    if (wall) {
+      ++summary.num_wall_spans;
+      if (!span.instant) {
+        wall_durations[span.name].push_back(span.duration().seconds());
+      }
+      continue;  // never an evacuation root or a sim-time child
+    }
     if (!span.instant) {
       durations[span.name].push_back(span.duration().seconds());
     }
@@ -98,20 +111,27 @@ TraceSummary AnalyzeTrace(const SpanTracer& tracer,
     }
   }
 
-  for (auto& [name, values] : durations) {
-    std::sort(values.begin(), values.end());
-    SpanTypeStats stats;
-    stats.name = name;
-    stats.count = static_cast<int64_t>(values.size());
-    for (const double v : values) {
-      stats.total_s += v;
+  const auto fold = [](std::map<std::string, std::vector<double>,
+                                std::less<>>& table,
+                       std::vector<SpanTypeStats>& out) {
+    for (auto& [name, values] : table) {
+      std::sort(values.begin(), values.end());
+      SpanTypeStats stats;
+      stats.name = name;
+      stats.count = static_cast<int64_t>(values.size());
+      for (const double v : values) {
+        stats.total_s += v;
+      }
+      const size_t n = values.size();
+      stats.p50_s = values[(n - 1) / 2];
+      stats.p99_s =
+          values[static_cast<size_t>(0.99 * static_cast<double>(n - 1))];
+      stats.max_s = values.back();
+      out.push_back(std::move(stats));
     }
-    const size_t n = values.size();
-    stats.p50_s = values[(n - 1) / 2];
-    stats.p99_s = values[static_cast<size_t>(0.99 * static_cast<double>(n - 1))];
-    stats.max_s = values.back();
-    summary.span_types.push_back(std::move(stats));
-  }
+  };
+  fold(durations, summary.span_types);
+  fold(wall_durations, summary.wall_span_types);
 
   // Slowest evacuations first; ties broken by start then id so the order is
   // independent of span recording order across identical runs.
@@ -141,25 +161,36 @@ void TraceSummary::WriteJson(JsonWriter& json) const {
   json.Int(num_spans);
   json.Key("num_tracks");
   json.Int(num_tracks);
-
-  json.Key("span_types");
-  json.BeginObject();
-  for (const SpanTypeStats& stats : span_types) {
-    json.Key(stats.name);
-    json.BeginObject();
-    json.Key("count");
-    json.Int(stats.count);
-    json.Key("total_s");
-    json.Double(stats.total_s);
-    json.Key("p50_s");
-    json.Double(stats.p50_s);
-    json.Key("p99_s");
-    json.Double(stats.p99_s);
-    json.Key("max_s");
-    json.Double(stats.max_s);
-    json.EndObject();
+  if (num_wall_spans > 0) {
+    json.Key("num_wall_spans");
+    json.Int(num_wall_spans);
   }
-  json.EndObject();
+
+  const auto write_types = [&json](const std::vector<SpanTypeStats>& types) {
+    json.BeginObject();
+    for (const SpanTypeStats& stats : types) {
+      json.Key(stats.name);
+      json.BeginObject();
+      json.Key("count");
+      json.Int(stats.count);
+      json.Key("total_s");
+      json.Double(stats.total_s);
+      json.Key("p50_s");
+      json.Double(stats.p50_s);
+      json.Key("p99_s");
+      json.Double(stats.p99_s);
+      json.Key("max_s");
+      json.Double(stats.max_s);
+      json.EndObject();
+    }
+    json.EndObject();
+  };
+  json.Key("span_types");
+  write_types(span_types);
+  if (!wall_span_types.empty()) {
+    json.Key("wall_span_types");
+    write_types(wall_span_types);
+  }
 
   json.Key("slowest_evacuations");
   json.BeginArray();

@@ -49,8 +49,15 @@ struct EvacuationCriticalPath {
 struct TraceSummary {
   int64_t num_spans = 0;
   int64_t num_tracks = 0;
-  // Sorted by name for deterministic output.
+  // Spans on wall-clock tracks (TraceClock::kWall, e.g. the grid's
+  // worker-profile spans). They live on a different timebase, so they are
+  // excluded from `span_types` -- mixing them in skewed the sim-time
+  // percentiles -- and reported in `wall_span_types` instead.
+  int64_t num_wall_spans = 0;
+  // Sim-time spans only, sorted by name for deterministic output.
   std::vector<SpanTypeStats> span_types;
+  // Wall-clock spans (durations in wall seconds), sorted by name.
+  std::vector<SpanTypeStats> wall_span_types;
   // Slowest first (duration desc, start asc, root id asc as tiebreaks).
   std::vector<EvacuationCriticalPath> slowest_evacuations;
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <numeric>
 #include <vector>
 
 #include "src/market/trace_catalog.h"
+#include "src/obs/grid_summary.h"
+#include "src/obs/trace.h"
 
 namespace spotcheck {
 namespace {
@@ -110,6 +113,139 @@ TEST(ParallelEvaluationTest, ResolveJobsPrefersExplicitThenEnv) {
 
   ASSERT_EQ(unsetenv("SPOTCHECK_JOBS"), 0);
   EXPECT_GE(ResolveEvaluationJobs(0), 1);
+}
+
+TEST(ParallelEvaluationTest, ResolveJobsForCoversEveryFallback) {
+  // Explicit beats env beats hardware.
+  EXPECT_EQ(ResolveEvaluationJobsFor(3, "5", 8), 3);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "5", 8), 5);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, nullptr, 8), 8);
+  // hardware_concurrency() == 0 means "unknown": run serial, never guess.
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, nullptr, 0), 1);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "junk", 0), 1);
+  // Unparsable or non-positive env values fall through to hardware.
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "junk", 4), 4);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "0", 4), 4);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "-2", 4), 4);
+  EXPECT_EQ(ResolveEvaluationJobsFor(0, "", 4), 4);
+}
+
+TEST(ParallelEvaluationTest, NeverSpawnsMoreWorkersThanCells) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();  // 4 cells
+
+  GridContentionReport contention;
+  GridRunOptions options;
+  options.jobs = 16;  // far more than cells
+  options.contention = &contention;
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, options);
+  ASSERT_EQ(results.size(), configs.size());
+  // The pool is capped at one worker per cell; idle threads are never
+  // spawned just to satisfy --jobs.
+  EXPECT_EQ(contention.workers.size(), configs.size());
+
+  // A single-cell grid runs inline on the calling thread.
+  GridContentionReport single;
+  options.contention = &single;
+  RunPolicyEvaluationGrid({configs[0]}, options);
+  ASSERT_EQ(single.workers.size(), 1u);
+  EXPECT_EQ(single.workers[0].cells, 1);
+}
+
+TEST(ParallelEvaluationTest, PrewarmEliminatesWorkerCatalogMisses) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+
+  TraceCatalog::Global().Clear();
+  GridContentionReport contention;
+  GridRunOptions options;
+  options.jobs = 2;
+  options.contention = &contention;
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, options);
+
+  // The cold catalog was populated by the pre-warm pass, on the calling
+  // thread, before any worker spawned...
+  EXPECT_GT(contention.prewarm_traces, 0);
+  EXPECT_GE(contention.prewarm_ns, 0);
+  // ...so no cell ever waited on single-flight trace generation.
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(results[i].trace_cache_misses, 0);
+    EXPECT_GT(results[i].trace_cache_hits, 0);
+  }
+  const int64_t worker_misses = std::accumulate(
+      contention.workers.begin(), contention.workers.end(), int64_t{0},
+      [](int64_t sum, const GridWorkerProfile& w) {
+        return sum + w.catalog_misses;
+      });
+  EXPECT_EQ(worker_misses, 0);
+}
+
+TEST(ParallelEvaluationTest, PrewarmCanBeDisabled) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+  TraceCatalog::Global().Clear();
+  GridContentionReport contention;
+  GridRunOptions options;
+  options.jobs = 2;
+  options.prewarm_traces = false;
+  options.contention = &contention;
+  const std::vector<EvaluationResult> results =
+      RunPolicyEvaluationGrid(configs, options);
+  EXPECT_EQ(contention.prewarm_traces, 0);
+  EXPECT_EQ(contention.prewarm_ns, 0);
+  // Some worker had to generate the traces itself.
+  int64_t worker_misses = 0;
+  for (const GridWorkerProfile& w : contention.workers) {
+    worker_misses += w.catalog_misses;
+  }
+  EXPECT_GT(worker_misses, 0);
+  ASSERT_EQ(results.size(), configs.size());
+}
+
+TEST(ParallelEvaluationTest, ContentionReportAccountsForEveryCell) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+  GridContentionReport contention;
+  GridRunOptions options;
+  options.jobs = 2;
+  options.contention = &contention;
+  RunPolicyEvaluationGrid(configs, options);
+
+  ASSERT_EQ(contention.workers.size(), 2u);
+  int64_t total_cells = 0;
+  for (size_t w = 0; w < contention.workers.size(); ++w) {
+    const GridWorkerProfile& profile = contention.workers[w];
+    EXPECT_EQ(profile.worker, static_cast<int>(w));
+    total_cells += profile.cells;
+    if (profile.cells > 0) {
+      EXPECT_GT(profile.busy_ns, 0);
+      EXPECT_GT(profile.report_build_ns, 0);
+      EXPECT_LE(profile.report_build_ns, profile.busy_ns);
+    }
+  }
+  EXPECT_EQ(total_cells, static_cast<int64_t>(configs.size()));
+  EXPECT_GT(contention.total_ns, 0);
+}
+
+TEST(ParallelEvaluationTest, WorkerTracerRecordsOneWallSpanPerCell) {
+  const std::vector<EvaluationConfig> configs = SmallGrid();
+  SpanTracer tracer;
+  GridRunOptions options;
+  options.jobs = 2;
+  options.worker_tracer = &tracer;
+  GridContentionReport contention;
+  options.contention = &contention;
+  RunPolicyEvaluationGrid(configs, options);
+
+  ASSERT_EQ(tracer.spans().size(), configs.size());
+  for (const TraceSpan& span : tracer.spans()) {
+    EXPECT_EQ(span.name, "grid.cell");
+    // Worker-profile spans live on wall-clock tracks: their timebase is
+    // microseconds since the grid started, not simulated time, and must
+    // never be mixed into sim-time analysis.
+    EXPECT_EQ(tracer.TrackClockDomain(span.track), TraceClock::kWall);
+  }
+  // The merge happened (post-join, single-threaded) and was accounted.
+  EXPECT_GE(contention.tracer_merge_ns, 0);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/chaos_config.h"
 #include "src/core/evaluation.h"
 #include "src/core/parallel_evaluation.h"
 
@@ -77,6 +78,39 @@ TEST(GridJobsSweepTest, FullGridIsBitIdenticalAtOneTwoAndEightWorkers) {
       << "--jobs=2 changed a result";
   EXPECT_EQ(serial, Serialize(RunPolicyEvaluationGrid(configs, 8)))
       << "--jobs=8 changed a result";
+}
+
+// The --jobs x --chaos-level cross product: fault injection routes through
+// the same per-cell RNG streams as everything else, so a chaotic grid must
+// be exactly as scheduling-independent as a calm one. A 2x2 cell subset
+// keeps the 6-point sweep (2 chaos levels x 3 worker counts) affordable;
+// chaos level 2 exercises every injector class (instance failures, zone
+// outages, price shocks, capacity faults, backup degradation).
+TEST(GridJobsSweepTest, ChaosGridIsBitIdenticalAcrossJobs) {
+  for (const int chaos_level : {0, 2}) {
+    std::vector<EvaluationConfig> configs;
+    for (MappingPolicyKind policy :
+         {MappingPolicyKind::k1PM, MappingPolicyKind::k4PED}) {
+      for (MigrationMechanism mechanism :
+           {MigrationMechanism::kSpotCheckFullRestore,
+            MigrationMechanism::kSpotCheckLazyRestore}) {
+        EvaluationConfig config;
+        config.policy = policy;
+        config.mechanism = mechanism;
+        config.num_vms = 24;
+        config.horizon = SimDuration::Days(30);
+        config.seed = 7;
+        config.chaos = ChaosConfigForLevel(chaos_level);
+        configs.push_back(config);
+      }
+    }
+    SCOPED_TRACE("chaos level " + std::to_string(chaos_level));
+    const std::string serial = Serialize(RunPolicyEvaluationGrid(configs, 1));
+    EXPECT_EQ(serial, Serialize(RunPolicyEvaluationGrid(configs, 2)))
+        << "--jobs=2 changed a result at chaos level " << chaos_level;
+    EXPECT_EQ(serial, Serialize(RunPolicyEvaluationGrid(configs, 8)))
+        << "--jobs=8 changed a result at chaos level " << chaos_level;
+  }
 }
 
 }  // namespace

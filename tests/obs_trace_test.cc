@@ -145,15 +145,20 @@ TEST(SpanTracerTest, ChromeExportIsStructurallyValid) {
   EXPECT_EQ(doc.Find("displayTimeUnit")->str, "ms");
   const JsonValue* events = doc.Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  // 2 track-name metadata events + 3 spans.
-  ASSERT_EQ(events->array.size(), 5u);
+  // 1 process-name + 2 track-name metadata events + 3 spans.
+  ASSERT_EQ(events->array.size(), 6u);
 
-  const JsonValue& meta = events->array[0];
+  const JsonValue& process = events->array[0];
+  EXPECT_EQ(process.Find("ph")->str, "M");
+  EXPECT_EQ(process.Find("name")->str, "process_name");
+  EXPECT_EQ(process.Find("args")->Find("name")->str, "sim-time");
+
+  const JsonValue& meta = events->array[1];
   EXPECT_EQ(meta.Find("ph")->str, "M");
   EXPECT_EQ(meta.Find("name")->str, "thread_name");
   EXPECT_EQ(meta.Find("args")->Find("name")->str, "vm/nvm-1");
 
-  const JsonValue& root_event = events->array[2];
+  const JsonValue& root_event = events->array[3];
   EXPECT_EQ(root_event.Find("ph")->str, "X");
   EXPECT_EQ(root_event.Find("name")->str, "evacuation");
   EXPECT_EQ(root_event.Find("cat")->str, "core");
@@ -165,11 +170,11 @@ TEST(SpanTracerTest, ChromeExportIsStructurallyValid) {
   EXPECT_EQ(args->Find("mechanism")->str, "spotcheck-lazy-restore");
   EXPECT_DOUBLE_EQ(args->Find("downtime_s")->number, 1.5);
 
-  const JsonValue& child = events->array[3];
+  const JsonValue& child = events->array[4];
   EXPECT_DOUBLE_EQ(child.Find("tid")->number, host);
   EXPECT_DOUBLE_EQ(child.Find("args")->Find("parent")->number, root);
 
-  const JsonValue& instant = events->array[4];
+  const JsonValue& instant = events->array[5];
   EXPECT_EQ(instant.Find("ph")->str, "i");
   EXPECT_EQ(instant.Find("s")->str, "t");
   EXPECT_EQ(instant.Find("dur"), nullptr);
@@ -263,6 +268,120 @@ TEST(TraceAnalyzerTest, CriticalPathCoversChildrenWaitsAndTail) {
   EXPECT_DOUBLE_EQ(doc.Find("num_spans")->number,
                    static_cast<double>(summary.num_spans));
   EXPECT_EQ(doc.Find("slowest_evacuations")->array.size(), 2u);
+}
+
+TEST(SpanTracerTest, TracksRememberTheirClockDomain) {
+  SpanTracer tracer;
+  const TraceTrackId vm = tracer.Track("vm/nvm-1");
+  const TraceTrackId worker = tracer.Track("grid/worker-0", TraceClock::kWall);
+  EXPECT_EQ(tracer.TrackClockDomain(vm), TraceClock::kSim);
+  EXPECT_EQ(tracer.TrackClockDomain(worker), TraceClock::kWall);
+  // Re-resolving an existing track keeps its original domain; the clock is
+  // fixed at first registration.
+  EXPECT_EQ(tracer.Track("grid/worker-0"), worker);
+  EXPECT_EQ(tracer.TrackClockDomain(worker), TraceClock::kWall);
+  // Unknown ids (including the null track 0) read as sim-time.
+  EXPECT_EQ(tracer.TrackClockDomain(0), TraceClock::kSim);
+  EXPECT_EQ(tracer.TrackClockDomain(99), TraceClock::kSim);
+}
+
+TEST(SpanTracerTest, ChromeExportSplitsClockDomainsIntoProcesses) {
+  // Worker-profile spans are wall-clock; simulation spans are sim-time.
+  // Rendering them as one Perfetto process would place microseconds-since-
+  // grid-start next to simulated seconds on the same axis, so the export
+  // must keep the two domains in separate processes.
+  SpanTracer tracer;
+  const TraceTrackId vm = tracer.Track("vm/nvm-1");
+  const TraceTrackId worker = tracer.Track("grid/worker-0", TraceClock::kWall);
+  tracer.AddSpan(At(10), At(12), "evacuation", "core", vm);
+  tracer.AddSpan(At(0.5), At(0.9), "grid.cell", "grid", worker);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeTraceJson(), &doc));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 process-name + 2 thread-name metadata events + 2 spans.
+  ASSERT_EQ(events->array.size(), 6u);
+
+  double sim_pid = 0.0, wall_pid = 0.0;
+  for (size_t i = 0; i < 2; ++i) {
+    const JsonValue& process = events->array[i];
+    ASSERT_EQ(process.Find("name")->str, "process_name");
+    const std::string& name = process.Find("args")->Find("name")->str;
+    if (name == "sim-time") {
+      sim_pid = process.Find("pid")->number;
+    } else {
+      EXPECT_EQ(name, "wall-clock (us since grid start)");
+      wall_pid = process.Find("pid")->number;
+    }
+  }
+  EXPECT_NE(sim_pid, 0.0);
+  EXPECT_NE(wall_pid, 0.0);
+  EXPECT_NE(sim_pid, wall_pid);
+
+  for (size_t i = 2; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    const bool on_worker = event.Find("tid")->number == worker;
+    EXPECT_DOUBLE_EQ(event.Find("pid")->number, on_worker ? wall_pid : sim_pid);
+  }
+}
+
+TEST(TraceAnalyzerTest, WallSpansStayOutOfSimPercentiles) {
+  // A grid cell's wall-clock runtime is milliseconds; a simulated evacuation
+  // is seconds. Folding both into one histogram skews every percentile, so
+  // the analyzer buckets wall-track spans separately.
+  SpanTracer tracer;
+  const TraceTrackId vm = tracer.Track("vm/nvm-1");
+  const TraceTrackId worker = tracer.Track("grid/worker-0", TraceClock::kWall);
+  tracer.AddSpan(At(10), At(12), "evac.commit", "core", vm);
+  tracer.AddSpan(At(20), At(23), "evac.commit", "core", vm);
+  for (int i = 0; i < 3; ++i) {
+    tracer.AddSpan(At(i), At(i + 0.25), "grid.cell", "grid", worker);
+  }
+
+  const TraceSummary summary = AnalyzeTrace(tracer);
+  EXPECT_EQ(summary.num_spans, 5u);
+  EXPECT_EQ(summary.num_wall_spans, 3);
+
+  // Sim-side stats see only the two evacuation commits...
+  const SpanTypeStats* commit = summary.FindType("evac.commit");
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(commit->count, 2);
+  EXPECT_DOUBLE_EQ(commit->total_s, 5.0);
+  EXPECT_EQ(summary.FindType("grid.cell"), nullptr);
+
+  // ...and the cell spans land in the wall-clock bucket instead.
+  ASSERT_EQ(summary.wall_span_types.size(), 1u);
+  const SpanTypeStats& cell = summary.wall_span_types[0];
+  EXPECT_EQ(cell.name, "grid.cell");
+  EXPECT_EQ(cell.count, 3);
+  EXPECT_DOUBLE_EQ(cell.total_s, 0.75);
+
+  JsonWriter json;
+  summary.WriteJson(json);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json.str(), &doc)) << json.str();
+  EXPECT_DOUBLE_EQ(doc.Find("num_wall_spans")->number, 3.0);
+  const JsonValue* wall_types = doc.Find("wall_span_types");
+  ASSERT_NE(wall_types, nullptr);
+  ASSERT_EQ(wall_types->object.size(), 1u);
+  EXPECT_DOUBLE_EQ(wall_types->Find("grid.cell")->Find("count")->number, 3.0);
+  // The sim-time table must not have absorbed the worker spans.
+  EXPECT_EQ(doc.Find("span_types")->Find("grid.cell"), nullptr);
+}
+
+TEST(TraceAnalyzerTest, AllSimTraceOmitsWallSections) {
+  SpanTracer tracer;
+  tracer.AddSpan(At(1), At(2), "evac.commit", "core", tracer.Track("vm/1"));
+  const TraceSummary summary = AnalyzeTrace(tracer);
+  EXPECT_EQ(summary.num_wall_spans, 0);
+  EXPECT_TRUE(summary.wall_span_types.empty());
+  JsonWriter json;
+  summary.WriteJson(json);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json.str(), &doc)) << json.str();
+  EXPECT_EQ(doc.Find("num_wall_spans"), nullptr);
+  EXPECT_EQ(doc.Find("wall_span_types"), nullptr);
 }
 
 }  // namespace
