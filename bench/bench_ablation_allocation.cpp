@@ -6,10 +6,14 @@
 #include <cstdio>
 
 #include "bench/grid_util.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Ablation: allocation strategy (40 VMs, six months) ===\n");
   std::printf("%-10s %12s %12s %12s %10s %10s\n", "policy", "cost($/hr)",
               "unavail(%)", "degr(%)", "revocs", "backups");

@@ -6,10 +6,14 @@
 #include <cstdio>
 
 #include "bench/grid_util.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Ablation: bidding policy (1P-M over the four m3 pools) ===\n");
   std::printf("%-22s %-10s %10s %10s %12s %12s %12s\n", "bid", "proactive",
               "revocs", "proact", "cost($/hr)", "unavail(%)", "degr(%)");

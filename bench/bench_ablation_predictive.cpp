@@ -9,10 +9,14 @@
 #include "bench/grid_util.h"
 #include "src/market/revocation_predictor.h"
 #include "src/market/spot_price_process.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Predictor quality per market (six months, bid = on-demand)"
               " ===\n");
   std::printf("%-12s %10s %10s %10s %14s\n", "market", "crossings", "predicted",

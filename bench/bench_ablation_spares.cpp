@@ -9,10 +9,14 @@
 #include <cstdio>
 
 #include "bench/grid_util.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Ablation: storm absorption & stateless mode (4P-ED, six"
               " months) ===\n");
   std::printf("%-22s %12s %12s %10s %10s %10s %10s\n", "variant", "cost($/hr)",

@@ -10,10 +10,14 @@
 #include "bench/csv_out.h"
 #include "src/market/market_analytics.h"
 #include "src/market/spot_price_process.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Figure 1: m1.small spot price trace (2.5 days) ===\n");
   const MarketKey market{InstanceType::kM1Small, AvailabilityZone{0}};
   const double od = OnDemandPrice(market.type);

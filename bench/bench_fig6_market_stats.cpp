@@ -11,6 +11,7 @@
 #include "bench/csv_out.h"
 #include "src/market/market_analytics.h"
 #include "src/market/spot_price_process.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
@@ -133,7 +134,10 @@ void PrintFig6d() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Figure 6: spot market price dynamics (six months) ===\n\n");
   PrintFig6a();
   PrintFig6b();

@@ -10,10 +10,14 @@
 #include "bench/csv_out.h"
 #include "src/backup/backup_server.h"
 #include "src/workload/workload_model.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Figure 7: VMs per backup server vs application performance ===\n");
   std::printf("%-6s  %-22s  %-22s\n", "VMs", "SPECjbb tput (bops)",
               "TPC-W resp. time (ms)");

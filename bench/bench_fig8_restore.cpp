@@ -9,6 +9,7 @@
 #include "bench/csv_out.h"
 #include "src/backup/backup_server.h"
 #include "src/virt/migration_models.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
@@ -27,7 +28,10 @@ RestoreOutcome Restore(const BackupServer& server, RestoreKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   const BackupServer server(BackupServerId(1), InstanceType::kM3Xlarge,
                             BackupServerPerf{}, 40);
 

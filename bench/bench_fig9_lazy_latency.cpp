@@ -8,10 +8,14 @@
 #include "bench/csv_out.h"
 #include "src/backup/backup_server.h"
 #include "src/workload/workload_model.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Figure 9: TPC-W response time during lazy restoration ===\n");
   std::printf("%-12s  %-24s\n", "concurrent", "TPC-W resp. time (ms)");
 

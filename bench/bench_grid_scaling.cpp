@@ -72,12 +72,8 @@ int Run(int argc, const char* const* argv) {
   const int max_jobs = std::max(1, static_cast<int>(flags.GetInt("max-jobs", 8)));
   const std::string out_path =
       flags.GetString("out", "BENCH_grid_scaling.json");
-  for (const std::string& flag : flags.UnconsumedFlags()) {
-    std::fprintf(stderr,
-                 "warning: unknown flag --%s (supported: --horizon-days=N, "
-                 "--num-vms=N, --repeats=N, --max-jobs=N, --out=PATH)\n",
-                 flag.c_str());
-  }
+  flags.ExitIfUnknownFlags(
+      "--horizon-days=N, --num-vms=N, --repeats=N, --max-jobs=N, --out=PATH");
 
   const std::vector<EvaluationConfig> configs =
       SweepGrid(horizon_days, num_vms);
@@ -114,8 +110,19 @@ int Run(int argc, const char* const* argv) {
   }
 
   const unsigned cores = std::thread::hardware_concurrency();
+  // A machine with fewer cores than the widest sweep point cannot measure a
+  // meaningful speedup; mark the artifact so nobody reads a 0.29x "regression"
+  // off a 1-core box (and so check_grid_scaling.py can call it out).
+  const bool unreliable = cores < static_cast<unsigned>(max_jobs);
   std::printf("grid scaling sweep: %zu cells, %d-day horizon, %u cores\n",
               configs.size(), horizon_days, cores);
+  if (unreliable) {
+    std::fprintf(stderr,
+                 "WARNING: only %u hardware threads for a --max-jobs=%d sweep; "
+                 "speedups below are NOT meaningful (marking the JSON "
+                 "_context.unreliable)\n",
+                 cores, max_jobs);
+  }
   std::printf("%8s  %12s  %8s\n", "jobs", "cells/s", "speedup");
   for (const SweepPoint& point : points) {
     std::printf("%8d  %12.1f  %7.2fx\n", point.jobs, point.cells_per_second,
@@ -128,6 +135,12 @@ int Run(int argc, const char* const* argv) {
   json.BeginObject();
   json.Key("hardware_concurrency");
   json.Int(static_cast<int64_t>(cores));
+  json.Key("max_jobs");
+  json.Int(max_jobs);
+  if (unreliable) {
+    json.Key("unreliable");
+    json.Bool(true);
+  }
   json.Key("cells");
   json.Int(static_cast<int64_t>(configs.size()));
   json.Key("horizon_days");

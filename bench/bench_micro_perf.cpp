@@ -143,7 +143,7 @@ void BM_PlacementFindHostAt1kHosts(benchmark::State& state) {
   VirtualPrivateCloud vpc;
   HostNetworkPlane network;
   ConnectionTracker connections;
-  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms;
+  FleetTable<NestedVmTag, NestedVm> vms;
   ControllerContext ctx;
   ctx.sim = &sim;
   ctx.cloud = &cloud;
@@ -174,11 +174,8 @@ void BM_PlacementFindHostAt1kHosts(benchmark::State& state) {
   const CustomerId customer = customer_ids.Next();
   auto new_vm = [&]() -> NestedVm& {
     const NestedVmId id = vm_ids.Next();
-    auto vm = std::make_unique<NestedVm>(
-        id, customer, MakeVmSpec(config.nested_type, config.workload));
-    NestedVm& ref = *vm;
-    vms[id] = std::move(vm);
-    return ref;
+    return vms.Emplace(id, id, customer,
+                       MakeVmSpec(config.nested_type, config.workload));
   };
 
   constexpr int kMarkets = 4;

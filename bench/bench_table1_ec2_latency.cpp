@@ -6,10 +6,14 @@
 
 #include "src/cloud/latency_model.h"
 #include "src/common/stats.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("=== Table 1: operation latency on the native cloud (m3.medium) ===\n");
   std::printf("%-26s %10s %10s %10s %10s   %s\n", "operation", "median(s)",
               "mean(s)", "max(s)", "min(s)", "paper median/mean");

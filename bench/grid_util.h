@@ -61,7 +61,7 @@ struct GridBenchArgs {
 };
 
 // Parses --jobs=N, --run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L,
-// --chaos-seed=S; warns on unknown flags.
+// --chaos-seed=S; any unknown flag is a typo and exits 2.
 inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
   GridBenchArgs args;
@@ -70,13 +70,9 @@ inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   args.trace_dir = flags.GetString("trace-dir", "");
   args.chaos_level = static_cast<int>(flags.GetInt("chaos-level", 0));
   args.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed", 1337));
-  for (const std::string& flag : flags.UnconsumedFlags()) {
-    std::fprintf(stderr,
-                 "warning: unknown flag --%s (supported: --jobs=N, "
-                 "--run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L, "
-                 "--chaos-seed=S)\n",
-                 flag.c_str());
-  }
+  flags.ExitIfUnknownFlags(
+      "--jobs=N, --run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L, "
+      "--chaos-seed=S");
   return args;
 }
 

@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   const double days = static_cast<double>(flags.GetInt("days", 30));
   const int vms = static_cast<int>(flags.GetInt("vms", 40));
   const bool print_plan = flags.GetBool("print-plan", false);
+  flags.ExitIfUnknownFlags(
+      "--chaos-level=L, --chaos-seed=S, --seed=N, --days=N, --vms=N, "
+      "--print-plan");
 
   EvaluationConfig config;
   config.num_vms = vms;

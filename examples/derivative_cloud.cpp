@@ -12,10 +12,14 @@
 
 #include "src/core/controller.h"
 #include "src/sim/simulator.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   Simulator sim;
   MarketPlace markets(&sim);
   NativeCloudConfig cloud_config;

@@ -12,10 +12,14 @@
 #include <cstdio>
 
 #include "src/core/evaluation.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   std::printf("portfolio comparison: 40 VMs, two simulated months, bid ="
               " on-demand price\n\n");
   std::printf("%-9s %12s %14s %12s %12s %14s\n", "policy", "cost($/hr)",

@@ -15,6 +15,7 @@
 
 #include "src/core/controller.h"
 #include "src/sim/simulator.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
@@ -28,7 +29,10 @@ PriceTrace Flat(double price) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   Simulator sim;
   MarketPlace markets(&sim);
   const AvailabilityZone zone{0};

@@ -5,7 +5,7 @@
 // and optionally the controller's state dump. All of Section 6's knobs are
 // flags:
 //
-//   $ ./examples/spotcheck_cli --policy=4P-ED --mechanism=lazy --days=180 \
+//   $ ./examples/spotcheck_cli --policy=4P-ED --mechanism=lazy --days=180
 //         --vms=40 --seed=2 --staging --predictive --zones=2 --dump --events=timeline.csv
 //
 // Policies:   1P-M 2P-ML 4P-ED 4P-COST 4P-ST GREEDY STABLE
@@ -118,10 +118,7 @@ int main(int argc, char** argv) {
   const bool dump = flags.GetBool("dump", false);
   const std::string events_path = flags.GetString("events", "");
 
-  for (const std::string& typo : flags.UnconsumedFlags()) {
-    std::fprintf(stderr, "unknown flag: --%s\n", typo.c_str());
-    return 2;
-  }
+  flags.ExitIfUnknownFlags();
 
   const CustomerId customer = controller.RegisterCustomer("cli");
   sim.RunUntil(SimTime() + SimDuration::Days(7));  // price history warm-up

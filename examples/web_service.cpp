@@ -16,6 +16,7 @@
 #include "src/market/market_analytics.h"
 #include "src/sim/simulator.h"
 #include "src/workload/workload_model.h"
+#include "src/common/flags.h"
 
 using namespace spotcheck;
 
@@ -36,7 +37,10 @@ PriceTrace MonthWithSpikes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This binary takes no flags; reject typos instead of ignoring them.
+  FlagParser(argc, argv).ExitIfUnknownFlags();
+
   const SimDuration horizon = SimDuration::Days(30);
   const double od_price = OnDemandPrice(kPool.type);
   const PriceTrace trace = MonthWithSpikes();

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_fleet_scale.py (the CI fleet-scale gate).
+
+Covers the parse/judge path end to end via subprocess: the bytes/VM budget
+and events/s floor at the 10k tier, the flat-memory growth check against
+the 100k tier, the smoke-run case (100k absent skips growth, never the
+budget), and every malformed-input mode as a distinct exit 2.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_fleet_scale.py")
+
+
+def tier(num_vms, bytes_per_vm, events_per_second, invariants_ok=True):
+    return {
+        "num_vms": num_vms,
+        "running_vms": num_vms,
+        "bytes_per_vm": bytes_per_vm,
+        "events_per_second": events_per_second,
+        "invariants_ok": invariants_ok,
+    }
+
+
+def bench_json(base_bytes=2000.0, base_events=100000.0, scale_bytes=2050.0,
+               include_scale=True):
+    doc = {
+        "_context": {"hardware_concurrency": 4},
+        "tiers/10000": tier(10000, base_bytes, base_events),
+    }
+    if include_scale:
+        doc["tiers/100000"] = tier(100000, scale_bytes, base_events)
+    return doc
+
+
+def run_gate(contents, *args):
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        f.write(contents)
+        path = f.name
+    try:
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *args],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        os.unlink(path)
+
+
+class GateTest(unittest.TestCase):
+    def test_passes_on_flat_memory_and_good_throughput(self):
+        proc = run_gate(json.dumps(bench_json()))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("PASSED", proc.stdout)
+
+    def test_fails_over_the_bytes_budget(self):
+        proc = run_gate(json.dumps(bench_json(base_bytes=9000.0)))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("budget", proc.stderr)
+
+    def test_fails_below_the_events_floor(self):
+        proc = run_gate(json.dumps(bench_json(base_events=500.0)))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("floor", proc.stderr)
+
+    def test_fails_when_bytes_per_vm_grows_with_fleet_size(self):
+        # 2000 -> 2500 bytes/VM from 10k to 100k is a 1.25x growth: per-VM
+        # memory is no longer flat, exactly what the SoA refactor bought.
+        proc = run_gate(json.dumps(bench_json(scale_bytes=2500.0)))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("no longer flat", proc.stderr)
+
+    def test_growth_just_inside_the_allowance_passes(self):
+        proc = run_gate(json.dumps(bench_json(scale_bytes=2199.0)))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_smoke_run_without_100k_tier_skips_growth_only(self):
+        proc = run_gate(json.dumps(bench_json(include_scale=False)))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("growth check", proc.stdout)
+        self.assertIn("skipped", proc.stdout)
+
+    def test_smoke_run_still_enforces_the_budget(self):
+        proc = run_gate(
+            json.dumps(bench_json(base_bytes=9000.0, include_scale=False))
+        )
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_failed_invariants_fail_the_gate(self):
+        doc = bench_json()
+        doc["tiers/10000"]["invariants_ok"] = False
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("invariants", proc.stderr)
+
+    def test_failed_invariants_at_100k_fail_the_gate(self):
+        doc = bench_json()
+        doc["tiers/100000"]["invariants_ok"] = False
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_thresholds_are_flag_adjustable(self):
+        proc = run_gate(
+            json.dumps(bench_json(base_bytes=9000.0)),
+            "--max-bytes-per-vm=10000",
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_10k_tier_is_a_parse_error(self):
+        proc = run_gate(json.dumps({"_context": {}}))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("ERROR", proc.stderr)
+
+    def test_missing_bytes_field_is_a_parse_error(self):
+        doc = bench_json()
+        del doc["tiers/10000"]["bytes_per_vm"]
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_non_positive_events_is_a_parse_error(self):
+        proc = run_gate(json.dumps(bench_json(base_events=0)))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_malformed_json_is_a_parse_error(self):
+        proc = run_gate("{not json")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_missing_file_is_a_parse_error(self):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "/nonexistent/BENCH.json"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

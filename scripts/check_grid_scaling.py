@@ -62,6 +62,18 @@ def ns_per_op(bench, key, path):
     return float(value)
 
 
+def self_marked_unreliable(bench):
+    """True when the producing bench marked its own numbers meaningless.
+
+    bench_grid_scaling writes "_context.unreliable": true when the measuring
+    machine had fewer hardware threads than the widest sweep point (e.g. a
+    1-core box sweeping to 8 jobs). Such a file must never be judged as a
+    pass OR a fail -- it is an under-provisioned measurement.
+    """
+    context = bench.get("_context")
+    return isinstance(context, dict) and context.get("unreliable") is True
+
+
 def measured_cores(bench, override):
     if override is not None:
         return override
@@ -113,6 +125,22 @@ def main(argv=None):
         f"check_grid_scaling: Grid/4 vs Grid/1 speedup {speedup:.2f}x "
         f"(need >= {args.min_speedup:.2f}x) on a {cores}-core measurement"
     )
+    if self_marked_unreliable(bench):
+        if args.require:
+            print(
+                "check_grid_scaling: FAILED: --require set but the "
+                "benchmark JSON is self-marked _context.unreliable "
+                "(under-provisioned measurement machine)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "check_grid_scaling: UNDER-PROVISIONED: SKIPPED: the benchmark "
+            "JSON is self-marked _context.unreliable -- the measuring "
+            "machine had fewer cores than the sweep width, so its speedups "
+            "are meaningless. Re-measure on a bigger machine."
+        )
+        return 0
     if cores < 4:
         if args.require:
             print(
@@ -122,9 +150,10 @@ def main(argv=None):
             )
             return 1
         print(
-            f"check_grid_scaling: SKIPPED: measurement machine has {cores} "
-            f"cores (< 4); the ratio is not meaningful there. Run the gate "
-            f"against a >=4-core measurement to enforce it."
+            f"check_grid_scaling: UNDER-PROVISIONED: SKIPPED: measurement "
+            f"machine has {cores} cores (< 4); the ratio is not meaningful "
+            f"there. Run the gate against a >=4-core measurement to "
+            f"enforce it."
         )
         return 0
     if speedup < args.min_speedup:

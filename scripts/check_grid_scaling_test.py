@@ -76,10 +76,31 @@ class GateTest(unittest.TestCase):
 
     def test_skips_loudly_below_four_cores(self):
         # A bad ratio measured on 2 cores is not a regression -- but the
-        # skip must be printed, never silent.
+        # skip must be printed, never silent, and must name the distinct
+        # cause (an under-provisioned measurement machine).
         proc = run_gate(bench_json(8_008_653, 8_619_119, cores=2))
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertIn("SKIPPED", proc.stdout)
+        self.assertIn("UNDER-PROVISIONED", proc.stdout)
+
+    def test_self_marked_unreliable_reports_distinctly(self):
+        # bench_grid_scaling marks its JSON _context.unreliable when the
+        # machine had fewer cores than the sweep width (the committed 1-core
+        # 0.29x artifact). The gate must report that distinctly, not judge
+        # the numbers -- even when hardware_concurrency itself is >= 4.
+        doc = json.loads(bench_json(8_008_653, 8_619_119, cores=8))
+        doc["_context"]["unreliable"] = True
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("UNDER-PROVISIONED", proc.stdout)
+        self.assertIn("unreliable", proc.stdout)
+
+    def test_require_forbids_self_marked_unreliable(self):
+        doc = json.loads(bench_json(3_000_000, 1_000_000, cores=8))
+        doc["_context"]["unreliable"] = True
+        proc = run_gate(json.dumps(doc), "--require")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unreliable", proc.stderr)
 
     def test_require_forbids_the_skip(self):
         proc = run_gate(bench_json(8_008_653, 8_619_119, cores=2),

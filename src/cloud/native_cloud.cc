@@ -57,7 +57,7 @@ SpotMarket& NativeCloud::MarketFor(MarketKey key) {
 InstanceId NativeCloud::RequestSpotInstance(MarketKey market, double bid,
                                             InstanceReadyCallback ready) {
   const InstanceId id = instance_ids_.Next();
-  Instance& instance = instances_[id];
+  Instance& instance = instances_.Emplace(id);
   instance.id = id;
   instance.market = market;
   instance.mode = BillingMode::kSpot;
@@ -77,7 +77,7 @@ InstanceId NativeCloud::RequestSpotInstance(MarketKey market, double bid,
 InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
                                                 InstanceReadyCallback ready) {
   const InstanceId id = instance_ids_.Next();
-  Instance& instance = instances_[id];
+  Instance& instance = instances_.Emplace(id);
   instance.id = id;
   instance.market = market;
   instance.mode = BillingMode::kOnDemand;
@@ -90,8 +90,9 @@ InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
     TraceAttrStr(config_.tracer, TraceOp("cloud.launch_ondemand", id, delay),
                  "market", market.ToString());
     sim_->ScheduleAfter(delay, [this, id, ready = std::move(ready)]() {
-      instances_[id].state = InstanceState::kTerminated;
-      instances_[id].terminated_at = sim_->Now();
+      Instance& failed = instances_.At(id);
+      failed.state = InstanceState::kTerminated;
+      failed.terminated_at = sim_->Now();
       MetricInc(launch_failures_metric_);
       if (ready) {
         ready(id, false);
@@ -110,7 +111,7 @@ InstanceId NativeCloud::RequestOnDemandInstance(MarketKey market,
 }
 
 void NativeCloud::OnInstanceStarted(InstanceId id, InstanceReadyCallback ready) {
-  Instance& instance = instances_[id];
+  Instance& instance = instances_.At(id);
   if (instance.state == InstanceState::kTerminated || !ZoneAvailable(instance.market.zone)) {
     // Terminated while still pending, or the zone went down.
     instance.state = InstanceState::kTerminated;
@@ -182,7 +183,7 @@ void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
   double min_bid = std::numeric_limits<double>::infinity();
   size_t kept = 0;
   for (InstanceId id : bucket.ids) {
-    const Instance& instance = instances_[id];
+    const Instance& instance = instances_.At(id);
     if (instance.state != InstanceState::kRunning) {
       continue;  // warned or terminated: drop from the index
     }
@@ -195,18 +196,35 @@ void NativeCloud::OnMarketPriceChange(MarketKey key, double price) {
   }
   bucket.ids.resize(kept);
   bucket.min_bid = min_bid;
-  for (InstanceId id : to_warn) {
-    WarnAndScheduleTermination(instances_[id]);
+  if (to_warn.empty()) {
+    to_warn_scratch_ = std::move(to_warn);
+    return;
   }
-  to_warn_scratch_ = std::move(to_warn);
+  const SimTime deadline = sim_->Now() + config_.revocation_warning;
+  for (InstanceId id : to_warn) {
+    WarnInstance(instances_.At(id), deadline);
+  }
+  // ONE terminator event for the whole warned cohort. A price spike that
+  // revokes 100k hosts used to schedule 100k termination events; batching
+  // preserves the replay order exactly -- ForceTerminate draws no RNG and
+  // schedules no events, and the per-instance terminators all carried the
+  // same timestamp and consecutive sequence numbers, so collapsing them
+  // into one in-order loop leaves every other event's relative order
+  // unchanged. The warned cohort's vector moves into the event; the scratch
+  // buffer regrows on the next warning sweep (compaction-only sweeps, the
+  // overwhelming majority, still reuse it via the empty-return above).
+  sim_->ScheduleAt(deadline, [this, cohort = std::move(to_warn)]() {
+    for (InstanceId id : cohort) {
+      ForceTerminate(id);
+    }
+  });
 }
 
-void NativeCloud::WarnAndScheduleTermination(Instance& instance) {
+void NativeCloud::WarnInstance(Instance& instance, SimTime deadline) {
   instance.state = InstanceState::kWarned;
   ++spot_revocations_;
   MetricInc(revocation_warnings_metric_);
   MetricInc(bid_crossings_metric_);
-  const SimTime deadline = sim_->Now() + config_.revocation_warning;
   const InstanceId id = instance.id;
   SPOTCHECK_LOG(kInfo) << "revocation warning for " << id.ToString() << " in "
                        << instance.market.ToString() << ", termination at t+"
@@ -214,11 +232,10 @@ void NativeCloud::WarnAndScheduleTermination(Instance& instance) {
   if (revocation_handler_) {
     revocation_handler_(id, deadline);
   }
-  sim_->ScheduleAt(deadline, [this, id]() { ForceTerminate(id); });
 }
 
 void NativeCloud::ForceTerminate(InstanceId id) {
-  Instance& instance = instances_[id];
+  Instance& instance = instances_.At(id);
   if (instance.state == InstanceState::kTerminated) {
     return;  // Customer already terminated it during the warning period.
   }
@@ -245,15 +262,15 @@ bool NativeCloud::ZoneAvailable(AvailabilityZone zone) const {
 
 void NativeCloud::FailZoneInstances(AvailabilityZone zone) {
   std::vector<InstanceId> victims;
-  for (const auto& [id, instance] : instances_) {
+  instances_.ForEach([&](InstanceId id, const Instance& instance) {
     if (instance.market.zone == zone &&
         (instance.state == InstanceState::kRunning ||
          instance.state == InstanceState::kWarned)) {
       victims.push_back(id);
     }
-  }
+  });
   for (InstanceId id : victims) {
-    FailInstance(instances_[id]);
+    FailInstance(instances_.At(id));
   }
 }
 
@@ -274,22 +291,21 @@ void NativeCloud::FailInstance(Instance& instance) {
 }
 
 bool NativeCloud::InjectInstanceFailure(InstanceId id) {
-  const auto it = instances_.find(id);
-  if (it == instances_.end() ||
-      (it->second.state != InstanceState::kRunning &&
-       it->second.state != InstanceState::kWarned)) {
+  Instance* instance = instances_.Find(id);
+  if (instance == nullptr || (instance->state != InstanceState::kRunning &&
+                              instance->state != InstanceState::kWarned)) {
     return false;
   }
-  FailInstance(it->second);
+  FailInstance(*instance);
   return true;
 }
 
 void NativeCloud::TerminateInstance(InstanceId id) {
-  const auto it = instances_.find(id);
-  if (it == instances_.end() || it->second.state == InstanceState::kTerminated) {
+  Instance* found = instances_.Find(id);
+  if (found == nullptr || found->state == InstanceState::kTerminated) {
     return;
   }
-  Instance& instance = it->second;
+  Instance& instance = *found;
   // Billing stops at the customer's terminate call; the instance object
   // lingers through the terminate-operation latency, matching how EC2
   // reports "shutting-down" instances, but attachment bookkeeping is
@@ -300,50 +316,117 @@ void NativeCloud::TerminateInstance(InstanceId id) {
   MetricInc(terminations_metric_);
   const SimDuration delay = OperationDelay(CloudOperation::kTerminateInstance);
   TraceOp("cloud.terminate", id, delay);
-  sim_->ScheduleAfter(delay,
-                      [this, id]() { instances_[id].terminated_at = sim_->Now(); });
+  sim_->ScheduleAfter(delay, [this, id]() {
+    instances_.At(id).terminated_at = sim_->Now();
+  });
 }
 
 void NativeCloud::ReleaseAttachments(InstanceId id) {
-  for (auto& [vid, record] : volumes_) {
-    if (record.attached_to == id) {
-      record.attached_to = InstanceId();
+  Instance& instance = instances_.At(id);
+  for (VolumeId volume = instance.first_volume; volume.valid();) {
+    VolumeRecord& record = volumes_.At(volume);
+    const VolumeId next = record.next_on_instance;
+    record.attached_to = InstanceId();
+    record.next_on_instance = VolumeId();
+    volume = next;
+  }
+  instance.first_volume = VolumeId();
+  for (AddressId address = instance.first_address; address.valid();) {
+    AddressRecord& record = addresses_.At(address);
+    const AddressId next = record.next_on_instance;
+    record.assigned_to = InstanceId();
+    record.next_on_instance = AddressId();
+    address = next;
+  }
+  instance.first_address = AddressId();
+}
+
+void NativeCloud::LinkVolume(VolumeId volume, VolumeRecord& record,
+                             InstanceId instance) {
+  Instance& target = instances_.At(instance);
+  record.attached_to = instance;
+  record.next_on_instance = target.first_volume;
+  target.first_volume = volume;
+}
+
+void NativeCloud::UnlinkVolume(VolumeId volume, VolumeRecord& record) {
+  const InstanceId owner = record.attached_to;
+  record.attached_to = InstanceId();
+  if (!owner.valid()) {
+    return;  // already released (e.g. the instance died mid-detach)
+  }
+  Instance& instance = instances_.At(owner);
+  if (instance.first_volume == volume) {
+    instance.first_volume = record.next_on_instance;
+  } else {
+    for (VolumeId walk = instance.first_volume; walk.valid();) {
+      VolumeRecord& prev = volumes_.At(walk);
+      if (prev.next_on_instance == volume) {
+        prev.next_on_instance = record.next_on_instance;
+        break;
+      }
+      walk = prev.next_on_instance;
     }
   }
-  for (auto& [aid, record] : addresses_) {
-    if (record.assigned_to == id) {
-      record.assigned_to = InstanceId();
+  record.next_on_instance = VolumeId();
+}
+
+void NativeCloud::LinkAddress(AddressId address, AddressRecord& record,
+                              InstanceId instance) {
+  Instance& target = instances_.At(instance);
+  record.assigned_to = instance;
+  record.next_on_instance = target.first_address;
+  target.first_address = address;
+}
+
+void NativeCloud::UnlinkAddress(AddressId address, AddressRecord& record) {
+  const InstanceId owner = record.assigned_to;
+  record.assigned_to = InstanceId();
+  if (!owner.valid()) {
+    return;
+  }
+  Instance& instance = instances_.At(owner);
+  if (instance.first_address == address) {
+    instance.first_address = record.next_on_instance;
+  } else {
+    for (AddressId walk = instance.first_address; walk.valid();) {
+      AddressRecord& prev = addresses_.At(walk);
+      if (prev.next_on_instance == address) {
+        prev.next_on_instance = record.next_on_instance;
+        break;
+      }
+      walk = prev.next_on_instance;
     }
   }
+  record.next_on_instance = AddressId();
 }
 
 const Instance* NativeCloud::GetInstance(InstanceId id) const {
-  const auto it = instances_.find(id);
-  return it == instances_.end() ? nullptr : &it->second;
+  return instances_.Find(id);
 }
 
 std::vector<const Instance*> NativeCloud::Instances(InstanceState state) const {
   std::vector<const Instance*> result;
-  for (const auto& [id, instance] : instances_) {
+  instances_.ForEach([&](InstanceId, const Instance& instance) {
     if (instance.state == state) {
       result.push_back(&instance);
     }
-  }
+  });
   return result;
 }
 
 VolumeId NativeCloud::CreateVolume(double size_gb) {
   const VolumeId id = volume_ids_.Next();
-  volumes_[id].size_gb = size_gb;
+  volumes_.Emplace(id).size_gb = size_gb;
   return id;
 }
 
 void NativeCloud::AttachVolume(VolumeId volume, InstanceId instance,
                                std::function<void(bool)> done) {
-  auto vit = volumes_.find(volume);
+  VolumeRecord* record = volumes_.Find(volume);
   const Instance* target = GetInstance(instance);
-  const bool valid = vit != volumes_.end() && !vit->second.busy &&
-                     !vit->second.attached_to.valid() && target != nullptr &&
+  const bool valid = record != nullptr && !record->busy &&
+                     !record->attached_to.valid() && target != nullptr &&
                      (target->state == InstanceState::kRunning ||
                       target->state == InstanceState::kWarned);
   if (!valid) {
@@ -352,18 +435,18 @@ void NativeCloud::AttachVolume(VolumeId volume, InstanceId instance,
     }
     return;
   }
-  vit->second.busy = true;
+  record->busy = true;
   const SimDuration delay = OperationDelay(CloudOperation::kAttachVolume);
   TraceOp("cloud.ebs_attach", instance, delay);
   sim_->ScheduleAfter(delay,
                       [this, volume, instance, done = std::move(done)]() {
-                        VolumeRecord& record = volumes_[volume];
+                        VolumeRecord& record = volumes_.At(volume);
                         record.busy = false;
                         const Instance* target2 = GetInstance(instance);
                         const bool ok = target2 != nullptr &&
                                         target2->state != InstanceState::kTerminated;
                         if (ok) {
-                          record.attached_to = instance;
+                          LinkVolume(volume, record, instance);
                         }
                         if (done) {
                           done(ok);
@@ -372,22 +455,22 @@ void NativeCloud::AttachVolume(VolumeId volume, InstanceId instance,
 }
 
 void NativeCloud::DetachVolume(VolumeId volume, std::function<void(bool)> done) {
-  auto vit = volumes_.find(volume);
+  VolumeRecord* record = volumes_.Find(volume);
   const bool valid =
-      vit != volumes_.end() && !vit->second.busy && vit->second.attached_to.valid();
+      record != nullptr && !record->busy && record->attached_to.valid();
   if (!valid) {
     if (done) {
       sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
     }
     return;
   }
-  vit->second.busy = true;
+  record->busy = true;
   const SimDuration delay = OperationDelay(CloudOperation::kDetachVolume);
-  TraceOp("cloud.ebs_detach", vit->second.attached_to, delay);
+  TraceOp("cloud.ebs_detach", record->attached_to, delay);
   sim_->ScheduleAfter(delay, [this, volume, done = std::move(done)]() {
-                        VolumeRecord& record = volumes_[volume];
+                        VolumeRecord& record = volumes_.At(volume);
                         record.busy = false;
-                        record.attached_to = InstanceId();
+                        UnlinkVolume(volume, record);
                         if (done) {
                           done(true);
                         }
@@ -395,22 +478,22 @@ void NativeCloud::DetachVolume(VolumeId volume, std::function<void(bool)> done) 
 }
 
 InstanceId NativeCloud::VolumeAttachment(VolumeId volume) const {
-  const auto it = volumes_.find(volume);
-  return it == volumes_.end() ? InstanceId() : it->second.attached_to;
+  const VolumeRecord* record = volumes_.Find(volume);
+  return record == nullptr ? InstanceId() : record->attached_to;
 }
 
 AddressId NativeCloud::AllocateAddress() {
   const AddressId id = address_ids_.Next();
-  addresses_[id];
+  addresses_.Emplace(id);
   return id;
 }
 
 void NativeCloud::AssignAddress(AddressId address, InstanceId instance,
                                 std::function<void(bool)> done) {
-  auto ait = addresses_.find(address);
+  AddressRecord* record = addresses_.Find(address);
   const Instance* target = GetInstance(instance);
-  const bool valid = ait != addresses_.end() && !ait->second.busy &&
-                     !ait->second.assigned_to.valid() && target != nullptr &&
+  const bool valid = record != nullptr && !record->busy &&
+                     !record->assigned_to.valid() && target != nullptr &&
                      (target->state == InstanceState::kRunning ||
                       target->state == InstanceState::kWarned);
   if (!valid) {
@@ -419,18 +502,18 @@ void NativeCloud::AssignAddress(AddressId address, InstanceId instance,
     }
     return;
   }
-  ait->second.busy = true;
+  record->busy = true;
   const SimDuration delay = OperationDelay(CloudOperation::kAttachInterface);
   TraceOp("cloud.eni_assign", instance, delay);
   sim_->ScheduleAfter(delay,
                       [this, address, instance, done = std::move(done)]() {
-                        AddressRecord& record = addresses_[address];
+                        AddressRecord& record = addresses_.At(address);
                         record.busy = false;
                         const Instance* target2 = GetInstance(instance);
                         const bool ok = target2 != nullptr &&
                                         target2->state != InstanceState::kTerminated;
                         if (ok) {
-                          record.assigned_to = instance;
+                          LinkAddress(address, record, instance);
                         }
                         if (done) {
                           done(ok);
@@ -439,22 +522,22 @@ void NativeCloud::AssignAddress(AddressId address, InstanceId instance,
 }
 
 void NativeCloud::UnassignAddress(AddressId address, std::function<void(bool)> done) {
-  auto ait = addresses_.find(address);
+  AddressRecord* record = addresses_.Find(address);
   const bool valid =
-      ait != addresses_.end() && !ait->second.busy && ait->second.assigned_to.valid();
+      record != nullptr && !record->busy && record->assigned_to.valid();
   if (!valid) {
     if (done) {
       sim_->ScheduleAfter(SimDuration::Zero(), [done]() { done(false); });
     }
     return;
   }
-  ait->second.busy = true;
+  record->busy = true;
   const SimDuration delay = OperationDelay(CloudOperation::kDetachInterface);
-  TraceOp("cloud.eni_unassign", ait->second.assigned_to, delay);
+  TraceOp("cloud.eni_unassign", record->assigned_to, delay);
   sim_->ScheduleAfter(delay, [this, address, done = std::move(done)]() {
-                        AddressRecord& record = addresses_[address];
+                        AddressRecord& record = addresses_.At(address);
                         record.busy = false;
-                        record.assigned_to = InstanceId();
+                        UnlinkAddress(address, record);
                         if (done) {
                           done(true);
                         }
@@ -462,8 +545,8 @@ void NativeCloud::UnassignAddress(AddressId address, std::function<void(bool)> d
 }
 
 InstanceId NativeCloud::AddressAssignment(AddressId address) const {
-  const auto it = addresses_.find(address);
-  return it == addresses_.end() ? InstanceId() : it->second.assigned_to;
+  const AddressRecord* record = addresses_.Find(address);
+  return record == nullptr ? InstanceId() : record->assigned_to;
 }
 
 }  // namespace spotcheck

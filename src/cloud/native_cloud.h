@@ -24,6 +24,7 @@
 
 #include "src/cloud/billing.h"
 #include "src/cloud/latency_model.h"
+#include "src/common/fleet_store.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
@@ -47,6 +48,12 @@ struct Instance {
   SimTime requested_at;
   SimTime running_since;
   SimTime terminated_at;
+  // Intrusive attachment-list heads: the volumes/addresses attached to this
+  // instance, linked through VolumeRecord/AddressRecord::next_on_instance.
+  // Releasing an instance's attachments walks these short chains instead of
+  // scanning every volume and address in the cloud.
+  VolumeId first_volume;
+  AddressId first_address;
 };
 
 struct NativeCloudConfig {
@@ -177,10 +184,12 @@ class NativeCloud {
   struct VolumeRecord {
     double size_gb = 0.0;
     InstanceId attached_to;
-    bool busy = false;  // an attach/detach operation is in flight
+    VolumeId next_on_instance;  // intrusive list link (see Instance)
+    bool busy = false;          // an attach/detach operation is in flight
   };
   struct AddressRecord {
     InstanceId assigned_to;
+    AddressId next_on_instance;
     bool busy = false;
   };
 
@@ -190,13 +199,23 @@ class NativeCloud {
   SpanId TraceOp(std::string_view name, InstanceId instance, SimDuration delay);
   void OnInstanceStarted(InstanceId id, InstanceReadyCallback ready);
   void OnMarketPriceChange(MarketKey key, double price);
-  void WarnAndScheduleTermination(Instance& instance);
+  // Flips the instance to kWarned, counts the revocation, and fires the
+  // revocation handler. Does NOT schedule the termination: the sweep in
+  // OnMarketPriceChange schedules ONE terminator event for the whole warned
+  // cohort instead of one per instance.
+  void WarnInstance(Instance& instance, SimTime deadline);
   void ForceTerminate(InstanceId id);
   void FailZoneInstances(AvailabilityZone zone);
   // Shared no-warning kill: terminates, stops billing, releases attachments,
   // counts the failure, and fires the failure handler.
   void FailInstance(Instance& instance);
   void ReleaseAttachments(InstanceId id);
+  // Intrusive attachment-list maintenance (O(attachments-per-instance)).
+  void LinkVolume(VolumeId volume, VolumeRecord& record, InstanceId instance);
+  void UnlinkVolume(VolumeId volume, VolumeRecord& record);
+  void LinkAddress(AddressId address, AddressRecord& record,
+                   InstanceId instance);
+  void UnlinkAddress(AddressId address, AddressRecord& record);
 
   Simulator* sim_;
   MarketPlace* markets_;
@@ -209,7 +228,10 @@ class NativeCloud {
   IdGenerator<VolumeTag> volume_ids_;
   IdGenerator<AddressTag> address_ids_;
 
-  std::map<InstanceId, Instance> instances_;
+  // Arena storage (fleet-scale): O(1) id lookups, no per-record heap nodes,
+  // id-order iteration. Instances, volumes, and addresses are never erased
+  // within a simulation, matching the old map semantics.
+  FleetTable<InstanceTag, Instance> instances_;
   // Running spot instances per market, so price changes only touch the
   // affected market's instances (terminated ids are compacted lazily).
   // `min_bid` is a conservative lower bound over the listed instances
@@ -222,8 +244,8 @@ class NativeCloud {
   };
   std::map<MarketKey, SpotIndex> running_spot_;
   std::vector<InstanceId> to_warn_scratch_;  // reused sweep buffer
-  std::map<VolumeId, VolumeRecord> volumes_;
-  std::map<AddressId, AddressRecord> addresses_;
+  FleetTable<VolumeTag, VolumeRecord> volumes_;
+  FleetTable<AddressTag, AddressRecord> addresses_;
   // Markets we already subscribed to for revocation monitoring.
   std::map<MarketKey, bool> subscribed_;
 

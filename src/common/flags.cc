@@ -1,8 +1,31 @@
 #include "src/common/flags.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace spotcheck {
+
+namespace {
+
+[[noreturn]] void DieInvalidFlag(const std::string& name,
+                                 const std::string& value,
+                                 const char* expected) {
+  std::fprintf(stderr, "error: invalid value for --%s: \"%s\" (expected %s)\n",
+               name.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+std::string AsciiLower(const std::string& text) {
+  std::string lower = text;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
+
+}  // namespace
 
 FlagParser::FlagParser(int argc, const char* const* argv) {
   std::vector<std::string> args;
@@ -54,7 +77,17 @@ int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) const
   if (it == flags_.end()) {
     return default_value;
   }
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    DieInvalidFlag(name, it->second, "an integer");
+  }
+  if (errno == ERANGE) {
+    DieInvalidFlag(name, it->second, "an integer in int64 range");
+  }
+  return parsed;
 }
 
 double FlagParser::GetDouble(const std::string& name, double default_value) const {
@@ -63,7 +96,17 @@ double FlagParser::GetDouble(const std::string& name, double default_value) cons
   if (it == flags_.end()) {
     return default_value;
   }
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* text = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    DieInvalidFlag(name, it->second, "a number");
+  }
+  if (errno == ERANGE) {
+    DieInvalidFlag(name, it->second, "a number in double range");
+  }
+  return parsed;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {
@@ -72,7 +115,15 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   if (it == flags_.end()) {
     return default_value;
   }
-  return !(it->second == "false" || it->second == "0" || it->second == "no");
+  const std::string value = AsciiLower(it->second);
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  DieInvalidFlag(name, it->second,
+                 "a boolean: true/false, 1/0, yes/no, on/off");
 }
 
 std::vector<std::string> FlagParser::UnconsumedFlags() const {
@@ -83,6 +134,20 @@ std::vector<std::string> FlagParser::UnconsumedFlags() const {
     }
   }
   return unconsumed;
+}
+
+void FlagParser::ExitIfUnknownFlags(const std::string& supported) const {
+  const std::vector<std::string> unknown = UnconsumedFlags();
+  if (unknown.empty()) {
+    return;
+  }
+  for (const std::string& flag : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", flag.c_str());
+  }
+  if (!supported.empty()) {
+    std::fprintf(stderr, "supported flags: %s\n", supported.c_str());
+  }
+  std::exit(2);
 }
 
 }  // namespace spotcheck

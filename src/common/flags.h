@@ -22,10 +22,14 @@ class FlagParser {
   bool Has(const std::string& name) const { return flags_.contains(name); }
 
   std::string GetString(const std::string& name, std::string default_value) const;
+  // Numeric getters require the whole value to parse: "--jobs=four" or
+  // "--chaos-seed=12x3" print the flag name and value to stderr and exit 2
+  // instead of silently running with 0 / 12.
   int64_t GetInt(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
-  // --name and --name=true|1 read as true; --no-name and --name=false|0 as
-  // false.
+  // --name and --name=true|1|yes|on read as true; --no-name and
+  // --name=false|0|no|off as false (case-insensitive). Any other token
+  // ("--trace=flase") exits 2 rather than silently reading as true.
   bool GetBool(const std::string& name, bool default_value) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
@@ -33,6 +37,11 @@ class FlagParser {
   // Flags present on the command line that no getter ever consumed --
   // almost always a typo worth reporting.
   std::vector<std::string> UnconsumedFlags() const;
+
+  // Typo guard for main()s: prints every unconsumed flag to stderr and exits
+  // 2 when any exist. Call after the last Get*(); pass a short supported-flag
+  // summary to include in the message.
+  void ExitIfUnknownFlags(const std::string& supported = std::string()) const;
 
  private:
   void Parse(const std::vector<std::string>& args);

@@ -16,6 +16,7 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
       engine_(sim, &activity_log_, config.engine, config.metrics,
               config.tracer),
       backup_pool_(config.backup, config.metrics, config.tracer) {
+  event_log_.set_enabled(config_.collect_event_log);
   // Populate the shared context, then construct the components against it
   // (each expects the platform handles and facade bookkeeping to be wired
   // before its constructor runs; see controller_context.h).
@@ -75,9 +76,8 @@ NestedVmId SpotCheckController::RequestServer(CustomerId customer,
   const NestedVmId id = vm_ids_.Next();
   NestedVmSpec spec = MakeVmSpec(config_.nested_type, config_.workload);
   spec.stateless = stateless;
-  auto vm = std::make_unique<NestedVm>(id, customer, spec);
-  NestedVm& ref = *vm;
-  vms_[id] = std::move(vm);
+  NestedVm& ref = vms_.Emplace(id, id, customer, spec);
+  ref.BindStateCounters(vm_state_counts_.data());
   event_log_.Record(sim_->Now(), ControllerEventKind::kVmRequested, id,
                     InstanceId(), ctx_.DefaultMarket(),
                     stateless ? "stateless" : "");
@@ -86,11 +86,11 @@ NestedVmId SpotCheckController::RequestServer(CustomerId customer,
 }
 
 void SpotCheckController::ReleaseServer(NestedVmId id) {
-  const auto it = vms_.find(id);
-  if (it == vms_.end() || !it->second->alive()) {
+  NestedVm* found = vms_.Find(id);
+  if (found == nullptr || !found->alive()) {
     return;
   }
-  NestedVm& vm = *it->second;
+  NestedVm& vm = *found;
   activity_log_.MarkDeath(id, sim_->Now());
   vm.set_state(NestedVmState::kTerminated);
   event_log_.Record(sim_->Now(), ControllerEventKind::kVmReleased, id,
@@ -107,28 +107,22 @@ void SpotCheckController::ReleaseServer(NestedVmId id) {
 }
 
 const NestedVm* SpotCheckController::GetVm(NestedVmId vm) const {
-  const auto it = vms_.find(vm);
-  return it == vms_.end() ? nullptr : it->second.get();
+  return vms_.Find(vm);
 }
 
 std::vector<const NestedVm*> SpotCheckController::Vms() const {
   std::vector<const NestedVm*> result;
   result.reserve(vms_.size());
-  for (const auto& [id, vm] : vms_) {
-    result.push_back(vm.get());
-  }
+  vms_.ForEach(
+      [&](NestedVmId, const NestedVm& vm) { result.push_back(&vm); });
   return result;
 }
 
 int SpotCheckController::RunningVmCount() const {
-  int count = 0;
-  for (const auto& [id, vm] : vms_) {
-    if (vm->state() == NestedVmState::kRunning ||
-        vm->state() == NestedVmState::kDegraded) {
-      ++count;
-    }
-  }
-  return count;
+  // O(1): set_state maintains the per-state population counters.
+  return static_cast<int>(
+      vm_state_counts_[static_cast<int>(NestedVmState::kRunning)] +
+      vm_state_counts_[static_cast<int>(NestedVmState::kDegraded)]);
 }
 
 std::string SpotCheckController::DumpState() const {
@@ -144,7 +138,7 @@ std::string SpotCheckController::DumpState() const {
   std::snprintf(line, sizeof(line),
                 "vms=%zu hosts=%zu backups=%d revocations=%lld repatriations=%lld"
                 " proactive=%lld stagings=%lld respawns=%lld\n",
-                vms_.size(), pool_->hosts().size(), backup_pool_.num_servers(),
+                vms_.size(), pool_->num_hosts(), backup_pool_.num_servers(),
                 static_cast<long long>(evacuation_->revocation_events()),
                 static_cast<long long>(repatriation_->repatriations()),
                 static_cast<long long>(repatriation_->proactive_migrations()),
@@ -153,53 +147,61 @@ std::string SpotCheckController::DumpState() const {
   out += line;
 
   out += "-- nested VMs --\n";
-  for (const auto& [id, vm] : vms_) {
-    const HostVm* host = pool_->GetHost(vm->host());
+  vms_.ForEach([&](NestedVmId id, const NestedVm& vm) {
+    const HostVm* host = pool_->GetHost(vm.host());
     const auto ip = vpc_.IpOf(id);
     std::snprintf(line, sizeof(line),
                   "%-10s cust=%-8s state=%-12s host=%-18s ip=%-12s backup=%-8s"
                   " migrations=%lld%s\n",
-                  id.ToString().c_str(), vm->customer().ToString().c_str(),
-                  std::string(NestedVmStateName(vm->state())).c_str(),
+                  id.ToString().c_str(), vm.customer().ToString().c_str(),
+                  std::string(NestedVmStateName(vm.state())).c_str(),
                   host != nullptr ? host->market().ToString().c_str() : "-",
                   ip.has_value() ? ip->ToString().c_str() : "-",
-                  vm->backup().valid() ? vm->backup().ToString().c_str() : "-",
-                  static_cast<long long>(vm->migrations()),
-                  vm->spec().stateless ? " [stateless]" : "");
+                  vm.backup().valid() ? vm.backup().ToString().c_str() : "-",
+                  static_cast<long long>(vm.migrations()),
+                  vm.spec().stateless ? " [stateless]" : "");
     out += line;
-  }
+  });
   out += pool_->DumpHosts();
   return out;
 }
 
 bool SpotCheckController::ValidateInvariants(std::string* error) const {
-  auto fail = [error](const std::string& message) {
-    if (error != nullptr) {
-      *error = message;
+  std::string failure;
+  const auto fail = [&failure](std::string message) {
+    if (failure.empty()) {
+      failure = std::move(message);
     }
-    return false;
   };
-  for (const auto& [id, vm] : vms_) {
-    const NestedVmState state = vm->state();
+  // The O(1) per-state counters must agree with a full scan: every set_state
+  // mutation site funnels through the bound counter array, so a drift here
+  // means some code path bypassed NestedVm::set_state.
+  std::array<int64_t, kNumNestedVmStates> scanned{};
+  vms_.ForEach([&](NestedVmId id, const NestedVm& vm) {
+    ++scanned[static_cast<int>(vm.state())];
+    if (!failure.empty()) {
+      return;
+    }
+    const NestedVmState state = vm.state();
     if (state != NestedVmState::kRunning && state != NestedVmState::kDegraded) {
-      continue;  // transitional or dead states are exempt
+      return;  // transitional or dead states are exempt
     }
     // Settled VMs live on a known, running host that lists them.
-    const HostVm* host = pool_->GetHost(vm->host());
+    const HostVm* host = pool_->GetHost(vm.host());
     if (host == nullptr) {
       return fail(id.ToString() + " is settled but has no host record");
     }
     const auto& members = host->vms();
     if (std::find(members.begin(), members.end(), id) == members.end()) {
       return fail(id.ToString() + " not listed on its host " +
-                  vm->host().ToString());
+                  vm.host().ToString());
     }
     const Instance* native = cloud_->GetInstance(host->instance());
     if (native == nullptr || native->state == InstanceState::kTerminated) {
       return fail(id.ToString() + " sits on a terminated native instance");
     }
     // Backup streams exactly when needed.
-    const bool needs_backup = host->is_spot() && !vm->spec().stateless &&
+    const bool needs_backup = host->is_spot() && !vm.spec().stateless &&
                               MechanismNeedsBackup(config_.mechanism);
     const bool has_stream = backup_pool_.ServerFor(id) != nullptr;
     if (needs_backup != has_stream) {
@@ -216,6 +218,15 @@ bool SpotCheckController::ValidateInvariants(std::string* error) const {
       return fail(id.ToString() + " address " + ip->ToString() +
                   " does not route to it");
     }
+  });
+  if (failure.empty() && scanned != vm_state_counts_) {
+    fail("vm state counters drifted from a full scan");
+  }
+  if (!failure.empty()) {
+    if (error != nullptr) {
+      *error = std::move(failure);
+    }
+    return false;
   }
   return pool_->ValidateInvariants(error) &&
          repatriation_->ValidateInvariants(error);
@@ -229,9 +240,9 @@ SpotCheckController::CustomerReport SpotCheckController::ComputeCustomerReport(
   const SimTime now = sim_->Now();
   const double resale_price =
       config_.resale_fraction_of_on_demand * OnDemandPrice(config_.nested_type);
-  for (const auto& [id, vm] : vms_) {
-    if (vm->customer() != customer) {
-      continue;
+  vms_.ForEach([&](NestedVmId id, const NestedVm& vm) {
+    if (vm.customer() != customer) {
+      return;
     }
     ++report.vms;
     const SimDuration life = activity_log_.Lifetime(id, SimTime(), now);
@@ -240,7 +251,7 @@ SpotCheckController::CustomerReport SpotCheckController::ComputeCustomerReport(
     report.vm_hours += life.hours();
     report.downtime += down;
     report.revenue += (life - down).hours() * resale_price;
-  }
+  });
   if (report.vm_hours > 0.0) {
     report.availability_pct =
         100.0 * (1.0 - report.downtime.hours() / report.vm_hours);
@@ -267,9 +278,9 @@ SpotCheckController::CostReport SpotCheckController::ComputeCostReport() const {
   const SimTime now = sim_->Now();
   report.native_cost = cloud_->TotalCost();
   report.backup_cost = backup_pool_.TotalAccruedCost(now);
-  for (const auto& [id, vm] : vms_) {
+  vms_.ForEach([&](NestedVmId id, const NestedVm&) {
     report.vm_hours += activity_log_.Lifetime(id, SimTime(), now).hours();
-  }
+  });
   report.avg_cost_per_vm_hour =
       report.vm_hours > 0.0
           ? (report.native_cost + report.backup_cost) / report.vm_hours

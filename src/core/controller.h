@@ -32,6 +32,7 @@
 #ifndef SRC_CORE_CONTROLLER_H_
 #define SRC_CORE_CONTROLLER_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,6 +40,7 @@
 
 #include "src/backup/backup_pool.h"
 #include "src/cloud/native_cloud.h"
+#include "src/common/fleet_store.h"
 #include "src/core/controller_config.h"
 #include "src/core/controller_context.h"
 #include "src/core/evacuation.h"
@@ -173,7 +175,14 @@ class SpotCheckController {
   IdGenerator<CustomerTag> customer_ids_;
   IdGenerator<NestedVmTag> vm_ids_;
   std::map<CustomerId, std::string> customers_;
-  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms_;
+  // Per-state fleet population, maintained by NestedVm::set_state through
+  // BindStateCounters: RunningVmCount() is O(1) at any fleet size. Declared
+  // before vms_ so it outlives the VMs that point into it; cross-checked
+  // against a full scan by ValidateInvariants.
+  std::array<int64_t, kNumNestedVmStates> vm_state_counts_{};
+  // Fleet-scale VM storage: one arena record per VM (no unique_ptr nodes),
+  // stable references for in-flight event lambdas, id-order iteration.
+  FleetTable<NestedVmTag, NestedVm> vms_;
 
   // Shared wiring + the five components (constructed, in this order, after
   // the context above is fully populated; see controller_context.h).

@@ -56,6 +56,11 @@ struct ControllerConfig {
   // own spot/on-demand/backup spend; downtime is not billed.
   double resale_fraction_of_on_demand = 0.6;
   uint64_t seed = 7;
+  // Whether the controller appends to its structured event timeline.
+  // Observational only (reports/CSVs, never control flow); fleet-scale
+  // benchmarks turn it off so a million placements do not accumulate an
+  // unbounded event vector.
+  bool collect_event_log = true;
   // Optional observability registry. Shared with the MigrationEngine and
   // BackupPool the controller owns; must outlive the controller. Purely
   // observational: simulation results are identical with or without it.

@@ -13,8 +13,7 @@ namespace spotcheck {
 SimTime ControllerContext::Now() const { return sim->Now(); }
 
 NestedVm* ControllerContext::FindVm(NestedVmId id) const {
-  const auto it = vms->find(id);
-  return it == vms->end() ? nullptr : it->second.get();
+  return vms->Find(id);
 }
 
 NestedVm* ControllerContext::FindAliveVm(NestedVmId id) const {

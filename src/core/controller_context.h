@@ -23,12 +23,11 @@
 #ifndef SRC_CORE_CONTROLLER_CONTEXT_H_
 #define SRC_CORE_CONTROLLER_CONTEXT_H_
 
-#include <map>
-#include <memory>
-
+#include "src/common/fleet_store.h"
 #include "src/common/ids.h"
 #include "src/common/time.h"
 #include "src/market/instance_types.h"
+#include "src/virt/nested_vm.h"
 
 namespace spotcheck {
 
@@ -46,7 +45,6 @@ class RevocationStormTracker;
 class VirtualPrivateCloud;
 class HostNetworkPlane;
 class ConnectionTracker;
-class NestedVm;
 class HostPoolManager;
 class PlacementEngine;
 class EvacuationCoordinator;
@@ -71,7 +69,9 @@ struct ControllerContext {
   VirtualPrivateCloud* vpc = nullptr;
   HostNetworkPlane* network = nullptr;
   ConnectionTracker* connections = nullptr;
-  std::map<NestedVmId, std::unique_ptr<NestedVm>>* vms = nullptr;
+  // Fleet-scale VM table: arena-stored records with stable references (the
+  // components capture NestedVm& in event lambdas) and O(1) id lookups.
+  FleetTable<NestedVmTag, NestedVm>* vms = nullptr;
 
   // The components, wired by the facade right after construction.
   HostPoolManager* pool = nullptr;

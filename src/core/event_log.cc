@@ -37,6 +37,9 @@ std::string_view ControllerEventKindName(ControllerEventKind kind) {
 void ControllerEventLog::Record(SimTime time, ControllerEventKind kind,
                                 NestedVmId vm, InstanceId host, MarketKey market,
                                 std::string detail) {
+  if (!enabled_) {
+    return;
+  }
   events_.push_back(ControllerEvent{time, kind, vm, host, market,
                                     std::move(detail)});
 }

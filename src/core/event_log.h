@@ -55,10 +55,17 @@ class ControllerEventLog {
   int64_t CountOf(ControllerEventKind kind) const;
   std::vector<const ControllerEvent*> ForVm(NestedVmId vm) const;
 
+  // The timeline is observational (reports and CSVs, never control flow);
+  // fleet-scale runs disable it so a million placements do not accumulate
+  // an unbounded event vector. Disabling drops future Records only.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
   // "time_s,kind,vm,host,market,detail" rows with a header.
   std::string ToCsv() const;
 
  private:
+  bool enabled_ = true;
   std::vector<ControllerEvent> events_;
 };
 

@@ -15,34 +15,71 @@
 namespace spotcheck {
 
 const HostVm* HostPoolManager::GetHost(InstanceId instance) const {
-  const auto it = hosts_.find(instance);
-  return it == hosts_.end() ? nullptr : it->second.get();
+  return hosts_.Find(instance);
 }
 
 HostVm* HostPoolManager::GetMutableHost(InstanceId instance) {
-  const auto it = hosts_.find(instance);
-  return it == hosts_.end() ? nullptr : it->second.get();
+  return hosts_.Find(instance);
 }
 
 std::vector<const HostVm*> HostPoolManager::Hosts() const {
   std::vector<const HostVm*> result;
   result.reserve(hosts_.size());
-  for (const auto& [id, host] : hosts_) {
-    result.push_back(host.get());
-  }
+  hosts_.ForEach(
+      [&](InstanceId, const HostVm& host) { result.push_back(&host); });
   return result;
+}
+
+double HostPoolManager::PlaceableThresholdMb() const {
+  if (placeable_threshold_mb_ < 0.0) {
+    placeable_threshold_mb_ =
+        NestedVmSpec::ForType(ctx_->config->nested_type).memory_mb;
+  }
+  return placeable_threshold_mb_;
+}
+
+void HostPoolManager::RefreshPlaceable(const HostVm& host) {
+  std::set<InstanceId>& bucket =
+      PlaceableIndex(host.market(), host.is_spot());
+  const bool eligible = !hot_spare_set_.contains(host.instance()) &&
+                        host.free_mb() >= PlaceableThresholdMb();
+  if (eligible) {
+    bucket.insert(host.instance());
+  } else {
+    bucket.erase(host.instance());
+  }
+}
+
+void HostPoolManager::OnHostOccupancyChanged(HostVm& host,
+                                             double used_delta_mb) {
+  total_used_mb_ += used_delta_mb;
+  RefreshPlaceable(host);
+}
+
+int HostPoolManager::SpotSlots(const MarketKey& market) const {
+  return NestedSlotsPerHost(market.type, ctx_->config->nested_type);
 }
 
 HostVm* HostPoolManager::FindHostWithCapacity(const MarketKey& market,
                                               bool spot,
                                               const NestedVmSpec& spec) {
-  const auto& index = spot ? spot_index_ : ondemand_index_;
+  // The placeable sub-index is exact for specs of at least one standard
+  // slot: every host that CanHost(spec) then has free_mb >= threshold and
+  // so is in the subset, while the hosts the subset omits could not have
+  // been selected anyway. Smaller bespoke specs fall back to the full
+  // capacity index so sub-threshold headroom is not missed. Both walk in
+  // id (= acquisition) order and re-check CanHost plus native state, so
+  // the selection is identical to the whole-index scan.
+  const bool standard = spec.memory_mb >= PlaceableThresholdMb();
+  const auto& index =
+      standard ? (spot ? placeable_spot_index_ : placeable_ondemand_index_)
+               : (spot ? spot_index_ : ondemand_index_);
   const auto bucket = index.find(market);
   if (bucket == index.end()) {
     return nullptr;
   }
   for (InstanceId instance : bucket->second) {
-    HostVm& host = *hosts_.at(instance);
+    HostVm& host = hosts_.At(instance);
     if (!host.CanHost(spec)) {
       continue;
     }
@@ -93,9 +130,13 @@ void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
   }
   if (first_waiter.vm.valid()) {
     pending.waiting.push_back(first_waiter);
+    ++num_waiting_vms_;
   }
   if (is_spot && !hot_spare) {
     pending_spot_index_[market].insert(instance);
+    if (static_cast<int>(pending.waiting.size()) < SpotSlots(market)) {
+      joinable_spot_index_[market].insert(instance);
+    }
   }
   if (hot_spare) {
     ++pending_hot_spares_;
@@ -104,17 +145,21 @@ void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
 
 void HostPoolManager::QueueOrAcquireSpot(const MarketKey& market,
                                          Waiter waiter) {
-  const int slots =
-      NestedSlotsPerHost(market.type, ctx_->config->nested_type);
-  const auto bucket = pending_spot_index_.find(market);
-  if (bucket != pending_spot_index_.end()) {
-    for (InstanceId instance : bucket->second) {
-      PendingHost& pending = pending_hosts_.at(instance);
-      if (static_cast<int>(pending.waiting.size()) < slots) {
-        pending.waiting.push_back(waiter);
-        return;
-      }
+  // The joinable subset holds exactly the pending spot hosts of `market`
+  // that still have a free nested slot. Waiters never leave a pending host
+  // before it resolves, so fullness is monotone and the subset's minimum
+  // id is the host the old first-with-room scan over every pending
+  // acquisition would have picked.
+  const auto bucket = joinable_spot_index_.find(market);
+  if (bucket != joinable_spot_index_.end() && !bucket->second.empty()) {
+    const InstanceId instance = *bucket->second.begin();
+    PendingHost& pending = pending_hosts_.at(instance);
+    pending.waiting.push_back(waiter);
+    ++num_waiting_vms_;
+    if (static_cast<int>(pending.waiting.size()) >= SpotSlots(market)) {
+      bucket->second.erase(bucket->second.begin());
     }
+    return;
   }
   AcquireHost(market, /*is_spot=*/true, waiter);
 }
@@ -126,8 +171,10 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
   }
   PendingHost pending = std::move(it->second);
   pending_hosts_.erase(it);
+  num_waiting_vms_ -= pending.waiting.size();
   if (pending.is_spot && !pending.is_hot_spare) {
     pending_spot_index_[pending.market].erase(instance);
+    joinable_spot_index_[pending.market].erase(instance);
   }
   if (pending.is_hot_spare) {
     --pending_hot_spares_;
@@ -181,15 +228,16 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
     return;
   }
 
-  auto host =
-      std::make_unique<HostVm>(instance, pending.market, pending.is_spot);
-  HostVm& host_ref = *host;
-  hosts_[instance] = std::move(host);
+  HostVm& host_ref =
+      hosts_.Emplace(instance, instance, pending.market, pending.is_spot);
+  host_ref.set_occupancy_listener(this);
+  total_capacity_mb_ += host_ref.capacity_mb();
   if (pending.is_hot_spare) {
     hot_spare_order_.push_back(instance);
     hot_spare_set_.insert(instance);
   } else {
     CapacityIndex(pending.market, pending.is_spot).insert(instance);
+    RefreshPlaceable(host_ref);
   }
   if (pending.is_spot && ctx_->market_watcher != nullptr) {
     ctx_->market_watcher->Subscribe(pending.market);
@@ -218,8 +266,8 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
 }
 
 void HostPoolManager::MaybeReleaseHost(InstanceId instance) {
-  const auto it = hosts_.find(instance);
-  if (it == hosts_.end() || !it->second->empty()) {
+  HostVm* host = hosts_.Find(instance);
+  if (host == nullptr || !host->empty()) {
     return;
   }
   if (hot_spare_set_.contains(instance)) {
@@ -229,8 +277,11 @@ void HostPoolManager::MaybeReleaseHost(InstanceId instance) {
   if (native != nullptr && native->state != InstanceState::kTerminated) {
     ctx_->cloud->TerminateInstance(instance);
   }
-  CapacityIndex(it->second->market(), it->second->is_spot()).erase(instance);
-  hosts_.erase(it);
+  CapacityIndex(host->market(), host->is_spot()).erase(instance);
+  PlaceableIndex(host->market(), host->is_spot()).erase(instance);
+  total_capacity_mb_ -= host->capacity_mb();
+  total_used_mb_ -= host->used_mb();
+  hosts_.Erase(instance);
 }
 
 void HostPoolManager::ReplenishHotSpares() {
@@ -243,45 +294,55 @@ void HostPoolManager::ReplenishHotSpares() {
 }
 
 HostVm* HostPoolManager::PromoteHotSpare(InstanceId instance) {
-  const auto it = hosts_.find(instance);
-  if (it == hosts_.end()) {
+  HostVm* host = hosts_.Find(instance);
+  if (host == nullptr) {
     return nullptr;
   }
   hot_spare_set_.erase(instance);
   hot_spare_order_.erase(
       std::remove(hot_spare_order_.begin(), hot_spare_order_.end(), instance),
       hot_spare_order_.end());
-  CapacityIndex(it->second->market(), it->second->is_spot()).insert(instance);
-  return it->second.get();
+  CapacityIndex(host->market(), host->is_spot()).insert(instance);
+  RefreshPlaceable(*host);
+  return host;
 }
 
 std::string HostPoolManager::DumpHosts() const {
   std::string out = "-- hosts --\n";
   char line[256];
-  for (const auto& [instance, host] : hosts_) {
+  hosts_.ForEach([&](InstanceId instance, const HostVm& host) {
     std::snprintf(line, sizeof(line),
                   "%-10s %-20s %-9s vms=%d used=%.0f/%.0fMB\n",
-                  instance.ToString().c_str(), host->market().ToString().c_str(),
-                  host->is_spot() ? "spot" : "on-demand", host->num_vms(),
-                  host->used_mb(), host->capacity_mb());
+                  instance.ToString().c_str(), host.market().ToString().c_str(),
+                  host.is_spot() ? "spot" : "on-demand", host.num_vms(),
+                  host.used_mb(), host.capacity_mb());
     out += line;
-  }
+  });
   return out;
 }
 
 bool HostPoolManager::ValidateInvariants(std::string* error) const {
-  const auto fail = [error](const std::string& message) {
-    if (error != nullptr) {
-      *error = message;
+  std::string failure;
+  const auto fail = [&failure](std::string message) {
+    if (failure.empty()) {
+      failure = std::move(message);
     }
-    return false;
   };
+  const double threshold = PlaceableThresholdMb();
   // Host capacity accounting: used memory equals the sum of resident specs,
   // never exceeds capacity, and no host retains a dead VM (a failed VM may
   // linger only while its evacuation record is still being finalized).
-  for (const auto& [instance, host] : hosts_) {
+  // The same pass tallies the fleet aggregates for the drift checks below.
+  double scanned_capacity = 0.0;
+  double scanned_used = 0.0;
+  hosts_.ForEach([&](InstanceId instance, const HostVm& host) {
+    scanned_capacity += host.capacity_mb();
+    scanned_used += host.used_mb();
+    if (!failure.empty()) {
+      return;
+    }
     double used = 0.0;
-    for (NestedVmId member : host->vms()) {
+    for (NestedVmId member : host.vms()) {
       const NestedVm* vm = ctx_->FindVm(member);
       if (vm == nullptr) {
         return fail(instance.ToString() + " lists unknown VM");
@@ -293,16 +354,16 @@ bool HostPoolManager::ValidateInvariants(std::string* error) const {
       }
       used += vm->spec().memory_mb;
     }
-    if (std::abs(used - host->used_mb()) > 1e-6) {
+    if (std::abs(used - host.used_mb()) > 1e-6) {
       return fail(instance.ToString() + " capacity accounting drifted");
     }
-    if (host->used_mb() > host->capacity_mb() + 1e-6) {
+    if (host.used_mb() > host.capacity_mb() + 1e-6) {
       return fail(instance.ToString() + " is over capacity");
     }
     // Index consistency: every host is either a hot spare or indexed for
     // placement under its own market, never both.
-    const auto& index = host->is_spot() ? spot_index_ : ondemand_index_;
-    const auto bucket = index.find(host->market());
+    const auto& index = host.is_spot() ? spot_index_ : ondemand_index_;
+    const auto bucket = index.find(host.market());
     const bool indexed =
         bucket != index.end() && bucket->second.contains(instance);
     if (indexed == hot_spare_set_.contains(instance)) {
@@ -310,29 +371,94 @@ bool HostPoolManager::ValidateInvariants(std::string* error) const {
                   (indexed ? " indexed while a hot spare"
                            : " missing from its capacity index"));
     }
-  }
-  // No index entry may outlive its host record.
-  for (const auto* index : {&spot_index_, &ondemand_index_}) {
-    for (const auto& [market, bucket] : *index) {
-      for (InstanceId instance : bucket) {
-        const auto it = hosts_.find(instance);
-        if (it == hosts_.end() || !(it->second->market() == market)) {
-          return fail("capacity index holds stale host " +
-                      instance.ToString() + " for " + market.ToString());
+    // The placeable sub-index holds exactly the indexed hosts with at
+    // least one standard nested slot free.
+    const auto& pindex =
+        host.is_spot() ? placeable_spot_index_ : placeable_ondemand_index_;
+    const auto pbucket = pindex.find(host.market());
+    const bool placeable =
+        pbucket != pindex.end() && pbucket->second.contains(instance);
+    if (placeable != (indexed && host.free_mb() >= threshold)) {
+      return fail(instance.ToString() +
+                  (placeable ? " placeable without a free standard slot"
+                             : " missing from the placeable sub-index"));
+    }
+  });
+  if (failure.empty()) {
+    // No index entry may outlive its host record.
+    for (const auto* index : {&spot_index_, &ondemand_index_,
+                              &placeable_spot_index_,
+                              &placeable_ondemand_index_}) {
+      for (const auto& [market, bucket] : *index) {
+        for (InstanceId instance : bucket) {
+          const HostVm* host = hosts_.Find(instance);
+          if (host == nullptr || !(host->market() == market)) {
+            fail("capacity index holds stale host " + instance.ToString() +
+                 " for " + market.ToString());
+          }
         }
       }
     }
-  }
-  for (const auto& [market, bucket] : pending_spot_index_) {
-    for (InstanceId instance : bucket) {
-      if (!pending_hosts_.contains(instance)) {
-        return fail("pending-spot index holds stale host " +
-                    instance.ToString() + " for " + market.ToString());
+    for (const auto& [market, bucket] : pending_spot_index_) {
+      const int slots = SpotSlots(market);
+      const auto jbucket = joinable_spot_index_.find(market);
+      for (InstanceId instance : bucket) {
+        const auto pit = pending_hosts_.find(instance);
+        if (pit == pending_hosts_.end()) {
+          fail("pending-spot index holds stale host " + instance.ToString() +
+               " for " + market.ToString());
+          continue;
+        }
+        // The joinable subset mirrors room: in iff a nested slot is free.
+        const bool has_room =
+            static_cast<int>(pit->second.waiting.size()) < slots;
+        const bool joinable = jbucket != joinable_spot_index_.end() &&
+                              jbucket->second.contains(instance);
+        if (has_room != joinable) {
+          fail(instance.ToString() +
+               (joinable ? " joinable while full"
+                         : " has room but is not joinable"));
+        }
       }
     }
+    for (const auto& [market, bucket] : joinable_spot_index_) {
+      const auto pit = pending_spot_index_.find(market);
+      for (InstanceId instance : bucket) {
+        if (pit == pending_spot_index_.end() ||
+            !pit->second.contains(instance)) {
+          fail("joinable-spot index holds stale host " + instance.ToString() +
+               " for " + market.ToString());
+        }
+      }
+    }
+    if (hot_spare_set_.size() != hot_spare_order_.size()) {
+      fail("hot-spare set and order list drifted");
+    }
+    // O(1) aggregates vs. the full scans (relative tolerance: the sums are
+    // accumulated in different orders).
+    const auto drifted = [](double incremental, double scanned) {
+      return std::abs(incremental - scanned) >
+             1e-6 * std::max(1.0, std::abs(scanned));
+    };
+    if (drifted(total_capacity_mb_, scanned_capacity)) {
+      fail("fleet capacity aggregate drifted from a full scan");
+    }
+    if (drifted(total_used_mb_, scanned_used)) {
+      fail("fleet used-memory aggregate drifted from a full scan");
+    }
+    size_t waiting = 0;
+    for (const auto& [instance, pending] : pending_hosts_) {
+      waiting += pending.waiting.size();
+    }
+    if (waiting != num_waiting_vms_) {
+      fail("waiter aggregate drifted from a full scan");
+    }
   }
-  if (hot_spare_set_.size() != hot_spare_order_.size()) {
-    return fail("hot-spare set and order list drifted");
+  if (!failure.empty()) {
+    if (error != nullptr) {
+      *error = std::move(failure);
+    }
+    return false;
   }
   return true;
 }

@@ -13,9 +13,26 @@
 //     pre-index controller. (A readiness-ordered list would NOT: launch
 //     latencies reorder readiness relative to acquisition.)
 //
-//   * a pending-spot index: non-hot-spare spot launches per market, so
-//     QueueOrAcquireSpot finds a joinable in-flight host (the slicing
-//     arbitrage) without scanning every pending acquisition.
+//   * placeable sub-indexes (spot and on-demand): the subset of each
+//     capacity index with at least one standard nested slot free, kept in
+//     sync by a HostOccupancyListener hook on every AddVm/RemoveVm. The
+//     placement hot path walks this subset, so a market full of packed
+//     hosts costs O(1) instead of O(hosts of the market). Exact for specs
+//     at least one slot large (the common case: every acceptable host is
+//     in the subset, re-checked with CanHost in the same id order);
+//     smaller bespoke specs fall back to the full capacity index.
+//
+//   * a pending-spot index plus its joinable subset: non-hot-spare spot
+//     launches per market, and the ones that still have a free nested
+//     slot, so QueueOrAcquireSpot joins an in-flight host (the slicing
+//     arbitrage) in O(log n) instead of scanning every pending
+//     acquisition. Waiters never leave a pending host before it resolves,
+//     so fullness is monotone and the joinable subset's minimum id is
+//     exactly the host the old first-with-room scan picked.
+//
+// Aggregate accounting (host count, fleet capacity/used MB, queued
+// waiters) is maintained incrementally at the same mutation sites and
+// cross-checked against full scans by ValidateInvariants.
 //
 // Host readiness fans out to the other components by waiter intent: initial
 // placements to the PlacementEngine, evacuation destinations to the
@@ -27,11 +44,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/fleet_store.h"
 #include "src/common/ids.h"
 #include "src/core/controller_context.h"
 #include "src/market/instance_types.h"
@@ -53,7 +70,7 @@ struct Waiter {
   WaitIntent intent = WaitIntent::kInitialPlacement;
 };
 
-class HostPoolManager {
+class HostPoolManager : public HostOccupancyListener {
  public:
   explicit HostPoolManager(ControllerContext* ctx) : ctx_(ctx) {}
 
@@ -62,12 +79,21 @@ class HostPoolManager {
 
   // --- Host table ---------------------------------------------------------
 
-  const std::map<InstanceId, std::unique_ptr<HostVm>>& hosts() const {
-    return hosts_;
-  }
+  size_t num_hosts() const { return hosts_.size(); }
   const HostVm* GetHost(InstanceId instance) const;
   HostVm* GetMutableHost(InstanceId instance);
   std::vector<const HostVm*> Hosts() const;
+  // Id-ordered scan over every host record, hot spares included; for cold
+  // paths that genuinely need the whole fleet (state dump, staging search).
+  // fn takes (const) HostVm&. No acquisition/release while iterating.
+  template <typename Fn>
+  void ForEachHost(Fn&& fn) const {
+    hosts_.ForEach([&](InstanceId, const HostVm& host) { fn(host); });
+  }
+  template <typename Fn>
+  void ForEachHost(Fn&& fn) {
+    hosts_.ForEach([&](InstanceId, HostVm& host) { fn(host); });
+  }
 
   // --- Placement lookups --------------------------------------------------
 
@@ -114,6 +140,11 @@ class HostPoolManager {
 
   size_t num_pending_hosts() const { return pending_hosts_.size(); }
   int num_pending_hot_spares() const { return pending_hot_spares_; }
+  // O(1) fleet aggregates, maintained at every mutation site and
+  // cross-checked against full scans by ValidateInvariants.
+  double total_capacity_mb() const { return total_capacity_mb_; }
+  double total_used_mb() const { return total_used_mb_; }
+  size_t num_waiting_vms() const { return num_waiting_vms_; }
   // The "-- hosts --" section of the controller state dump.
   std::string DumpHosts() const;
   // Capacity accounting, dead-resident, and index-consistency checks.
@@ -131,22 +162,47 @@ class HostPoolManager {
   };
 
   void OnHostReady(InstanceId instance, bool ok);
+  // HostOccupancyListener: keeps total_used_mb_ and the placeable
+  // sub-index in step with every AddVm/RemoveVm on a pooled host.
+  void OnHostOccupancyChanged(HostVm& host, double used_delta_mb) override;
   std::set<InstanceId>& CapacityIndex(const MarketKey& market, bool spot) {
     return (spot ? spot_index_ : ondemand_index_)[market];
   }
+  std::set<InstanceId>& PlaceableIndex(const MarketKey& market, bool spot) {
+    return (spot ? placeable_spot_index_ : placeable_ondemand_index_)[market];
+  }
+  // Memory of one standard nested slot (config.nested_type); the placeable
+  // sub-index admits hosts with at least this much free.
+  double PlaceableThresholdMb() const;
+  // Recomputes `host`'s membership in the placeable sub-index (in iff
+  // capacity-indexed, i.e. not a hot spare, with a standard slot free).
+  void RefreshPlaceable(const HostVm& host);
+  int SpotSlots(const MarketKey& market) const;
 
   ControllerContext* ctx_;
-  std::map<InstanceId, std::unique_ptr<HostVm>> hosts_;
+  // Fleet-scale host storage: arena records (stable for the HostVm&
+  // handed to the components), O(1) id lookups, id-order iteration.
+  FleetTable<InstanceTag, HostVm> hosts_;
   std::map<InstanceId, PendingHost> pending_hosts_;
   // Per-market capacity indexes (see file comment); hot spares excluded.
   std::map<MarketKey, std::set<InstanceId>> spot_index_;
   std::map<MarketKey, std::set<InstanceId>> ondemand_index_;
-  // Non-hot-spare spot launches per market, for QueueOrAcquireSpot.
+  // The placeable subset of each capacity index (standard slot free).
+  std::map<MarketKey, std::set<InstanceId>> placeable_spot_index_;
+  std::map<MarketKey, std::set<InstanceId>> placeable_ondemand_index_;
+  // Non-hot-spare spot launches per market, for QueueOrAcquireSpot...
   std::map<MarketKey, std::set<InstanceId>> pending_spot_index_;
+  // ...and the subset that still has a free nested slot to join.
+  std::map<MarketKey, std::set<InstanceId>> joinable_spot_index_;
   // Hot spares: readiness-ordered pick list + O(log n) membership.
   std::vector<InstanceId> hot_spare_order_;
   std::set<InstanceId> hot_spare_set_;
   int pending_hot_spares_ = 0;
+  // O(1) aggregates (see accessors above).
+  double total_capacity_mb_ = 0.0;
+  double total_used_mb_ = 0.0;
+  size_t num_waiting_vms_ = 0;
+  mutable double placeable_threshold_mb_ = -1.0;  // lazy; config-immutable
 };
 
 }  // namespace spotcheck

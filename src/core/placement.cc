@@ -176,25 +176,31 @@ HostVm* PlacementEngine::PickSpareDestination(const NestedVmSpec& spec) {
 
 HostVm* PlacementEngine::PickStagingHost(const NestedVmSpec& spec,
                                          const MarketKey& exclude) {
-  for (const auto& [instance, host] : ctx_->pool->hosts()) {
-    if (!host->is_spot() || host->market() == exclude || !host->CanHost(spec)) {
-      continue;
+  // Id-ordered fleet scan, exactly as the old host-map iteration was; the
+  // first match wins. Staging is rare enough that O(hosts) is fine here.
+  HostVm* found = nullptr;
+  ctx_->pool->ForEachHost([&](HostVm& host) {
+    if (found != nullptr) {
+      return;
     }
-    const Instance* native = ctx_->cloud->GetInstance(instance);
+    if (!host.is_spot() || host.market() == exclude || !host.CanHost(spec)) {
+      return;
+    }
+    const Instance* native = ctx_->cloud->GetInstance(host.instance());
     if (native == nullptr || native->state != InstanceState::kRunning) {
-      continue;
+      return;
     }
     // Only pools that are currently stable (price safely below the bid) make
     // sensible havens; a pool mid-spike would just revoke the VM again.
-    SpotMarket* market = ctx_->markets->Find(host->market());
+    SpotMarket* market = ctx_->markets->Find(host.market());
     if (market == nullptr ||
         market->CurrentPrice() >
-            ctx_->config->bidding.BidFor(host->market().type)) {
-      continue;
+            ctx_->config->bidding.BidFor(host.market().type)) {
+      return;
     }
-    return host.get();
-  }
-  return nullptr;
+    found = &host;
+  });
+  return found;
 }
 
 }  // namespace spotcheck

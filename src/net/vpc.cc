@@ -3,10 +3,11 @@
 namespace spotcheck {
 
 std::string PrivateIp::ToString() const {
-  return "10.0." + std::to_string(subnet) + "." + std::to_string(host);
+  return "10." + std::to_string(subnet >> 8) + "." +
+         std::to_string(subnet & 0xff) + "." + std::to_string(host);
 }
 
-std::optional<uint8_t> VirtualPrivateCloud::SubnetFor(CustomerId customer) {
+std::optional<uint16_t> VirtualPrivateCloud::SubnetFor(CustomerId customer) {
   const auto it = subnets_.find(customer);
   if (it != subnets_.end()) {
     return it->second;
@@ -14,7 +15,7 @@ std::optional<uint8_t> VirtualPrivateCloud::SubnetFor(CustomerId customer) {
   if (static_cast<int>(subnets_.size()) >= kMaxSubnets) {
     return std::nullopt;
   }
-  const uint8_t subnet = next_subnet_++;
+  const uint16_t subnet = next_subnet_++;
   subnets_[customer] = subnet;
   next_host_[subnet] = 1;  // .0 is the network address
   return subnet;

@@ -19,9 +19,12 @@
 
 namespace spotcheck {
 
-// A private IPv4 address within the VPC, e.g. "10.0.3.17".
+// A private IPv4 address within the VPC, e.g. "10.0.3.17". The subnet
+// number spans the second and third octets (a 10.0.0.0/8 data plane), so a
+// fleet-scale deployment can hold tens of thousands of customer subnets;
+// subnets below 256 render exactly as the old 10.0.<subnet>.<host> form.
 struct PrivateIp {
-  uint8_t subnet = 0;  // second octet is fixed; third octet = customer subnet
+  uint16_t subnet = 0;  // second+third octets = customer subnet
   uint8_t host = 0;
 
   auto operator<=>(const PrivateIp&) const = default;
@@ -30,14 +33,15 @@ struct PrivateIp {
 
 class VirtualPrivateCloud {
  public:
-  // The VPC spans 10.0.<subnet>.0/24 per customer, up to 255 subnets of 254
-  // usable addresses each.
-  static constexpr int kMaxSubnets = 255;
+  // The VPC spans 10.<subnet/256>.<subnet%256>.0/24 per customer: up to
+  // 65535 subnets of 254 usable addresses each (~16.6M addresses), sized
+  // for million-VM fleets. Each customer still gets exactly one /24.
+  static constexpr int kMaxSubnets = 65535;
   static constexpr int kHostsPerSubnet = 254;
 
   // Allocates (or returns the existing) subnet for a customer.
   // Returns nullopt when the VPC is out of subnets.
-  std::optional<uint8_t> SubnetFor(CustomerId customer);
+  std::optional<uint16_t> SubnetFor(CustomerId customer);
 
   // Allocates a free private address in the customer's subnet for a nested
   // VM; nullopt when the subnet (or VPC) is exhausted. Idempotent per VM.
@@ -58,14 +62,14 @@ class VirtualPrivateCloud {
   int num_assigned() const { return static_cast<int>(vm_ips_.size()); }
 
  private:
-  std::map<CustomerId, uint8_t> subnets_;
+  std::map<CustomerId, uint16_t> subnets_;
   std::map<NestedVmId, PrivateIp> vm_ips_;
   std::map<PrivateIp, NestedVmId> ip_vms_;
   // Next host octet to probe per subnet (simple bump allocator with reuse
   // through the free list semantics of ip_vms_).
-  std::map<uint8_t, int> next_host_;
+  std::map<uint16_t, int> next_host_;
   std::map<CustomerId, NestedVmId> public_heads_;
-  uint8_t next_subnet_ = 0;
+  uint16_t next_subnet_ = 0;
 };
 
 }  // namespace spotcheck

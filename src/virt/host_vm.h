@@ -15,6 +15,20 @@
 
 namespace spotcheck {
 
+class HostVm;
+
+// Notified after a host's memory occupancy changes (a nested VM added or
+// removed). The host pool implements this to keep its placeable sub-index
+// and aggregate accounting incremental instead of rescanning the fleet.
+// Declared here (not in core/) because HostVm is the natural notification
+// source and virt/ must not depend on core/.
+class HostOccupancyListener {
+ public:
+  virtual ~HostOccupancyListener() = default;
+  // `used_delta_mb` is the signed change in used_mb this mutation caused.
+  virtual void OnHostOccupancyChanged(HostVm& host, double used_delta_mb) = 0;
+};
+
 class HostVm {
  public:
   HostVm(InstanceId instance, MarketKey market, bool is_spot)
@@ -43,6 +57,9 @@ class HostVm {
     }
     vms_.push_back(vm);
     used_mb_ += spec.memory_mb;
+    if (occupancy_listener_ != nullptr) {
+      occupancy_listener_->OnHostOccupancyChanged(*this, spec.memory_mb);
+    }
     return true;
   }
 
@@ -52,7 +69,16 @@ class HostVm {
       return;
     }
     vms_.erase(it);
+    const double before = used_mb_;
     used_mb_ = std::max(0.0, used_mb_ - spec.memory_mb);
+    if (occupancy_listener_ != nullptr) {
+      occupancy_listener_->OnHostOccupancyChanged(*this, used_mb_ - before);
+    }
+  }
+
+  // The listener (nullable) must outlive this host record.
+  void set_occupancy_listener(HostOccupancyListener* listener) {
+    occupancy_listener_ = listener;
   }
 
  private:
@@ -62,6 +88,7 @@ class HostVm {
   double capacity_mb_ = 0.0;
   double used_mb_ = 0.0;
   std::vector<NestedVmId> vms_;
+  HostOccupancyListener* occupancy_listener_ = nullptr;
 };
 
 }  // namespace spotcheck

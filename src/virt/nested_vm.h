@@ -26,6 +26,7 @@ enum class NestedVmState : uint8_t {
   kTerminated, // customer-released
   kFailed,     // state lost (live migration beaten by the termination)
 };
+inline constexpr int kNumNestedVmStates = 6;
 
 std::string_view NestedVmStateName(NestedVmState state);
 
@@ -39,9 +40,27 @@ class NestedVm {
   const NestedVmSpec& spec() const { return spec_; }
 
   NestedVmState state() const { return state_; }
-  void set_state(NestedVmState state) { state_ = state; }
+  void set_state(NestedVmState state) {
+    if (state_counters_ != nullptr) {
+      --state_counters_[static_cast<int>(state_)];
+      ++state_counters_[static_cast<int>(state)];
+    }
+    state_ = state;
+  }
   bool alive() const {
     return state_ != NestedVmState::kTerminated && state_ != NestedVmState::kFailed;
+  }
+
+  // Points this VM at a per-state population counter array (indexed by
+  // NestedVmState, kNumNestedVmStates entries) that every set_state updates
+  // in place. This is how the controller answers RunningVmCount() for a
+  // million-VM fleet in O(1) instead of scanning every record. The array
+  // must outlive the VM; binding counts the current state immediately.
+  void BindStateCounters(int64_t* counters) {
+    state_counters_ = counters;
+    if (counters != nullptr) {
+      ++counters[static_cast<int>(state_)];
+    }
   }
 
   // Current placement; invalid ids mean "none".
@@ -62,6 +81,7 @@ class NestedVm {
   CustomerId customer_;
   NestedVmSpec spec_;
   NestedVmState state_ = NestedVmState::kProvisioning;
+  int64_t* state_counters_ = nullptr;  // nullable; see BindStateCounters
   InstanceId host_;
   BackupServerId backup_;
   VolumeId root_volume_;

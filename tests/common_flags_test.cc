@@ -71,5 +71,97 @@ TEST(FlagParserTest, LastValueWins) {
   EXPECT_EQ(flags.GetInt("vms", 0), 9);
 }
 
+TEST(FlagParserTest, StrictIntAcceptsSignsAndWhitespacePrefix) {
+  const FlagParser flags({"--a=-42", "--b=+7", "--c= 13"});
+  EXPECT_EQ(flags.GetInt("a", 0), -42);
+  EXPECT_EQ(flags.GetInt("b", 0), 7);
+  // strtoll skips leading whitespace; the value still fully parses.
+  EXPECT_EQ(flags.GetInt("c", 0), 13);
+}
+
+TEST(FlagParserTest, StrictDoubleAcceptsScientificNotation) {
+  const FlagParser flags({"--rate=1e3", "--neg=-0.25"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("neg", 0.0), -0.25);
+}
+
+TEST(FlagParserTest, BoolTokenAliases) {
+  const FlagParser flags({"--a=TRUE", "--b=Yes", "--c=on", "--d=OFF",
+                          "--e=No", "--f=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+  EXPECT_FALSE(flags.GetBool("f", true));
+}
+
+// Regression tests for the silent mis-parse bugs: --jobs=four used to read
+// as 0 ("auto"), --chaos-seed=12x3 as 12, and --trace=flase as true. All of
+// these must now exit non-zero with a message naming the flag and value.
+
+TEST(FlagParserDeathTest, NonNumericIntExits) {
+  const FlagParser flags({"--jobs=four"});
+  EXPECT_EXIT((void)flags.GetInt("jobs", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --jobs: \"four\"");
+}
+
+TEST(FlagParserDeathTest, PartiallyNumericIntExits) {
+  const FlagParser flags({"--chaos-seed=12x3"});
+  EXPECT_EXIT((void)flags.GetInt("chaos-seed", 0),
+              ::testing::ExitedWithCode(2),
+              "invalid value for --chaos-seed: \"12x3\"");
+}
+
+TEST(FlagParserDeathTest, EmptyIntExits) {
+  const FlagParser flags({"--jobs="});
+  EXPECT_EXIT((void)flags.GetInt("jobs", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --jobs");
+}
+
+TEST(FlagParserDeathTest, OutOfRangeIntExits) {
+  const FlagParser flags({"--seed=99999999999999999999"});
+  EXPECT_EXIT((void)flags.GetInt("seed", 0), ::testing::ExitedWithCode(2),
+              "int64 range");
+}
+
+TEST(FlagParserDeathTest, PartiallyNumericDoubleExits) {
+  const FlagParser flags({"--rate=0.5x"});
+  EXPECT_EXIT((void)flags.GetDouble("rate", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --rate: \"0.5x\"");
+}
+
+TEST(FlagParserDeathTest, EmptyDoubleExits) {
+  const FlagParser flags({"--rate="});
+  EXPECT_EXIT((void)flags.GetDouble("rate", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --rate");
+}
+
+TEST(FlagParserDeathTest, OutOfRangeDoubleExits) {
+  const FlagParser flags({"--rate=1e999"});
+  EXPECT_EXIT((void)flags.GetDouble("rate", 0.0), ::testing::ExitedWithCode(2),
+              "double range");
+}
+
+TEST(FlagParserDeathTest, MisspelledBoolTokenExits) {
+  const FlagParser flags({"--trace=flase"});
+  EXPECT_EXIT((void)flags.GetBool("trace", false), ::testing::ExitedWithCode(2),
+              "invalid value for --trace: \"flase\"");
+}
+
+TEST(FlagParserDeathTest, ExitIfUnknownFlagsCatchesTypo) {
+  const FlagParser flags({"--polcy=1P-M", "--days=30"});
+  (void)flags.GetString("policy", "");
+  (void)flags.GetInt("days", 0);
+  EXPECT_EXIT(flags.ExitIfUnknownFlags("--policy=NAME, --days=N"),
+              ::testing::ExitedWithCode(2), "unknown flag --polcy");
+}
+
+TEST(FlagParserTest, ExitIfUnknownFlagsPassesWhenAllConsumed) {
+  const FlagParser flags({"--days=30"});
+  (void)flags.GetInt("days", 0);
+  flags.ExitIfUnknownFlags();  // must not exit
+}
+
 }  // namespace
 }  // namespace spotcheck

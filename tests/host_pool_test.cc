@@ -77,11 +77,8 @@ struct PoolHarness {
 
   NestedVm& NewVm() {
     const NestedVmId id = vm_ids.Next();
-    auto vm = std::make_unique<NestedVm>(
-        id, customer, MakeVmSpec(config.nested_type, config.workload));
-    NestedVm& ref = *vm;
-    vms[id] = std::move(vm);
-    return ref;
+    return vms.Emplace(id, id, customer,
+                       MakeVmSpec(config.nested_type, config.workload));
   }
 
   // Launches one host in `market` and returns it once it is up. The launch
@@ -90,15 +87,15 @@ struct PoolHarness {
   // afterwards so the host reads as empty but stays alive and indexed.
   HostVm* LaunchHost(const MarketKey& market, bool is_spot) {
     NestedVm& placeholder = NewVm();
-    const size_t before = pool->hosts().size();
+    const size_t before = pool->num_hosts();
     pool->AcquireHost(market, is_spot,
                       Waiter{placeholder.id(), WaitIntent::kInitialPlacement});
     sim.RunUntil(sim.Now() + SimDuration::Seconds(600));
-    EXPECT_EQ(pool->hosts().size(), before + 1);
+    EXPECT_EQ(pool->num_hosts(), before + 1);
     HostVm* newest = nullptr;
-    for (const auto& [id, host] : pool->hosts()) {
-      newest = host.get();  // hosts_ is id-ordered; last one is newest
-    }
+    pool->ForEachHost([&](HostVm& host) {
+      newest = &host;  // id-ordered scan; the last one is the newest
+    });
     if (newest != nullptr) {
       newest->RemoveVm(placeholder.id(), placeholder.spec());
     }
@@ -128,7 +125,7 @@ struct PoolHarness {
   VirtualPrivateCloud vpc;
   HostNetworkPlane network;
   ConnectionTracker connections;
-  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms;
+  FleetTable<NestedVmTag, NestedVm> vms;
   ControllerContext ctx;
   std::unique_ptr<HostPoolManager> pool;
   std::unique_ptr<PlacementEngine> placement;
@@ -144,9 +141,9 @@ TEST(HostPoolTest, CapacityIndexFindsHostsInAcquisitionOrder) {
   PoolHarness h;
   h.LaunchHost(kLargePool, /*is_spot=*/true);
   h.LaunchHost(kLargePool, /*is_spot=*/true);
-  ASSERT_EQ(h.pool->hosts().size(), 2u);
+  ASSERT_EQ(h.pool->num_hosts(), 2u);
 
-  const InstanceId first = h.pool->hosts().begin()->first;
+  const InstanceId first = h.pool->Hosts().front()->instance();
   const NestedVmSpec spec = MakeVmSpec(h.config.nested_type, h.config.workload);
   HostVm* found = h.pool->FindHostWithCapacity(kLargePool, /*spot=*/true, spec);
   ASSERT_NE(found, nullptr);
@@ -192,7 +189,7 @@ TEST(HostPoolTest, PendingSpotIndexJoinsInFlightLaunches) {
 
   h.sim.RunUntil(SimTime::FromSeconds(600));
   EXPECT_EQ(h.pool->num_pending_hosts(), 0u);
-  ASSERT_EQ(h.pool->hosts().size(), 2u);
+  ASSERT_EQ(h.pool->num_hosts(), 2u);
   EXPECT_EQ(a.state(), NestedVmState::kRunning);
   EXPECT_EQ(a.host(), b.host());  // co-located on the shared launch
   EXPECT_NE(a.host(), c.host());

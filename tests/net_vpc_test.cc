@@ -11,6 +11,24 @@ const CustomerId kBob(2);
 TEST(PrivateIpTest, Formatting) {
   EXPECT_EQ((PrivateIp{3, 17}.ToString()), "10.0.3.17");
   EXPECT_EQ((PrivateIp{0, 1}.ToString()), "10.0.0.1");
+  // The subnet number spans the second and third octets: 258 = 1*256 + 2.
+  EXPECT_EQ((PrivateIp{258, 9}.ToString()), "10.1.2.9");
+}
+
+TEST(VpcTest, SubnetsBeyondTheOldOctetBoundary) {
+  // A fleet-scale VPC holds far more than 255 customer subnets; the 300th
+  // customer lands past the old 8-bit subnet limit with a distinct address.
+  VirtualPrivateCloud vpc;
+  std::set<uint16_t> subnets;
+  for (int i = 1; i <= 300; ++i) {
+    const auto subnet = vpc.SubnetFor(CustomerId(i));
+    ASSERT_TRUE(subnet.has_value()) << "customer " << i;
+    EXPECT_TRUE(subnets.insert(*subnet).second);
+  }
+  const auto ip = vpc.AssignPrivateIp(CustomerId(300), NestedVmId(1));
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_GT(ip->subnet, 255);
+  EXPECT_EQ(vpc.VmAt(*ip), NestedVmId(1));
 }
 
 TEST(VpcTest, SubnetPerCustomerIsStable) {

@@ -75,11 +75,8 @@ struct SchedulerHarness {
 
   NestedVm& NewVm() {
     const NestedVmId id = vm_ids.Next();
-    auto vm = std::make_unique<NestedVm>(
-        id, customer, MakeVmSpec(config.nested_type, config.workload));
-    NestedVm& ref = *vm;
-    vms[id] = std::move(vm);
-    return ref;
+    return vms.Emplace(id, id, customer,
+                       MakeVmSpec(config.nested_type, config.workload));
   }
 
   // Launches one host in `market` and returns it once it is up. The launch
@@ -88,15 +85,15 @@ struct SchedulerHarness {
   // afterwards so the host reads as empty but stays alive and indexed.
   HostVm* LaunchHost(const MarketKey& market, bool is_spot) {
     NestedVm& placeholder = NewVm();
-    const size_t before = pool->hosts().size();
+    const size_t before = pool->num_hosts();
     pool->AcquireHost(market, is_spot,
                       Waiter{placeholder.id(), WaitIntent::kInitialPlacement});
     sim.RunUntil(sim.Now() + SimDuration::Seconds(600));
-    EXPECT_EQ(pool->hosts().size(), before + 1);
+    EXPECT_EQ(pool->num_hosts(), before + 1);
     HostVm* newest = nullptr;
-    for (const auto& [id, host] : pool->hosts()) {
-      newest = host.get();  // hosts_ is id-ordered; last one is newest
-    }
+    pool->ForEachHost([&](HostVm& host) {
+      newest = &host;  // id-ordered scan; the last one is the newest
+    });
     if (newest != nullptr) {
       newest->RemoveVm(placeholder.id(), placeholder.spec());
     }
@@ -128,7 +125,7 @@ struct SchedulerHarness {
   VirtualPrivateCloud vpc;
   HostNetworkPlane network;
   ConnectionTracker connections;
-  std::map<NestedVmId, std::unique_ptr<NestedVm>> vms;
+  FleetTable<NestedVmTag, NestedVm> vms;
   ControllerContext ctx;
   std::unique_ptr<HostPoolManager> pool;
   std::unique_ptr<PlacementEngine> placement;
