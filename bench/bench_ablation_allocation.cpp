@@ -4,15 +4,20 @@
 // fewest past revocations. Compared against the evaluated pool policies.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/grid_util.h"
 #include "src/common/flags.h"
+#include "src/policy/policy_spec.h"
 
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  // This binary takes no flags; reject typos instead of ignoring them.
-  FlagParser(argc, argv).ExitIfUnknownFlags();
+  const FlagParser flags(argc, argv);
+  // Optional strategy-layer row: --policy="bid=on-demand,map=index-track"
+  // appends one run of the given spec (registry-validated; bad specs exit 2).
+  const std::string policy_flag = flags.GetString("policy", "");
+  flags.ExitIfUnknownFlags("--policy=SPEC");
 
   std::printf("=== Ablation: allocation strategy (40 VMs, six months) ===\n");
   std::printf("%-10s %12s %12s %12s %10s %10s\n", "policy", "cost($/hr)",
@@ -27,6 +32,18 @@ int main(int argc, char** argv) {
         GridConfig(policy, MigrationMechanism::kSpotCheckLazyRestore));
     std::printf("%-10s %12.4f %12.5f %12.4f %10lld %10d\n",
                 std::string(MappingPolicyName(policy)).c_str(),
+                result.avg_cost_per_vm_hour, result.unavailability_pct,
+                result.degradation_pct,
+                static_cast<long long>(result.revocation_events),
+                result.num_backup_servers);
+  }
+  if (!policy_flag.empty()) {
+    EvaluationConfig config = GridConfig(
+        MappingPolicyKind::k1PM, MigrationMechanism::kSpotCheckLazyRestore);
+    config.policy_spec = ParsePolicySpecOrExit(policy_flag);
+    const EvaluationResult result = RunPolicyEvaluation(config);
+    std::printf("%-10s %12.4f %12.5f %12.4f %10lld %10d\n",
+                config.policy_spec->map.ToString().c_str(),
                 result.avg_cost_per_vm_hour, result.unavailability_pct,
                 result.degradation_pct,
                 static_cast<long long>(result.revocation_events),

@@ -4,15 +4,20 @@
 // crosses the on-demand level but is still below the bid.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/grid_util.h"
 #include "src/common/flags.h"
+#include "src/policy/policy_spec.h"
 
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  // This binary takes no flags; reject typos instead of ignoring them.
-  FlagParser(argc, argv).ExitIfUnknownFlags();
+  const FlagParser flags(argc, argv);
+  // Optional strategy-layer row: --policy="bid=adaptive:2,map=4p-ed" appends
+  // one run of the given spec (registry-validated; bad specs exit 2).
+  const std::string policy_flag = flags.GetString("policy", "");
+  flags.ExitIfUnknownFlags("--policy=SPEC");
 
   std::printf("=== Ablation: bidding policy (1P-M over the four m3 pools) ===\n");
   std::printf("%-22s %-10s %10s %10s %12s %12s %12s\n", "bid", "proactive",
@@ -36,6 +41,19 @@ int main(int argc, char** argv) {
     const EvaluationResult result = RunPolicyEvaluation(config);
     std::printf("%-22s %-10s %10lld %10lld %12.4f %12.5f %12.4f\n",
                 config.bidding.ToString().c_str(), row.proactive ? "yes" : "no",
+                static_cast<long long>(result.revocation_events),
+                static_cast<long long>(result.repatriations),
+                result.avg_cost_per_vm_hour, result.unavailability_pct,
+                result.degradation_pct);
+  }
+  if (!policy_flag.empty()) {
+    EvaluationConfig config = GridConfig(
+        MappingPolicyKind::k4PED, MigrationMechanism::kSpotCheckLazyRestore);
+    config.policy_spec = ParsePolicySpecOrExit(policy_flag);
+    config.proactive = true;  // no-op for bids without proactive support
+    const EvaluationResult result = RunPolicyEvaluation(config);
+    std::printf("%-22s %-10s %10lld %10lld %12.4f %12.5f %12.4f\n",
+                config.policy_spec->ToString().c_str(), "yes",
                 static_cast<long long>(result.revocation_events),
                 static_cast<long long>(result.repatriations),
                 result.avg_cost_per_vm_hour, result.unavailability_pct,

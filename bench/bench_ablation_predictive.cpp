@@ -5,17 +5,28 @@
 // effect is measured.
 
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "bench/grid_util.h"
 #include "src/market/revocation_predictor.h"
 #include "src/market/spot_price_process.h"
 #include "src/common/flags.h"
+#include "src/policy/policy_spec.h"
 
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  // This binary takes no flags; reject typos instead of ignoring them.
-  FlagParser(argc, argv).ExitIfUnknownFlags();
+  const FlagParser flags(argc, argv);
+  // Optional strategy-layer override for the end-to-end comparison:
+  // --policy="bid=on-demand,map=index-track" runs both the reactive and
+  // predictive variants under that spec instead of 4P-ED.
+  const std::string policy_flag = flags.GetString("policy", "");
+  flags.ExitIfUnknownFlags("--policy=SPEC");
+  std::optional<PolicySpec> policy_spec;
+  if (!policy_flag.empty()) {
+    policy_spec = ParsePolicySpecOrExit(policy_flag);
+  }
 
   std::printf("=== Predictor quality per market (six months, bid = on-demand)"
               " ===\n");
@@ -34,12 +45,15 @@ int main(int argc, char** argv) {
                 100.0 * score.signal_up_fraction);
   }
 
-  std::printf("\n=== End-to-end effect (4P-ED, SpotCheck lazy restore) ===\n");
+  std::printf("\n=== End-to-end effect (%s, SpotCheck lazy restore) ===\n",
+              policy_spec.has_value() ? policy_spec->ToString().c_str()
+                                      : "4P-ED");
   std::printf("%-12s %10s %10s %12s %12s %12s\n", "variant", "revocs", "drains",
               "cost($/hr)", "unavail(%)", "degr(%)");
   for (bool predictive : {false, true}) {
     EvaluationConfig config = GridConfig(MappingPolicyKind::k4PED,
                                          MigrationMechanism::kSpotCheckLazyRestore);
+    config.policy_spec = policy_spec;
     EvaluationResult result;
     if (predictive) {
       // Run through the controller directly to flip the predictive knob.
@@ -53,6 +67,7 @@ int main(int argc, char** argv) {
       ControllerConfig controller_config;
       controller_config.mapping = config.policy;
       controller_config.mechanism = config.mechanism;
+      controller_config.policy_spec = policy_spec;
       controller_config.enable_predictive = true;
       controller_config.seed = config.seed;
       SpotCheckController controller(&sim, &cloud, &markets, controller_config);

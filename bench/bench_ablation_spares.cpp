@@ -7,18 +7,30 @@
 // and no migration at all.
 
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "bench/grid_util.h"
 #include "src/common/flags.h"
+#include "src/policy/policy_spec.h"
 
 using namespace spotcheck;
 
 int main(int argc, char** argv) {
-  // This binary takes no flags; reject typos instead of ignoring them.
-  FlagParser(argc, argv).ExitIfUnknownFlags();
+  const FlagParser flags(argc, argv);
+  // Optional strategy-layer override: --policy="bid=multiple:2,map=4p-cost"
+  // runs every variant under that spec instead of 4P-ED.
+  const std::string policy_flag = flags.GetString("policy", "");
+  flags.ExitIfUnknownFlags("--policy=SPEC");
+  std::optional<PolicySpec> policy_spec;
+  if (!policy_flag.empty()) {
+    policy_spec = ParsePolicySpecOrExit(policy_flag);
+  }
 
-  std::printf("=== Ablation: storm absorption & stateless mode (4P-ED, six"
-              " months) ===\n");
+  std::printf("=== Ablation: storm absorption & stateless mode (%s, six"
+              " months) ===\n",
+              policy_spec.has_value() ? policy_spec->ToString().c_str()
+                                      : "4P-ED");
   std::printf("%-22s %12s %12s %10s %10s %10s %10s\n", "variant", "cost($/hr)",
               "unavail(%)", "evacs", "stagings", "respawns", "backups");
 
@@ -38,6 +50,7 @@ int main(int argc, char** argv) {
   for (const Variant& variant : kVariants) {
     EvaluationConfig config = GridConfig(MappingPolicyKind::k4PED,
                                          MigrationMechanism::kSpotCheckLazyRestore);
+    config.policy_spec = policy_spec;
     config.hot_spares = variant.hot_spares;
     config.use_staging = variant.staging;
     config.stateless_fraction = variant.stateless;

@@ -9,6 +9,8 @@
 //         --vms=40 --seed=2 --staging --predictive --zones=2 --dump --events=timeline.csv
 //
 // Policies:   1P-M 2P-ML 4P-ED 4P-COST 4P-ST GREEDY STABLE
+//             or a strategy spec, e.g. --policy="bid=adaptive:2,map=index-track"
+//             (names via the policy registry; see DESIGN.md section 15)
 // Mechanisms: live yank-full full lazy-unopt lazy
 
 #include <cstdio>
@@ -19,6 +21,7 @@
 #include "src/core/controller.h"
 #include "src/core/evaluation.h"
 #include "src/market/trace_catalog.h"
+#include "src/policy/policy_spec.h"
 #include "src/sim/simulator.h"
 
 using namespace spotcheck;
@@ -64,13 +67,19 @@ int main(int argc, char** argv) {
   const std::string policy_name = flags.GetString("policy", "1P-M");
   const std::string mechanism_name = flags.GetString("mechanism", "lazy");
   const auto policy = ParsePolicy(policy_name);
+  // Anything that is not a legacy policy name is treated as a strategy spec
+  // ("bid=...,map=..."): registry-validated, bad specs exit 2 with the list
+  // of registered names.
+  std::optional<PolicySpec> policy_spec;
+  if (!policy.has_value()) {
+    policy_spec = ParsePolicySpecOrExit(policy_name);
+  }
   const auto mechanism = ParseMechanism(mechanism_name);
-  if (!policy.has_value() || !mechanism.has_value()) {
+  if (!mechanism.has_value()) {
     std::fprintf(stderr,
-                 "unknown --policy=%s or --mechanism=%s\n"
-                 "policies: 1P-M 2P-ML 4P-ED 4P-COST 4P-ST GREEDY STABLE\n"
+                 "unknown --mechanism=%s\n"
                  "mechanisms: live yank-full full lazy-unopt lazy\n",
-                 policy_name.c_str(), mechanism_name.c_str());
+                 mechanism_name.c_str());
     return 2;
   }
 
@@ -99,7 +108,8 @@ int main(int argc, char** argv) {
   NativeCloud cloud(&sim, &markets, cloud_config);
 
   ControllerConfig config;
-  config.mapping = *policy;
+  config.mapping = policy.value_or(MappingPolicyKind::k1PM);
+  config.policy_spec = policy_spec;
   config.mechanism = *mechanism;
   const double bid_multiple = flags.GetDouble("bid-multiple", 1.0);
   config.bidding = bid_multiple > 1.0 ? BiddingPolicy::Multiple(bid_multiple)
@@ -141,7 +151,8 @@ int main(int argc, char** argv) {
   std::printf("policy=%s mechanism=%s vms=%d days=%.0f seed=%llu %s\n",
               policy_name.c_str(), mechanism_name.c_str(), vms, horizon.days(),
               static_cast<unsigned long long>(seed),
-              config.bidding.ToString().c_str());
+              policy_spec.has_value() ? controller.policy_spec().bid.ToString().c_str()
+                                      : config.bidding.ToString().c_str());
   std::printf("cost:          $%.4f per VM-hour (on-demand $%.3f -> %.1fx"
               " cheaper)\n",
               cost.avg_cost_per_vm_hour, OnDemandPrice(config.nested_type),

@@ -52,6 +52,8 @@
 #include "src/net/connection_tracker.h"
 #include "src/net/nat_table.h"
 #include "src/net/vpc.h"
+#include "src/policy/policy_spec.h"
+#include "src/policy/strategy.h"
 #include "src/virt/activity_log.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/migration_engine.h"
@@ -97,6 +99,10 @@ class SpotCheckController {
   // degradation); regular evaluation code should use the const accessor.
   BackupPool& mutable_backup_pool() { return backup_pool_; }
   const ControllerConfig& config() const { return config_; }
+  // The policy spec this controller actually runs: config.policy_spec when
+  // set, else the legacy enums translated to registry names.
+  const PolicySpec& policy_spec() const { return policy_spec_; }
+  const BidStrategy& bid_strategy() const { return *bid_strategy_; }
   // Network state: each nested VM keeps one stable private address whose
   // NAT binding follows it from host to host (Fig. 4); client connections
   // survive any outage shorter than their timeout.
@@ -183,6 +189,11 @@ class SpotCheckController {
   // Fleet-scale VM storage: one arena record per VM (no unique_ptr nodes),
   // stable references for in-flight event lambdas, id-order iteration.
   FleetTable<NestedVmTag, NestedVm> vms_;
+
+  // Resolved policy spec + the bidding strategy every component bids
+  // through (declared before ctx_/components so it outlives them).
+  PolicySpec policy_spec_;
+  std::unique_ptr<BidStrategy> bid_strategy_;
 
   // Shared wiring + the five components (constructed, in this order, after
   // the context above is fully populated; see controller_context.h).

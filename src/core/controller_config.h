@@ -8,6 +8,7 @@
 #define SRC_CORE_CONTROLLER_CONFIG_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "src/backup/backup_pool.h"
 #include "src/core/bidding_policy.h"
@@ -15,6 +16,7 @@
 #include "src/market/instance_types.h"
 #include "src/market/revocation_predictor.h"
 #include "src/obs/metrics.h"
+#include "src/policy/policy_spec.h"
 #include "src/virt/migration_engine.h"
 #include "src/workload/workload_model.h"
 
@@ -24,6 +26,13 @@ struct ControllerConfig {
   MappingPolicyKind mapping = MappingPolicyKind::k1PM;
   MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
   BiddingPolicy bidding = BiddingPolicy::OnDemand();
+  // Strategy-layer policy selection (DESIGN.md section 15). When set, it
+  // overrides `mapping` and `bidding` wholesale: the controller instantiates
+  // both strategies from this spec via the PolicyRegistry. When unset, the
+  // legacy enums above are translated to the equivalent spec -- existing
+  // configs behave bit-identically. Specs from user input should come
+  // through PolicySpec::Parse so they are registry-validated.
+  std::optional<PolicySpec> policy_spec;
   // The server type customers request (the paper's default: the smallest
   // HVM-capable type).
   InstanceType nested_type = InstanceType::kM3Medium;

@@ -50,6 +50,7 @@ class PlacementEngine;
 class EvacuationCoordinator;
 class MarketWatcher;
 class RepatriationScheduler;
+class BidStrategy;
 
 struct ControllerContext {
   // Platform handles (caller-owned).
@@ -59,6 +60,10 @@ struct ControllerContext {
   const ControllerConfig* config = nullptr;
   MetricsRegistry* metrics = nullptr;  // nullable
   SpanTracer* tracer = nullptr;        // nullable
+  // The resolved bidding strategy (facade-owned, set before any component is
+  // constructed): every bid the components place and every proactive-window
+  // decision goes through it, never through config->bidding directly.
+  BidStrategy* bid = nullptr;
 
   // Facade-owned bookkeeping shared by every component.
   ActivityLog* activity_log = nullptr;

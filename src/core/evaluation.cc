@@ -11,6 +11,7 @@
 #include "src/chaos/fault_plan.h"
 #include "src/core/mapping_policy.h"
 #include "src/market/spot_market.h"
+#include "src/policy/registry.h"
 #include "src/market/spot_price_process.h"
 #include "src/sim/simulator.h"
 
@@ -25,10 +26,21 @@ std::shared_ptr<const RunReport> BuildRunReport(
     std::shared_ptr<const MetricsRegistry> metrics,
     std::shared_ptr<const SpanTracer> trace) {
   auto report = std::make_shared<RunReport>();
-  report->label = config.report_label.empty()
-                      ? std::string(MappingPolicyName(config.policy)) + "/" +
-                            std::string(MigrationMechanismName(config.mechanism))
-                      : config.report_label;
+  if (!config.report_label.empty()) {
+    report->label = config.report_label;
+  } else if (config.policy_spec.has_value()) {
+    report->label =
+        config.policy_spec->ToString() + "/" +
+        std::string(MigrationMechanismName(config.mechanism));
+  } else {
+    report->label =
+        std::string(MappingPolicyName(config.policy)) + "/" +
+        std::string(MigrationMechanismName(config.mechanism));
+  }
+  // Record the spec the controller actually ran (resolved from either the
+  // explicit spec or the legacy enums), so grid summaries can group cells by
+  // policy without re-deriving the translation.
+  report->policy_spec = controller.policy_spec().ToString();
   report->AddSummary("config.num_vms", config.num_vms);
   report->AddSummary("config.num_customers", config.num_customers);
   report->AddSummary("config.horizon_days", config.horizon.days());
@@ -172,6 +184,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   controller_config.mapping = config.policy;
   controller_config.mechanism = config.mechanism;
   controller_config.bidding = config.bidding;
+  controller_config.policy_spec = config.policy_spec;
   controller_config.enable_proactive = config.proactive;
   controller_config.hot_spares = config.hot_spares;
   controller_config.use_staging = config.use_staging;
@@ -284,11 +297,19 @@ std::vector<EvaluationTraceKey> EvaluationTraceKeys(
   }
   // Candidate enumeration ignores the Rng (only weighted ChoosePool draws
   // from it), so any seed yields the same key set.
-  MappingPolicy mapping(config.policy, defaults.nested_type, zones, Rng(0));
+  std::vector<MarketKey> candidates;
+  if (config.policy_spec.has_value()) {
+    std::string error;
+    candidates = PolicyRegistry::Instance().CandidatesFor(
+        config.policy_spec->map, defaults.nested_type, zones, &error);
+  } else {
+    MappingPolicy mapping(config.policy, defaults.nested_type, zones, Rng(0));
+    candidates = mapping.candidates();
+  }
   const SimDuration horizon = config.horizon + SimDuration::Days(1);
   std::vector<EvaluationTraceKey> keys;
-  keys.reserve(mapping.candidates().size());
-  for (const MarketKey& market : mapping.candidates()) {
+  keys.reserve(candidates.size());
+  for (const MarketKey& market : candidates) {
     keys.push_back(EvaluationTraceKey{market, horizon, config.seed});
   }
   return keys;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/chaos/chaos_config.h"
@@ -23,6 +24,11 @@ struct EvaluationConfig {
   MappingPolicyKind policy = MappingPolicyKind::k1PM;
   MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
   BiddingPolicy bidding = BiddingPolicy::OnDemand();
+  // Strategy-layer override: when set, `policy` and `bidding` above are
+  // ignored and both strategies come from this spec (see ControllerConfig::
+  // policy_spec). Enables the new families ("index-track", "adaptive") that
+  // have no legacy enum value.
+  std::optional<PolicySpec> policy_spec;
   bool proactive = false;
   int hot_spares = 0;
   bool use_staging = false;
@@ -60,7 +66,8 @@ struct EvaluationConfig {
   bool collect_trace = false;
   // Tracer knobs (sampling interval for simulator dispatch instants).
   TraceConfig trace;
-  // RunReport label; defaults to "<policy>/<mechanism>" when empty.
+  // RunReport label; defaults to "<policy>/<mechanism>" when empty (with the
+  // policy spec string standing in for <policy> when policy_spec is set).
   std::string report_label;
 };
 

@@ -11,6 +11,7 @@
 #include "src/core/evacuation.h"
 #include "src/core/placement.h"
 #include "src/core/repatriation.h"
+#include "src/policy/strategy.h"
 
 namespace spotcheck {
 
@@ -105,7 +106,7 @@ void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
   InstanceId instance;
   if (is_spot) {
     instance = ctx_->cloud->RequestSpotInstance(
-        market, ctx_->config->bidding.BidFor(market.type),
+        market, ctx_->bid->BidFor(market.type),
         [this](InstanceId id, bool ok) { OnHostReady(id, ok); });
   } else {
     instance = ctx_->cloud->RequestOnDemandInstance(

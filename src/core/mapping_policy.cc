@@ -1,67 +1,10 @@
 #include "src/core/mapping_policy.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "src/market/market_analytics.h"
+#include "src/core/policy_bridge.h"
+#include "src/policy/builtin_strategies.h"
+#include "src/policy/registry.h"
 
 namespace spotcheck {
-namespace {
-
-// Host-type pools that can carry a `nested` VM: the nested type itself plus
-// progressively larger types of the same family (slicing targets), in size
-// order. For m3.medium this is exactly {m3.medium, m3.large, m3.xlarge,
-// m3.2xlarge} as in Table 2.
-std::vector<InstanceType> FamilyLadder(InstanceType nested) {
-  const std::string_view name = InstanceTypeName(nested);
-  const std::string_view family = name.substr(0, name.find('.'));
-  std::vector<InstanceType> ladder;
-  for (const InstanceTypeInfo& info : InstanceCatalog()) {
-    if (!info.hvm_capable) {
-      continue;
-    }
-    const std::string_view candidate_family =
-        info.name.substr(0, info.name.find('.'));
-    if (candidate_family == family && NestedSlotsPerHost(info.type, nested) >= 1) {
-      ladder.push_back(info.type);
-    }
-  }
-  // The catalog lists each family smallest-first already; keep that order.
-  if (ladder.empty()) {
-    ladder.push_back(nested);
-  }
-  return ladder;
-}
-
-std::vector<MarketKey> CandidatesFor(MappingPolicyKind kind, InstanceType nested,
-                                     AvailabilityZone zone) {
-  const std::vector<InstanceType> ladder = FamilyLadder(nested);
-  size_t pools = 0;
-  switch (kind) {
-    case MappingPolicyKind::k1PM:
-      pools = 1;
-      break;
-    case MappingPolicyKind::k2PML:
-      pools = 2;
-      break;
-    case MappingPolicyKind::k4PED:
-    case MappingPolicyKind::k4PCost:
-    case MappingPolicyKind::k4PStability:
-    case MappingPolicyKind::kGreedyCheapest:
-    case MappingPolicyKind::kStabilityFirst:
-      pools = 4;
-      break;
-  }
-  pools = std::min(std::max<size_t>(pools, 1), ladder.size());
-  std::vector<MarketKey> candidates;
-  candidates.reserve(pools);
-  for (size_t i = 0; i < pools; ++i) {
-    candidates.push_back(MarketKey{ladder[i], zone});
-  }
-  return candidates;
-}
-
-}  // namespace
 
 std::string_view MappingPolicyName(MappingPolicyKind kind) {
   switch (kind) {
@@ -89,127 +32,22 @@ MappingPolicy::MappingPolicy(MappingPolicyKind kind, InstanceType nested_type,
 
 MappingPolicy::MappingPolicy(MappingPolicyKind kind, InstanceType nested_type,
                              const std::vector<AvailabilityZone>& zones, Rng rng)
-    : kind_(kind), nested_type_(nested_type), rng_(rng) {
-  for (const AvailabilityZone& zone :
-       zones.empty() ? std::vector<AvailabilityZone>{AvailabilityZone{0}} : zones) {
-    for (const MarketKey& key : CandidatesFor(kind, nested_type, zone)) {
-      candidates_.push_back(key);
-    }
-  }
-}
-
-double MappingPolicy::PerSlotPrice(const SpotMarket& market,
-                                   InstanceType nested_type, SimTime now) {
-  const int slots = NestedSlotsPerHost(market.key().type, nested_type);
-  if (slots <= 0) {
-    return std::numeric_limits<double>::infinity();
-  }
-  return market.PriceAt(now) / static_cast<double>(slots);
-}
-
-MarketKey MappingPolicy::ChooseWeighted(const std::vector<double>& weights) {
-  double total = 0.0;
-  for (double w : weights) {
-    total += w;
-  }
-  if (total <= 0.0) {
-    return candidates_[round_robin_++ % candidates_.size()];
-  }
-  double draw = rng_.Uniform(0.0, total);
-  for (size_t i = 0; i < candidates_.size(); ++i) {
-    draw -= weights[i];
-    if (draw <= 0.0) {
-      return candidates_[i];
-    }
-  }
-  return candidates_.back();
+    : kind_(kind) {
+  PoolStrategyInit init;
+  init.nested_type = nested_type;
+  init.zones = zones.empty()
+                   ? std::vector<AvailabilityZone>{AvailabilityZone{0}}
+                   : zones;
+  init.rng = rng;
+  strategy_ = CreatePoolStrategyOrDie(MapSpecFromLegacy(kind), init);
 }
 
 MarketKey MappingPolicy::ChoosePool(MarketPlace& markets,
                                     const BiddingPolicy& bidding, SimTime now) {
-  if (candidates_.size() == 1) {
-    return candidates_.front();
-  }
-  switch (kind_) {
-    case MappingPolicyKind::k1PM:
-    case MappingPolicyKind::k2PML:
-    case MappingPolicyKind::k4PED:
-      // Equal distribution: round-robin gives an exact split. (1P-M only has
-      // multiple candidates in multi-zone deployments, where the single type
-      // is spread across zones.)
-      return candidates_[round_robin_++ % candidates_.size()];
-
-    case MappingPolicyKind::k4PCost: {
-      // Weight inversely to historical per-slot cost.
-      std::vector<double> weights;
-      for (const MarketKey& key : candidates_) {
-        SpotMarket* market = markets.Find(key);
-        const int slots = NestedSlotsPerHost(key.type, nested_type_);
-        double weight = 0.0;
-        if (market != nullptr && slots > 0 && now > SimTime()) {
-          const double mean = market->trace().MeanPrice(SimTime(), now) /
-                              static_cast<double>(slots);
-          weight = mean > 0.0 ? 1.0 / mean : 0.0;
-        }
-        weights.push_back(weight);
-      }
-      return ChooseWeighted(weights);
-    }
-
-    case MappingPolicyKind::k4PStability: {
-      // Weight inversely to the number of past revocations (bid crossings).
-      std::vector<double> weights;
-      for (const MarketKey& key : candidates_) {
-        SpotMarket* market = markets.Find(key);
-        double weight = 0.0;
-        if (market != nullptr) {
-          const int crossings = CountBidCrossings(
-              market->trace(), bidding.BidFor(key.type), SimTime(), now);
-          weight = 1.0 / (1.0 + static_cast<double>(crossings));
-        }
-        weights.push_back(weight);
-      }
-      return ChooseWeighted(weights);
-    }
-
-    case MappingPolicyKind::kGreedyCheapest: {
-      // Lowest current per-slot price wins (exploits the slicing arbitrage).
-      MarketKey best = candidates_.front();
-      double best_price = std::numeric_limits<double>::infinity();
-      for (const MarketKey& key : candidates_) {
-        SpotMarket* market = markets.Find(key);
-        if (market == nullptr) {
-          continue;
-        }
-        const double price = PerSlotPrice(*market, nested_type_, now);
-        if (price < best_price) {
-          best_price = price;
-          best = key;
-        }
-      }
-      return best;
-    }
-
-    case MappingPolicyKind::kStabilityFirst: {
-      // Fewest past revocations wins outright.
-      MarketKey best = candidates_.front();
-      int best_crossings = std::numeric_limits<int>::max();
-      for (const MarketKey& key : candidates_) {
-        SpotMarket* market = markets.Find(key);
-        if (market == nullptr) {
-          continue;
-        }
-        const int crossings = CountBidCrossings(
-            market->trace(), bidding.BidFor(key.type), SimTime(), now);
-        if (crossings < best_crossings) {
-          best_crossings = crossings;
-          best = key;
-        }
-      }
-      return best;
-    }
-  }
-  return candidates_.front();
+  const FixedBidStrategy bid(BidSpecFromLegacy(bidding),
+                             bidding.kind == BidPolicyKind::kMultipleOfOnDemand,
+                             bidding.k);
+  return strategy_->ChoosePool(MarketView(markets, now), bid);
 }
 
 }  // namespace spotcheck

@@ -1,4 +1,4 @@
-// Customer-to-pool mapping policies (Table 2, Section 4.2).
+// Customer-to-pool mapping policies (Table 2, Section 4.2) -- legacy shim.
 //
 // When a customer requests a nested VM, SpotCheck decides which spot pool
 // (host instance type x zone) should receive it. Distributing a customer's
@@ -15,6 +15,12 @@
 // plus two allocation strategies described in the prose: greedy
 // cheapest-first (current per-slot price, exploiting the slicing arbitrage)
 // and stability-first (fewest recent bid crossings).
+//
+// Since the policy-layer refactor the implementations live in src/policy
+// (builtin_strategies.h) behind the PoolSelectionStrategy interface; this
+// class keeps the enum-based API for existing callers by delegating to the
+// registry-created strategy. New code should address strategies by spec
+// string ("map=4p-cost") through ControllerConfig::policy_spec instead.
 
 #ifndef SRC_CORE_MAPPING_POLICY_H_
 #define SRC_CORE_MAPPING_POLICY_H_
@@ -28,6 +34,7 @@
 #include "src/common/time.h"
 #include "src/core/bidding_policy.h"
 #include "src/market/spot_market.h"
+#include "src/policy/strategy.h"
 
 namespace spotcheck {
 
@@ -46,6 +53,7 @@ std::string_view MappingPolicyName(MappingPolicyKind kind);
 // Chooses the spot pool for each newly requested nested VM. Pools are
 // identified by the market of their host servers; a pool whose host type is
 // larger than the nested VM type is sliced (NestedSlotsPerHost > 1).
+// Move-only: owns the underlying registry-created strategy.
 class MappingPolicy {
  public:
   // `nested_type` is the type customers request (m3.medium in the paper);
@@ -59,8 +67,13 @@ class MappingPolicy {
   MappingPolicy(MappingPolicyKind kind, InstanceType nested_type,
                 const std::vector<AvailabilityZone>& zones, Rng rng);
 
+  MappingPolicy(MappingPolicy&&) = default;
+  MappingPolicy& operator=(MappingPolicy&&) = default;
+
   MappingPolicyKind kind() const { return kind_; }
-  const std::vector<MarketKey>& candidates() const { return candidates_; }
+  const std::vector<MarketKey>& candidates() const {
+    return strategy_->candidates();
+  }
 
   // Picks the pool for the next VM. `markets` supplies price history for the
   // cost/stability-weighted policies; `bidding` defines the bid whose
@@ -71,16 +84,13 @@ class MappingPolicy {
   // Per-slot price of hosting one `nested_type` VM in `pool` at `now`
   // (host price divided by slots; the slicing arbitrage in Section 4.2).
   static double PerSlotPrice(const SpotMarket& market, InstanceType nested_type,
-                             SimTime now);
+                             SimTime now) {
+    return PoolSelectionStrategy::PerSlotPrice(market, nested_type, now);
+  }
 
  private:
-  MarketKey ChooseWeighted(const std::vector<double>& weights);
-
   MappingPolicyKind kind_;
-  InstanceType nested_type_;
-  std::vector<MarketKey> candidates_;
-  Rng rng_;
-  size_t round_robin_ = 0;
+  std::unique_ptr<PoolSelectionStrategy> strategy_;
 };
 
 }  // namespace spotcheck

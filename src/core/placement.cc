@@ -9,6 +9,7 @@
 #include "src/core/controller_config.h"
 #include "src/core/event_log.h"
 #include "src/core/host_pool.h"
+#include "src/core/policy_bridge.h"
 #include "src/net/connection_tracker.h"
 #include "src/net/nat_table.h"
 #include "src/net/vpc.h"
@@ -28,14 +29,19 @@ std::vector<AvailabilityZone> ZoneSpan(const ControllerConfig& config) {
 
 }  // namespace
 
-PlacementEngine::PlacementEngine(ControllerContext* ctx)
-    : ctx_(ctx),
-      mapping_(ctx->config->mapping, ctx->config->nested_type,
-               ZoneSpan(*ctx->config), Rng(ctx->config->seed).Split(0x9a9)) {}
+PlacementEngine::PlacementEngine(ControllerContext* ctx) : ctx_(ctx) {
+  // The Rng split label and seeding are pinned by the determinism golden
+  // test: the weighted-draw stream must match the pre-refactor MappingPolicy.
+  PoolStrategyInit init;
+  init.nested_type = ctx->config->nested_type;
+  init.zones = ZoneSpan(*ctx->config);
+  init.rng = Rng(ctx->config->seed).Split(0x9a9);
+  pool_ = CreatePoolStrategyOrDie(ResolvedPolicySpec(*ctx->config).map, init);
+}
 
 void PlacementEngine::PlaceVm(NestedVm& vm) {
-  const MarketKey pool = mapping_.ChoosePool(
-      *ctx_->markets, ctx_->config->bidding, ctx_->Now());
+  const MarketKey pool = pool_->ChoosePool(
+      MarketView(*ctx_->markets, ctx_->Now()), *ctx_->bid);
   SpanId span = 0;
   if (ctx_->tracer != nullptr) {
     SpanTracer& tracer = *ctx_->tracer;
@@ -194,8 +200,7 @@ HostVm* PlacementEngine::PickStagingHost(const NestedVmSpec& spec,
     // sensible havens; a pool mid-spike would just revoke the VM again.
     SpotMarket* market = ctx_->markets->Find(host.market());
     if (market == nullptr ||
-        market->CurrentPrice() >
-            ctx_->config->bidding.BidFor(host.market().type)) {
+        market->CurrentPrice() > ctx_->bid->BidFor(host.market().type)) {
       return;
     }
     found = &host;

@@ -10,12 +10,13 @@
 #define SRC_CORE_PLACEMENT_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/core/controller_context.h"
-#include "src/core/mapping_policy.h"
 #include "src/obs/trace.h"
+#include "src/policy/strategy.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/nested_vm.h"
 
@@ -28,9 +29,9 @@ class PlacementEngine {
   PlacementEngine(const PlacementEngine&) = delete;
   PlacementEngine& operator=(const PlacementEngine&) = delete;
 
-  // Candidate pools of the configured mapping policy.
+  // Candidate pools of the configured pool-selection strategy.
   const std::vector<MarketKey>& candidates() const {
-    return mapping_.candidates();
+    return pool_->candidates();
   }
 
   // Chooses a pool and either joins an existing host with a free slot or
@@ -61,7 +62,10 @@ class PlacementEngine {
 
  private:
   ControllerContext* ctx_;
-  MappingPolicy mapping_;
+  // The pool-selection strategy resolved from the controller's PolicySpec
+  // (registry-created; the legacy MappingPolicyKind maps 1:1 onto builtin
+  // strategy names, so enum configs behave bit-identically).
+  std::unique_ptr<PoolSelectionStrategy> pool_;
   // Open "placement.place" spans: PlaceVm -> first successful attach.
   // Empty when tracing is off.
   std::map<NestedVmId, SpanId> placing_spans_;

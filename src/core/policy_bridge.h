@@ -1,0 +1,40 @@
+// Bridge between the legacy enum-based policy configuration and the
+// src/policy strategy layer.
+//
+// ControllerConfig/EvaluationConfig still carry MappingPolicyKind /
+// BiddingPolicy for every existing caller; the controller resolves them --
+// or an explicit ControllerConfig::policy_spec, which wins -- into one
+// PolicySpec and instantiates the strategies through the registry. The
+// legacy enums map onto registry names 1:1, so a config expressed either way
+// produces the same strategy objects (and bit-identical simulations).
+
+#ifndef SRC_CORE_POLICY_BRIDGE_H_
+#define SRC_CORE_POLICY_BRIDGE_H_
+
+#include <memory>
+
+#include "src/core/controller_config.h"
+#include "src/policy/registry.h"
+
+namespace spotcheck {
+
+// "on-demand" or "multiple:k".
+StrategySpec BidSpecFromLegacy(const BiddingPolicy& bidding);
+// "1p-m" / "2p-ml" / "4p-ed" / "4p-cost" / "4p-st" / "greedy" / "stable".
+StrategySpec MapSpecFromLegacy(MappingPolicyKind kind);
+
+// The spec the controller runs: config.policy_spec when set, else the legacy
+// enums translated.
+PolicySpec ResolvedPolicySpec(const ControllerConfig& config);
+
+// Registry instantiation for pre-validated specs; prints the error and
+// aborts on failure (a spec that reached the controller has either passed
+// PolicySpec::Parse or came from the legacy enums, so failure here is a
+// programming error, not user input).
+std::unique_ptr<BidStrategy> CreateBidStrategyOrDie(const StrategySpec& spec);
+std::unique_ptr<PoolSelectionStrategy> CreatePoolStrategyOrDie(
+    const StrategySpec& spec, const PoolStrategyInit& init);
+
+}  // namespace spotcheck
+
+#endif  // SRC_CORE_POLICY_BRIDGE_H_

@@ -8,6 +8,7 @@
 #include "src/core/event_log.h"
 #include "src/core/host_pool.h"
 #include "src/core/placement.h"
+#include "src/policy/strategy.h"
 #include "src/virt/migration_engine.h"
 
 namespace spotcheck {
@@ -27,6 +28,11 @@ void MarketWatcher::Subscribe(const MarketKey& key) {
 
 void MarketWatcher::OnPriceChange(const MarketKey& key, double price) {
   const ControllerConfig& config = *ctx_->config;
+  BidStrategy& bid = *ctx_->bid;
+  // Adaptive strategies rebid from observed crossing rates; the fixed
+  // strategies' hook is a no-op, keeping the pre-refactor event sequence
+  // bit-identical.
+  bid.OnPriceObservation(key, ctx_->Now(), price);
   const double od_price = OnDemandPrice(key.type);
   bool predicted_risk = false;
   if (config.enable_predictive) {
@@ -38,13 +44,14 @@ void MarketWatcher::OnPriceChange(const MarketKey& key, double price) {
   if (config.enable_repatriation && price <= od_price && !predicted_risk) {
     ctx_->repatriation->TryRepatriate(key);
   }
-  if (config.enable_proactive && config.bidding.SupportsProactiveMigration() &&
-      price > od_price && price <= config.bidding.BidFor(key.type)) {
+  if (config.enable_proactive && bid.SupportsProactiveMigration() &&
+      price > bid.ProactiveThreshold(key.type) &&
+      price <= bid.BidFor(key.type)) {
     ctx_->repatriation->ProactivelyDrain(key);
   }
   // The predictor fires while the price is still below the bid -- the whole
   // point is to leave before any revocation warning exists.
-  if (predicted_risk && price <= config.bidding.BidFor(key.type)) {
+  if (predicted_risk && price <= bid.BidFor(key.type)) {
     ctx_->repatriation->ProactivelyDrain(key);
   }
 }

@@ -49,6 +49,27 @@ PredictorScore EvaluatePredictor(const PredictorConfig& config,
                                  const PriceTrace& trace, double on_demand_price,
                                  double bid, SimTime from, SimTime to) {
   PredictorScore score;
+  // Degenerate windows score zero instead of dividing by zero: an empty
+  // trace or an inverted/empty window has no crossings to predict, and a bid
+  // below the window's price floor is revoked instantly (the price never
+  // comes back under it, so "crossings" would be meaningless).
+  if (trace.size() == 0 || to <= from) {
+    return score;
+  }
+  bool any_in_window = false;
+  double floor_price = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const PricePoint point = trace.point(i);
+    if (point.time < from || point.time >= to) {
+      continue;
+    }
+    floor_price = any_in_window ? std::min(floor_price, point.price)
+                                : point.price;
+    any_in_window = true;
+  }
+  if (any_in_window && bid < floor_price) {
+    return score;
+  }
   RevocationPredictor predictor(config, on_demand_price);
   bool above = trace.PriceAt(from) > bid;
   bool signal_up = false;

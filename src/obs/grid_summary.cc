@@ -36,6 +36,36 @@ struct SlowEvacuation {
   double degraded_s = 0.0;
 };
 
+// Per-policy aggregate across the cells that ran the same resolved spec
+// (one policy x several mechanisms in the figure grids).
+struct PolicyAggregate {
+  int64_t cells = 0;
+  double cost_sum = 0.0;
+  double unavailability_sum = 0.0;
+  int64_t evacuations = 0;
+  int64_t repatriations = 0;
+};
+
+// Groups by the resolved spec the runner recorded; reports from before the
+// strategy layer carry no spec, so the label's "<policy>/" prefix stands in.
+std::string PolicyGroupKey(const RunReport& report) {
+  if (!report.policy_spec.empty()) {
+    return report.policy_spec;
+  }
+  const size_t slash = report.label.find('/');
+  return slash == std::string::npos ? report.label
+                                    : report.label.substr(0, slash);
+}
+
+double SummaryValue(const RunReport& report, const char* name) {
+  for (const auto& [key, value] : report.summary) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 std::string BuildGridSummaryJson(
@@ -44,6 +74,7 @@ std::string BuildGridSummaryJson(
   std::vector<std::string> cells;
   // Key-sorted maps keep the document deterministic regardless of cell order.
   std::map<std::string, double> totals;
+  std::map<std::string, PolicyAggregate> policies;
   std::map<std::string, std::map<std::string, int64_t>> per_market;
   std::vector<SlowEvacuation> evacuations;
   bool chaos_active = false;
@@ -65,6 +96,15 @@ std::string BuildGridSummaryJson(
         totals[name] += value;
       }
     }
+    PolicyAggregate& agg = policies[PolicyGroupKey(*report)];
+    ++agg.cells;
+    agg.cost_sum += SummaryValue(*report, "result.avg_cost_per_vm_hour");
+    agg.unavailability_sum +=
+        SummaryValue(*report, "result.unavailability_pct");
+    agg.evacuations +=
+        static_cast<int64_t>(SummaryValue(*report, "result.evacuations"));
+    agg.repatriations +=
+        static_cast<int64_t>(SummaryValue(*report, "result.repatriations"));
     for (const RunReportEvent& event : report->events) {
       if (event.market.empty() || !IsMarketKind(event.kind)) {
         continue;
@@ -128,6 +168,31 @@ std::string BuildGridSummaryJson(
   for (const auto& [name, value] : totals) {
     json.Key(name);
     json.Double(value);
+  }
+  json.EndObject();
+
+  // Per-policy cost/availability breakdown, keyed by the resolved policy
+  // spec (cells that ran the same policy under different mechanisms fold
+  // into one row -- the figure-grid reading order).
+  json.Key("policies");
+  json.BeginObject();
+  for (const auto& [spec, agg] : policies) {
+    json.Key(spec);
+    json.BeginObject();
+    json.Key("cells");
+    json.Int(agg.cells);
+    json.Key("mean_cost_per_vm_hour");
+    json.Double(agg.cells > 0 ? agg.cost_sum / static_cast<double>(agg.cells)
+                              : 0.0);
+    json.Key("mean_unavailability_pct");
+    json.Double(agg.cells > 0
+                    ? agg.unavailability_sum / static_cast<double>(agg.cells)
+                    : 0.0);
+    json.Key("evacuations");
+    json.Int(agg.evacuations);
+    json.Key("repatriations");
+    json.Int(agg.repatriations);
+    json.EndObject();
   }
   json.EndObject();
 

@@ -16,6 +16,9 @@ std::string RunReport::ToJson() const {
   json.Key("label");
   json.String(label);
 
+  json.Key("policy_spec");
+  json.String(policy_spec);
+
   json.Key("summary");
   json.BeginObject();
   for (const auto& [name, value] : summary) {

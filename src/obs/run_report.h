@@ -40,6 +40,9 @@ struct RunReportEvent {
 struct RunReport {
   // Cell identity, e.g. "1P-M/spotcheck-lazy-restore"; set by the runner.
   std::string label;
+  // The resolved policy spec the cell ran, e.g. "bid=on-demand,map=1p-m";
+  // set by the runner. Grid summaries group cells by this string.
+  std::string policy_spec;
   // Flat (name, value) summary of the cell's config and EvaluationResult
   // fields, in insertion order. Doubles carry ints exactly up to 2^53,
   // far beyond any counter this simulator produces.
@@ -66,8 +69,9 @@ struct RunReport {
     summary.emplace_back(std::move(name), value);
   }
 
-  // {"label": ..., "summary": {...}, "chaos": {...}, "trace_catalog": {...},
-  //  "trace_summary": {...}|null, "metrics": {...}, "events": [...]}
+  // {"label": ..., "policy_spec": ..., "summary": {...}, "chaos": {...},
+  //  "trace_catalog": {...}, "trace_summary": {...}|null, "metrics": {...},
+  //  "events": [...]}
   std::string ToJson() const;
 
   // Writes ToJson() to `path` (creating parent directories); false on I/O

@@ -1,0 +1,36 @@
+#include "src/policy/strategy.h"
+
+#include <limits>
+
+namespace spotcheck {
+
+double PoolSelectionStrategy::PerSlotPrice(const SpotMarket& market,
+                                           InstanceType nested_type,
+                                           SimTime now) {
+  const int slots = NestedSlotsPerHost(market.key().type, nested_type);
+  if (slots <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return market.PriceAt(now) / static_cast<double>(slots);
+}
+
+MarketKey PoolSelectionStrategy::ChooseWeighted(
+    const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return RoundRobin();
+  }
+  double draw = rng_.Uniform(0.0, total);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) {
+      return candidates_[i];
+    }
+  }
+  return candidates_.back();
+}
+
+}  // namespace spotcheck

@@ -23,6 +23,7 @@
 
 #include "src/core/evaluation.h"
 #include "src/core/parallel_evaluation.h"
+#include "src/policy/policy_spec.h"
 
 namespace spotcheck {
 namespace {
@@ -46,17 +47,26 @@ EvaluationConfig Cell(MappingPolicyKind policy, MigrationMechanism mechanism) {
   return config;
 }
 
-// The cells under golden protection: the paper's default configuration plus
-// a multi-pool / live-migration cell that exercises repatriation, slicing,
-// and the no-backup path.
+// The cells under golden protection: the paper's default configuration, a
+// multi-pool / live-migration cell that exercises repatriation, slicing,
+// and the no-backup path, and one strategy-layer cell (adaptive rebidder on
+// the index-tracking allocator) pinning the new families' numbers.
 std::vector<EvaluationConfig> GoldenCells() {
+  EvaluationConfig strategy_cell =
+      Cell(MappingPolicyKind::k1PM, MigrationMechanism::kSpotCheckLazyRestore);
+  strategy_cell.policy_spec =
+      ParsePolicySpecOrExit("bid=adaptive:2,map=index-track");
+  strategy_cell.proactive = true;
   return {Cell(MappingPolicyKind::k1PM, MigrationMechanism::kSpotCheckLazyRestore),
-          Cell(MappingPolicyKind::k4PCost, MigrationMechanism::kXenLiveMigration)};
+          Cell(MappingPolicyKind::k4PCost, MigrationMechanism::kXenLiveMigration),
+          strategy_cell};
 }
 
 std::string CellName(const EvaluationConfig& config) {
-  return std::string(MappingPolicyName(config.policy)) + "/" +
-         std::string(MigrationMechanismName(config.mechanism));
+  const std::string policy = config.policy_spec.has_value()
+                                 ? config.policy_spec->ToString()
+                                 : std::string(MappingPolicyName(config.policy));
+  return policy + "/" + std::string(MigrationMechanismName(config.mechanism));
 }
 
 std::string Num(double value) {

@@ -17,6 +17,7 @@
 #include "src/core/event_log.h"
 #include "src/core/host_pool.h"
 #include "src/core/placement.h"
+#include "src/core/policy_bridge.h"
 #include "src/core/repatriation.h"
 #include "src/core/storm_tracker.h"
 #include "src/market/spot_market.h"
@@ -57,6 +58,8 @@ struct PoolHarness {
     ctx.network = &network;
     ctx.connections = &connections;
     ctx.vms = &vms;
+    bid = CreateBidStrategyOrDie(BidSpecFromLegacy(config.bidding));
+    ctx.bid = bid.get();
     pool = std::make_unique<HostPoolManager>(&ctx);
     ctx.pool = pool.get();
     placement = std::make_unique<PlacementEngine>(&ctx);
@@ -126,6 +129,7 @@ struct PoolHarness {
   HostNetworkPlane network;
   ConnectionTracker connections;
   FleetTable<NestedVmTag, NestedVm> vms;
+  std::unique_ptr<BidStrategy> bid;
   ControllerContext ctx;
   std::unique_ptr<HostPoolManager> pool;
   std::unique_ptr<PlacementEngine> placement;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "src/market/market_analytics.h"
 #include "src/market/spot_price_process.h"
 
@@ -111,7 +113,42 @@ TEST(EvaluatePredictorTest, EmptyTraceIsSafe) {
   const PredictorScore score = EvaluatePredictor(PredictorConfig{}, PriceTrace{},
                                                  kOd, kOd, At(0), At(1000));
   EXPECT_EQ(score.crossings, 0);
+  EXPECT_EQ(score.predicted, 0);
   EXPECT_EQ(score.recall, 0.0);
+  EXPECT_EQ(score.signal_up_fraction, 0.0);
+}
+
+TEST(EvaluatePredictorTest, InvertedWindowScoresZero) {
+  PriceTrace trace;
+  trace.Append(At(0), 0.10 * kOd);
+  trace.Append(At(300), 5.0 * kOd);
+  // from == to and from > to must both return a zeroed score, never a
+  // negative signal-up fraction or NaN recall.
+  for (const auto& [from, to] : {std::pair{At(500), At(500)},
+                                 std::pair{At(1000), At(0)}}) {
+    const PredictorScore score =
+        EvaluatePredictor(PredictorConfig{}, trace, kOd, kOd, from, to);
+    EXPECT_EQ(score.crossings, 0);
+    EXPECT_EQ(score.predicted, 0);
+    EXPECT_EQ(score.recall, 0.0);
+    EXPECT_EQ(score.signal_up_fraction, 0.0);
+  }
+}
+
+TEST(EvaluatePredictorTest, BidBelowPriceFloorScoresZero) {
+  // Price oscillates in [0.10, 0.30] x on-demand; a bid of 0.05 sits below
+  // the floor, so the market would revoke instantly and nothing about
+  // "crossings" is meaningful -- the whole score must be zero.
+  PriceTrace trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.Append(At(i * 600.0), (0.10 + 0.20 * (i % 2)) * kOd);
+  }
+  const PredictorScore score = EvaluatePredictor(
+      PredictorConfig{}, trace, kOd, 0.05 * kOd, At(0), At(20 * 600.0));
+  EXPECT_EQ(score.crossings, 0);
+  EXPECT_EQ(score.predicted, 0);
+  EXPECT_EQ(score.recall, 0.0);
+  EXPECT_EQ(score.signal_up_fraction, 0.0);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "src/core/event_log.h"
 #include "src/core/host_pool.h"
 #include "src/core/placement.h"
+#include "src/core/policy_bridge.h"
 #include "src/core/repatriation.h"
 #include "src/core/storm_tracker.h"
 #include "src/market/spot_market.h"
@@ -55,6 +56,7 @@ struct SchedulerHarness {
     ctx.network = &network;
     ctx.connections = &connections;
     ctx.vms = &vms;
+    SetBidding(config.bidding);
     pool = std::make_unique<HostPoolManager>(&ctx);
     ctx.pool = pool.get();
     placement = std::make_unique<PlacementEngine>(&ctx);
@@ -71,6 +73,14 @@ struct SchedulerHarness {
     NativeCloudConfig cloud_config;
     cloud_config.sample_latencies = false;
     return cloud_config;
+  }
+
+  // The facade translates the legacy bidding enum into a BidStrategy once at
+  // construction; tests that change the bid mid-setup rebuild it the same way.
+  void SetBidding(const BiddingPolicy& bidding) {
+    config.bidding = bidding;
+    bid = CreateBidStrategyOrDie(BidSpecFromLegacy(bidding));
+    ctx.bid = bid.get();
   }
 
   NestedVm& NewVm() {
@@ -126,6 +136,7 @@ struct SchedulerHarness {
   HostNetworkPlane network;
   ConnectionTracker connections;
   FleetTable<NestedVmTag, NestedVm> vms;
+  std::unique_ptr<BidStrategy> bid;
   ControllerContext ctx;
   std::unique_ptr<HostPoolManager> pool;
   std::unique_ptr<PlacementEngine> placement;
@@ -244,7 +255,7 @@ TEST(RepatriationSchedulerTest, MarketWatcherGatesRepatriationOnPrice) {
 TEST(RepatriationSchedulerTest, ProactiveDrainMovesVmsOffRiskyPool) {
   SchedulerHarness h;
   h.config.enable_proactive = true;
-  h.config.bidding = BiddingPolicy::Multiple(4.0);
+  h.SetBidding(BiddingPolicy::Multiple(4.0));
   HostVm* spot_host = h.LaunchHost(kHomePool, /*is_spot=*/true);
   NestedVm& vm = h.NewVm();
   h.Settle(vm, *spot_host);
