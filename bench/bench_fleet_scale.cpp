@@ -21,6 +21,11 @@
 // events/s floor, and that bytes/VM stays flat from 10k to 100k. A tier at
 // or above 10k whose bytes/VM exceeds --max-bytes-per-vm fails the run.
 //
+// Every tier runs with an EventCostProfiler attached (behavior-free, 1-in-N
+// sampled), so each tiers/<N> entry carries a "profile" section; diffing the
+// tiers with scripts/profile_fleet.py names the super-linear subsystem
+// behind the events/s cliff.
+//
 // Flags:
 //   --max-vms=N           largest tier to run (default 1000000)
 //   --settle-hours=H      simulated hours after the request burst (default 2)
@@ -30,58 +35,22 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#if defined(__linux__)
-#include <sys/resource.h>
-#include <unistd.h>
-#endif
-
 #include "src/common/flags.h"
+#include "src/common/memory_probe.h"
 #include "src/core/controller.h"
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 #include "src/sim/simulator.h"
 #include "src/virt/host_vm.h"
 #include "src/virt/nested_vm.h"
 
 namespace spotcheck {
 namespace {
-
-// Current resident set in bytes (0 where /proc is unavailable).
-int64_t CurrentRssBytes() {
-#if defined(__linux__)
-  std::FILE* statm = std::fopen("/proc/self/statm", "r");
-  if (statm == nullptr) {
-    return 0;
-  }
-  long total_pages = 0;
-  long resident_pages = 0;
-  const int fields = std::fscanf(statm, "%ld %ld", &total_pages,
-                                 &resident_pages);
-  std::fclose(statm);
-  if (fields != 2) {
-    return 0;
-  }
-  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
-#else
-  return 0;
-#endif
-}
-
-// Lifetime peak resident set in bytes (0 where getrusage is unavailable).
-int64_t PeakRssBytes() {
-#if defined(__linux__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) {
-    return 0;
-  }
-  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
-#else
-  return 0;
-#endif
-}
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -100,6 +69,10 @@ struct TierResult {
   int64_t peak_rss_bytes = 0;
   size_t num_hosts = 0;
   bool invariants_ok = false;
+  // Event-cost profile of the tier (kernel dispatch, calendar maintenance,
+  // pool index churn). Always attached: the profiler is behavior-free and
+  // its overhead is bounded by the 1-in-N sampling.
+  std::shared_ptr<EventCostProfiler> profile;
 };
 
 TierResult RunTier(int num_vms, double settle_hours) {
@@ -108,7 +81,12 @@ TierResult RunTier(int num_vms, double settle_hours) {
 
   const int64_t rss_before = CurrentRssBytes();
 
+  ProfilerConfig profiler_config;
+  profiler_config.seed = 2;  // match the controller seed: reproducible subset
+  result.profile = std::make_shared<EventCostProfiler>(profiler_config);
+
   Simulator sim;
+  sim.set_profiler(result.profile.get());
   MarketPlace markets(&sim);
   NativeCloudConfig cloud_config;
   // Synthetic price history long enough to outlive the settle window.
@@ -120,6 +98,7 @@ TierResult RunTier(int num_vms, double settle_hours) {
   ControllerConfig config;
   config.seed = 2;
   config.collect_event_log = false;
+  config.profiler = result.profile.get();
   SpotCheckController controller(&sim, &cloud, &markets, config);
   // The fleet is many customers, not one giant tenant: each customer gets a
   // /24 in the VPC (254 usable addresses), so a million-VM fleet needs
@@ -249,6 +228,12 @@ int Run(int argc, const char* const* argv) {
     json.Int(result.peak_rss_bytes);
     json.Key("invariants_ok");
     json.Bool(result.invariants_ok);
+    json.Key("profile");
+    if (result.profile != nullptr) {
+      result.profile->WriteJson(json);
+    } else {
+      json.Null();
+    }
     json.EndObject();
   }
   json.EndObject();

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
       }
       config.chaos = ChaosConfigForLevel(args.chaos_level, args.chaos_seed);
       config.collect_trace = !args.trace_dir.empty();
+      config.collect_timeseries = !args.timeseries_dir.empty();
+      config.collect_profile = !args.timeseries_dir.empty();
       cells.push_back(std::string(row.label) +
                       (coupled ? "_coupled" : "_independent"));
       config.report_label = cells.back();

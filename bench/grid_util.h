@@ -53,6 +53,12 @@ struct GridBenchArgs {
   // When non-empty, span tracing is enabled for every cell and each writes
   // <dir>/<bench>/<cell>/trace.json (Chrome/Perfetto trace-event format).
   std::string trace_dir;
+  // When non-empty, the flight recorder is enabled for every cell: sim-time
+  // telemetry sampling plus the event-cost profiler. Each cell writes
+  // <dir>/<bench>/<cell>/timeseries.json (full columnar series), its
+  // run_report.json gains "profile"/"timeseries" sections, and
+  // grid_summary.json gains the merged "hotspots" roll-up.
+  std::string timeseries_dir;
   // Fault-injection intensity (0 = off, 1-3 = ChaosConfigForLevel presets)
   // and the schedule seed. Level 0 leaves every cell bit-identical to a
   // chaos-free run regardless of the seed.
@@ -60,19 +66,21 @@ struct GridBenchArgs {
   uint64_t chaos_seed = 1337;
 };
 
-// Parses --jobs=N, --run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L,
-// --chaos-seed=S; any unknown flag is a typo and exits 2.
+// Parses --jobs=N, --run-report-dir=PATH, --trace-dir=PATH,
+// --timeseries-dir=PATH, --chaos-level=L, --chaos-seed=S; any unknown flag
+// is a typo and exits 2.
 inline GridBenchArgs ParseGridBenchArgs(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
   GridBenchArgs args;
   args.jobs = static_cast<int>(flags.GetInt("jobs", 0));
   args.run_report_dir = flags.GetString("run-report-dir", "");
   args.trace_dir = flags.GetString("trace-dir", "");
+  args.timeseries_dir = flags.GetString("timeseries-dir", "");
   args.chaos_level = static_cast<int>(flags.GetInt("chaos-level", 0));
   args.chaos_seed = static_cast<uint64_t>(flags.GetInt("chaos-seed", 1337));
   flags.ExitIfUnknownFlags(
-      "--jobs=N, --run-report-dir=PATH, --trace-dir=PATH, --chaos-level=L, "
-      "--chaos-seed=S");
+      "--jobs=N, --run-report-dir=PATH, --trace-dir=PATH, "
+      "--timeseries-dir=PATH, --chaos-level=L, --chaos-seed=S");
   return args;
 }
 
@@ -104,7 +112,8 @@ inline void WriteGridArtifacts(const GridBenchArgs& args,
                                const std::vector<EvaluationResult>& results,
                                const SpanTracer* worker_tracer = nullptr,
                                const GridContentionReport* contention = nullptr) {
-  if (args.run_report_dir.empty() && args.trace_dir.empty()) {
+  if (args.run_report_dir.empty() && args.trace_dir.empty() &&
+      args.timeseries_dir.empty()) {
     return;
   }
   if (worker_tracer != nullptr && !args.trace_dir.empty()) {
@@ -126,12 +135,22 @@ inline void WriteGridArtifacts(const GridBenchArgs& args,
                      path.c_str());
       }
     }
+    if (!args.timeseries_dir.empty() && results[i].timeseries != nullptr) {
+      const std::string path = args.timeseries_dir + "/" + bench + "/" +
+                               cells[i] + "/timeseries.json";
+      if (!results[i].timeseries->WriteTo(path)) {
+        std::fprintf(stderr, "warning: could not write timeseries %s\n",
+                     path.c_str());
+      }
+    }
     if (results[i].report != nullptr) {
       reports.push_back(results[i].report);
     }
   }
   const std::string& summary_root =
-      !args.run_report_dir.empty() ? args.run_report_dir : args.trace_dir;
+      !args.run_report_dir.empty()
+          ? args.run_report_dir
+          : (!args.trace_dir.empty() ? args.trace_dir : args.timeseries_dir);
   const std::string summary_path =
       summary_root + "/" + bench + "/grid_summary.json";
   if (!WriteGridSummary(summary_path, reports, /*max_slowest=*/10, contention)) {
@@ -155,6 +174,10 @@ void PrintGrid(const char* header, const char* unit, const char* csv_name,
       EvaluationConfig config = GridConfig(policy, mechanism);
       config.chaos = ChaosConfigForLevel(args.chaos_level, args.chaos_seed);
       config.collect_trace = !args.trace_dir.empty();
+      // --timeseries-dir turns on the whole flight recorder: telemetry
+      // sampling plus event-cost profiling (both behavior-free).
+      config.collect_timeseries = !args.timeseries_dir.empty();
+      config.collect_profile = !args.timeseries_dir.empty();
       cells.push_back(std::string(MappingPolicyName(policy)) + "_" +
                       std::string(MigrationMechanismName(mechanism)));
       config.report_label = cells.back();

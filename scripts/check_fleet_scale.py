@@ -12,6 +12,11 @@ and, when the 100k tier is present (full runs), that its bytes/VM stays
 within --max-growth of the 10k tier's: per-VM cost must be flat in fleet
 size, or the storage layer has re-grown a per-VM overhead.
 
+When the bench recorded event-cost profiles (the "profile" section each
+tier now carries), the gate also prints the top-3 hotspot categories by
+estimated total time at the highest profiled tier -- informational only
+(scripts/profile_fleet.py does the cross-tier slope analysis).
+
 Exit codes:
 
     0  gate passed
@@ -65,6 +70,46 @@ def positive_number(entry, key, field, path):
     if not isinstance(value, (int, float)) or value <= 0:
         fail_parse(f"{path}: '{key}' {field} is not a positive number")
     return float(value)
+
+
+def print_hotspots(bench):
+    """Top-3 profile categories at the highest profiled tier (informational).
+
+    Tolerant of absent/null/malformed profiles: older bench files predate
+    the profiler and must still pass the gate unchanged.
+    """
+    best_vms, best_profile = 0, None
+    for key, entry in bench.items():
+        if not key.startswith("tiers/") or not isinstance(entry, dict):
+            continue
+        profile = entry.get("profile")
+        num_vms = entry.get("num_vms")
+        if (
+            isinstance(profile, dict)
+            and isinstance(profile.get("categories"), dict)
+            and isinstance(num_vms, (int, float))
+            and num_vms > best_vms
+        ):
+            best_vms, best_profile = int(num_vms), profile
+    if best_profile is None:
+        return
+    ranked = sorted(
+        (
+            (float(stats.get("est_total_ns", 0)), name)
+            for name, stats in best_profile["categories"].items()
+            if isinstance(stats, dict)
+            and isinstance(stats.get("est_total_ns"), (int, float))
+        ),
+        reverse=True,
+    )
+    total = sum(ns for ns, _ in ranked)
+    if total <= 0:
+        return
+    top = ", ".join(
+        f"{name} ({ns / total * 100.0:.0f}%, {ns / 1e6:.0f}ms)"
+        for ns, name in ranked[:3]
+    )
+    print(f"check_fleet_scale: hotspots at {best_vms} VMs: {top}")
 
 
 def main(argv=None):
@@ -156,6 +201,8 @@ def main(argv=None):
                 file=sys.stderr,
             )
             failed = True
+
+    print_hotspots(bench)
 
     if failed:
         return 1

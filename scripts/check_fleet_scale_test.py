@@ -114,6 +114,30 @@ class GateTest(unittest.TestCase):
         )
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
+    def test_profiled_bench_surfaces_top_hotspot_categories(self):
+        doc = bench_json()
+        doc["tiers/100000"]["profile"] = {
+            "sample_interval": 64,
+            "categories": {
+                "dispatch_callback": {"est_total_ns": 9e9},
+                "pool_placeable_index": {"est_total_ns": 5e9},
+                "ladder_merge": {"est_total_ns": 1e9},
+                "calendar_wrap": {"est_total_ns": 1e8},
+            },
+            "counters": {},
+        }
+        proc = run_gate(json.dumps(doc))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("hotspots at 100000 VMs", proc.stdout)
+        self.assertIn("dispatch_callback", proc.stdout)
+        self.assertIn("pool_placeable_index", proc.stdout)
+        self.assertNotIn("calendar_wrap", proc.stdout)
+
+    def test_unprofiled_bench_passes_without_hotspots(self):
+        proc = run_gate(json.dumps(bench_json()))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("hotspots", proc.stdout)
+
     def test_missing_10k_tier_is_a_parse_error(self):
         proc = run_gate(json.dumps({"_context": {}}))
         self.assertEqual(proc.returncode, 2)

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/profile_fleet.py (the tier-diff profile analyzer).
+
+Covers the analysis path end to end via subprocess: the log-log slope fit
+over synthetic tiers, the super-linear verdict (and its absence on linear
+profiles), the --min-share eligibility cut, and every unjudgeable-input
+mode as a distinct exit 2.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "profile_fleet.py")
+
+
+def category(count, mean_ns):
+    total = int(count * mean_ns)
+    return {
+        "count": count,
+        "timed": max(1, count // 64),
+        "total_ns": total,
+        "max_ns": int(mean_ns * 4),
+        "mean_ns": mean_ns,
+        "est_total_ns": total,
+    }
+
+
+def profile(categories, counters=None):
+    return {
+        "sample_interval": 64,
+        "categories": categories,
+        "counters": counters or {},
+    }
+
+
+def tier(num_vms, prof):
+    return {
+        "num_vms": num_vms,
+        "events_per_second": 100000.0,
+        "invariants_ok": True,
+        "profile": prof,
+    }
+
+
+def superlinear_bench():
+    # dispatch scales linearly (count ~ N, flat mean); the placeable index
+    # goes quadratic (count ~ N, mean ~ N): total_slope ~ 2.
+    doc = {"_context": {}}
+    for n in (1000, 10000, 100000):
+        doc[f"tiers/{n}"] = tier(
+            n,
+            profile(
+                {
+                    "dispatch_callback": category(count=n * 10, mean_ns=200.0),
+                    "pool_placeable_index": category(
+                        count=n * 2, mean_ns=50.0 * (n / 1000.0)
+                    ),
+                },
+                counters={"index_inserts": n * 3},
+            ),
+        )
+    return doc
+
+
+def linear_bench():
+    doc = {"_context": {}}
+    for n in (1000, 10000, 100000):
+        doc[f"tiers/{n}"] = tier(
+            n,
+            profile(
+                {
+                    "dispatch_callback": category(count=n * 10, mean_ns=200.0),
+                    "pool_placeable_index": category(count=n * 2, mean_ns=50.0),
+                }
+            ),
+        )
+    return doc
+
+
+def run_analyzer(contents, *args):
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        f.write(contents)
+        path = f.name
+    try:
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *args],
+            capture_output=True,
+            text=True,
+        )
+    finally:
+        os.unlink(path)
+
+
+class AnalyzerTest(unittest.TestCase):
+    def test_names_the_superlinear_subsystem(self):
+        proc = run_analyzer(json.dumps(superlinear_bench()))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("super-linear subsystem: pool_placeable_index",
+                      proc.stdout)
+
+    def test_linear_profile_reports_no_superlinear_subsystem(self):
+        proc = run_analyzer(json.dumps(linear_bench()))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no super-linear subsystem", proc.stdout)
+
+    def test_prints_the_per_category_slope_table(self):
+        proc = run_analyzer(json.dumps(superlinear_bench()))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("total_slope", proc.stdout)
+        self.assertIn("dispatch_callback", proc.stdout)
+        self.assertIn("index_inserts", proc.stdout)
+
+    def test_min_share_cut_excludes_trace_amounts(self):
+        # The quadratic category carries ~0.003% of the time at the top
+        # tier; with the default 1% cut it cannot win the verdict.
+        doc = {"_context": {}}
+        for n in (1000, 10000, 100000):
+            doc[f"tiers/{n}"] = tier(
+                n,
+                profile(
+                    {
+                        "dispatch_callback": category(
+                            count=n * 1000, mean_ns=200.0
+                        ),
+                        "pool_placeable_index": category(
+                            count=2, mean_ns=1.0 * (n / 1000.0)
+                        ),
+                    }
+                ),
+            )
+        proc = run_analyzer(json.dumps(doc))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("super-linear subsystem: pool_placeable_index",
+                         proc.stdout)
+
+    def test_threshold_is_flag_adjustable(self):
+        proc = run_analyzer(
+            json.dumps(linear_bench()), "--super-linear-threshold=0.5"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("super-linear subsystem:", proc.stdout)
+
+    def test_single_profiled_tier_is_a_parse_error(self):
+        doc = {"tiers/10000": tier(10000, profile({}))}
+        proc = run_analyzer(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("ERROR", proc.stderr)
+
+    def test_null_profiles_are_skipped_and_too_few_is_a_parse_error(self):
+        doc = superlinear_bench()
+        doc["tiers/10000"]["profile"] = None
+        doc["tiers/100000"]["profile"] = None
+        proc = run_analyzer(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_malformed_profile_section_is_a_parse_error(self):
+        doc = superlinear_bench()
+        doc["tiers/10000"]["profile"] = {"not": "a profile"}
+        proc = run_analyzer(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_malformed_json_is_a_parse_error(self):
+        proc = run_analyzer("{not json")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_missing_file_is_a_parse_error(self):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "/nonexistent/BENCH.json"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 2)
+
+    def test_non_positive_num_vms_is_a_parse_error(self):
+        doc = superlinear_bench()
+        doc["tiers/10000"]["num_vms"] = 0
+        proc = run_analyzer(json.dumps(doc))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

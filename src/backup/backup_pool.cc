@@ -35,10 +35,16 @@ BackupServer& BackupPool::Assign(NestedVmId vm, double demand_mbps, SimTime now)
   if (auto* existing = ServerFor(vm)) {
     return *existing;
   }
-  // Round-robin over existing servers, skipping full ones.
+  ProfileScope scope(profiler_, ProfileCategory::kBackupAssign);
+  // Round-robin over existing servers, skipping full ones. The probe
+  // counter exposes this loop's cost exactly: once every server is full
+  // (the steady state while a fleet grows), each assignment walks the
+  // whole roster before provisioning -- O(fleet^2 / max_vms) in total,
+  // the super-linear subsystem behind ROADMAP item 1's events/s cliff.
   for (size_t probe = 0; probe < servers_.size(); ++probe) {
     BackupServer& candidate = *servers_[rr_cursor_ % servers_.size()];
     rr_cursor_ = (rr_cursor_ + 1) % servers_.size();
+    ProfileAdd(profiler_, ProfileStat::kBackupProbes);
     if (candidate.AddStream(vm, demand_mbps)) {
       assignment_[vm] = &candidate;
       RecordAssignment(candidate);

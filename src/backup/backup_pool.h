@@ -15,6 +15,7 @@
 #include "src/backup/backup_server.h"
 #include "src/common/ids.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace spotcheck {
@@ -31,11 +32,14 @@ class BackupPool {
  public:
   // `metrics` (optional) registers the backup.* instruments; `tracer`
   // (optional) marks provisioning/assignment on each server's
-  // "backup/<id>" track. Both must outlive the pool.
+  // "backup/<id>" track; `profiler` (optional) times stream placement
+  // (kBackupAssign) and counts round-robin probes. All must outlive the
+  // pool.
   explicit BackupPool(BackupPoolConfig config = {},
                       MetricsRegistry* metrics = nullptr,
-                      SpanTracer* tracer = nullptr)
-      : config_(config), tracer_(tracer) {
+                      SpanTracer* tracer = nullptr,
+                      EventCostProfiler* profiler = nullptr)
+      : config_(config), tracer_(tracer), profiler_(profiler) {
     if (metrics != nullptr) {
       servers_provisioned_metric_ = &metrics->Counter("backup.servers_provisioned");
       assignments_metric_ = &metrics->Counter("backup.assignments");
@@ -96,6 +100,7 @@ class BackupPool {
   size_t rr_cursor_ = 0;
   double restore_bandwidth_scale_ = 1.0;
   SpanTracer* tracer_ = nullptr;
+  EventCostProfiler* profiler_ = nullptr;
 
   // Observability instruments; all null without a registry.
   MetricCounter* servers_provisioned_metric_ = nullptr;

@@ -1,0 +1,44 @@
+#include "src/common/memory_probe.h"
+
+#include <cstdio>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace spotcheck {
+
+int64_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) {
+    return 0;
+  }
+  long total_pages = 0;
+  long resident_pages = 0;
+  const int fields = std::fscanf(statm, "%ld %ld", &total_pages,
+                                 &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) {
+    return 0;
+  }
+  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
+#else
+  return 0;
+#endif
+}
+
+int64_t PeakRssBytes() {
+#if defined(__linux__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace spotcheck

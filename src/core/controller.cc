@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/core/policy_bridge.h"
+#include "src/obs/timeseries.h"
 
 namespace spotcheck {
 
@@ -17,7 +18,8 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
       config_(config),
       engine_(sim, &activity_log_, config.engine, config.metrics,
               config.tracer),
-      backup_pool_(config.backup, config.metrics, config.tracer) {
+      backup_pool_(config.backup, config.metrics, config.tracer,
+                   config.profiler) {
   event_log_.set_enabled(config_.collect_event_log);
   // Populate the shared context, then construct the components against it
   // (each expects the platform handles and facade bookkeeping to be wired
@@ -28,6 +30,7 @@ SpotCheckController::SpotCheckController(Simulator* sim, NativeCloud* cloud,
   ctx_.config = &config_;
   ctx_.metrics = config_.metrics;
   ctx_.tracer = config_.tracer;
+  ctx_.profiler = config_.profiler;
   ctx_.activity_log = &activity_log_;
   ctx_.event_log = &event_log_;
   ctx_.engine = &engine_;
@@ -130,6 +133,22 @@ int SpotCheckController::RunningVmCount() const {
   return static_cast<int>(
       vm_state_counts_[static_cast<int>(NestedVmState::kRunning)] +
       vm_state_counts_[static_cast<int>(NestedVmState::kDegraded)]);
+}
+
+void SpotCheckController::RegisterTelemetry(TimeSeriesRecorder& ts) {
+  for (int i = 0; i < kNumNestedVmStates; ++i) {
+    const NestedVmState state = static_cast<NestedVmState>(i);
+    ts.AddSeries(
+        "fleet.vms." + std::string(NestedVmStateName(state)),
+        [this, i] { return static_cast<double>(vm_state_counts_[i]); });
+  }
+  pool_->RegisterTelemetry(ts);
+  ts.AddSeries("backup.servers", [this] {
+    return static_cast<double>(backup_pool_.num_servers());
+  });
+  ts.AddSeries("backup.assigned_vms", [this] {
+    return static_cast<double>(backup_pool_.num_assigned());
+  });
 }
 
 std::string SpotCheckController::DumpState() const {

@@ -156,6 +156,12 @@ class SpotCheckController {
   // occupancy, and the headline counters.
   std::string DumpState() const;
 
+  // Registers the fleet's telemetry gauges on `ts`: per-state VM counts
+  // (fleet.vms.<state>) plus the host pool's fleet/index-shape series.
+  // Samplers only read controller state; `ts` must outlive the controller's
+  // last sample.
+  void RegisterTelemetry(TimeSeriesRecorder& ts);
+
   // Structural invariants, checked by property tests after arbitrary
   // simulated histories: settled (running/degraded) VMs sit on live hosts
   // that list them, host capacity accounting is consistent, backup streams

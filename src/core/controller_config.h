@@ -22,6 +22,8 @@
 
 namespace spotcheck {
 
+class EventCostProfiler;
+
 struct ControllerConfig {
   MappingPolicyKind mapping = MappingPolicyKind::k1PM;
   MigrationMechanism mechanism = MigrationMechanism::kSpotCheckLazyRestore;
@@ -78,6 +80,10 @@ struct ControllerConfig {
   // MigrationEngine/BackupPool, must outlive the controller, and never
   // affects simulation results.
   SpanTracer* tracer = nullptr;
+  // Optional event-cost profiler, same contract again: nullable, outlives
+  // the controller, purely observational (wall-clock reads only). Records
+  // per-market index churn in the host pool.
+  EventCostProfiler* profiler = nullptr;
 };
 
 }  // namespace spotcheck

@@ -35,6 +35,7 @@ class Simulator;
 class NativeCloud;
 class MarketPlace;
 struct ControllerConfig;
+class EventCostProfiler;
 class MetricsRegistry;
 class SpanTracer;
 class ActivityLog;
@@ -60,6 +61,10 @@ struct ControllerContext {
   const ControllerConfig* config = nullptr;
   MetricsRegistry* metrics = nullptr;  // nullable
   SpanTracer* tracer = nullptr;        // nullable
+  // Sampled event-cost profiler (nullable): index-churn hook sites in the
+  // pool record per-market set traffic through it. Wall-clock reads only,
+  // never sim state -- results are bit-identical with or without it.
+  EventCostProfiler* profiler = nullptr;
   // The resolved bidding strategy (facade-owned, set before any component is
   // constructed): every bid the components place and every proactive-window
   // decision goes through it, never through config->bidding directly.

@@ -9,6 +9,7 @@
 
 #include "src/chaos/chaos_engine.h"
 #include "src/chaos/fault_plan.h"
+#include "src/common/memory_probe.h"
 #include "src/core/mapping_policy.h"
 #include "src/market/spot_market.h"
 #include "src/policy/registry.h"
@@ -24,7 +25,9 @@ std::shared_ptr<const RunReport> BuildRunReport(
     const EvaluationConfig& config, const EvaluationResult& result,
     const SpotCheckController& controller, const ChaosEngine* chaos,
     std::shared_ptr<const MetricsRegistry> metrics,
-    std::shared_ptr<const SpanTracer> trace) {
+    std::shared_ptr<const SpanTracer> trace,
+    std::shared_ptr<const EventCostProfiler> profile,
+    std::shared_ptr<const TimeSeriesRecorder> timeseries) {
   auto report = std::make_shared<RunReport>();
   if (!config.report_label.empty()) {
     report->label = config.report_label;
@@ -84,6 +87,8 @@ std::shared_ptr<const RunReport> BuildRunReport(
   }
   report->metrics = std::move(metrics);
   report->trace = std::move(trace);
+  report->profile = std::move(profile);
+  report->timeseries = std::move(timeseries);
   const std::vector<ControllerEvent>& events = controller.event_log().events();
   report->events.reserve(events.size() +
                          (chaos != nullptr ? chaos->timeline().size() : 0));
@@ -145,6 +150,20 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   const std::shared_ptr<SpanTracer> tracer =
       config.collect_trace ? std::make_shared<SpanTracer>(config.trace)
                            : nullptr;
+  // ...and for the flight recorder. The profiler's sampling phase derives
+  // from the cell seed unless pinned, so the timed subset is reproducible.
+  std::shared_ptr<EventCostProfiler> profiler;
+  if (config.collect_profile) {
+    ProfilerConfig profiler_config = config.profile;
+    if (profiler_config.seed == 0) {
+      profiler_config.seed = config.seed;
+    }
+    profiler = std::make_shared<EventCostProfiler>(profiler_config);
+  }
+  const std::shared_ptr<TimeSeriesRecorder> timeseries =
+      config.collect_timeseries
+          ? std::make_shared<TimeSeriesRecorder>(config.timeseries)
+          : nullptr;
   // Cell-private arena for the kernel's queue/slot storage: grid workers
   // stop meeting each other on the process allocator's locks, and the
   // pool's size-classed free lists soak up the event-slot churn. Single
@@ -152,6 +171,7 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   // declared before the simulator so it strictly outlives it.
   std::pmr::unsynchronized_pool_resource arena;
   Simulator sim(metrics.get(), tracer.get(), &arena);
+  sim.set_profiler(profiler.get());
   MarketPlace markets(&sim, metrics.get());
 
   if (config.market_coupling > 0.0) {
@@ -192,7 +212,31 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
   controller_config.seed = config.seed;
   controller_config.metrics = metrics.get();
   controller_config.tracer = tracer.get();
+  controller_config.profiler = profiler.get();
   SpotCheckController controller(&sim, &cloud, &markets, controller_config);
+
+  if (timeseries != nullptr) {
+    // Register every gauge before the first event runs, then arm the
+    // dispatch-loop hook. Registration order is irrelevant to output
+    // (serialization sorts by name) but kept stable anyway.
+    sim.RegisterTelemetry(*timeseries);
+    controller.RegisterTelemetry(*timeseries);
+    markets.RegisterTelemetry(*timeseries);
+    // Throttled: one /proc read costs ~2us (kernel-side statm assembly),
+    // which at every sample over a six-month horizon is a measurable slice
+    // of the simulation itself. RSS moves on allocation timescales, so
+    // refreshing every 16th sample loses nothing and keeps the whole
+    // recorder inside the 5% overhead contract.
+    timeseries->AddSeries("process.rss_bytes",
+                          [cached = 0.0, tick = 0]() mutable {
+                            if (tick-- == 0) {
+                              tick = 15;
+                              cached = static_cast<double>(CurrentRssBytes());
+                            }
+                            return cached;
+                          });
+    sim.set_timeseries(timeseries.get());
+  }
 
   // Fault injection: compile the full schedule up front (dedicated Rng
   // streams; nothing here perturbs the simulation's own draws) and arm it.
@@ -268,10 +312,17 @@ EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config) {
     tracer->CloseOpenSpans(sim.Now());
     result.trace = tracer;
   }
+  if (timeseries != nullptr) {
+    // Final forced sample: the horizon-end fleet state is always recorded,
+    // even when the last interval boundary fell short of it.
+    timeseries->Sample(sim.Now());
+    result.timeseries = timeseries;
+  }
+  result.profile = profiler;
   if (metrics != nullptr) {
     const auto build_started = std::chrono::steady_clock::now();
     result.report = BuildRunReport(config, result, controller, chaos.get(),
-                                   metrics, tracer);
+                                   metrics, tracer, profiler, timeseries);
     result.report_build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                                  std::chrono::steady_clock::now() - build_started)
                                  .count();

@@ -15,7 +15,9 @@
 
 #include "src/chaos/chaos_config.h"
 #include "src/core/controller.h"
+#include "src/obs/profiler.h"
 #include "src/obs/run_report.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace spotcheck {
@@ -66,6 +68,21 @@ struct EvaluationConfig {
   bool collect_trace = false;
   // Tracer knobs (sampling interval for simulator dispatch instants).
   TraceConfig trace;
+  // Build a per-cell EventCostProfiler and attach it to the result (and its
+  // RunReport's "profile" section). Off by default. Behavior-free: the
+  // profiler reads wall clocks only, so numeric results are bit-identical
+  // either way.
+  bool collect_profile = false;
+  // Profiler knobs. profile.seed == 0 derives the sampling phase from this
+  // config's `seed`, so the timed subset is reproducible per cell.
+  ProfilerConfig profile;
+  // Build a per-cell TimeSeriesRecorder, register the fleet/pool/kernel/
+  // market gauges plus process RSS on it, and attach it to the result (and
+  // its RunReport's "timeseries" summary). Off by default. Behavior-free:
+  // sampling is driven from the dispatch loop, never via scheduled events.
+  bool collect_timeseries = false;
+  // Recorder knobs (sim-time sampling interval, ring capacity).
+  TimeSeriesConfig timeseries;
   // RunReport label; defaults to "<policy>/<mechanism>" when empty (with the
   // policy spec string standing in for <policy> when policy_spec is set).
   std::string report_label;
@@ -108,6 +125,14 @@ struct EvaluationResult {
   // SpanTracer::WriteTo or summarize with AnalyzeTrace. Excluded from
   // determinism comparisons like the report.
   std::shared_ptr<const SpanTracer> trace;
+  // The cell's event-cost profile (null unless collect_profile). Wall-clock
+  // contents; excluded from determinism comparisons.
+  std::shared_ptr<const EventCostProfiler> profile;
+  // The cell's telemetry recorder (null unless collect_timeseries); export
+  // the full columnar document with TimeSeriesRecorder::WriteTo. Sample
+  // values are deterministic, but excluded from the numeric contract like
+  // the report.
+  std::shared_ptr<const TimeSeriesRecorder> timeseries;
 };
 
 EvaluationResult RunPolicyEvaluation(const EvaluationConfig& config);

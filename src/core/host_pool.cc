@@ -8,6 +8,8 @@
 #include "src/cloud/native_cloud.h"
 #include "src/common/log.h"
 #include "src/core/controller_config.h"
+#include "src/obs/profiler.h"
+#include "src/obs/timeseries.h"
 #include "src/core/evacuation.h"
 #include "src/core/placement.h"
 #include "src/core/repatriation.h"
@@ -40,14 +42,19 @@ double HostPoolManager::PlaceableThresholdMb() const {
 }
 
 void HostPoolManager::RefreshPlaceable(const HostVm& host) {
+  // The single hottest index site: every AddVm/RemoveVm on a pooled host
+  // lands here via OnHostOccupancyChanged.
+  ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolPlaceableIndex);
   std::set<InstanceId>& bucket =
       PlaceableIndex(host.market(), host.is_spot());
   const bool eligible = !hot_spare_set_.contains(host.instance()) &&
                         host.free_mb() >= PlaceableThresholdMb();
   if (eligible) {
-    bucket.insert(host.instance());
-  } else {
-    bucket.erase(host.instance());
+    if (bucket.insert(host.instance()).second) {
+      ProfileAdd(ctx_->profiler, ProfileStat::kIndexInserts);
+    }
+  } else if (bucket.erase(host.instance()) > 0) {
+    ProfileAdd(ctx_->profiler, ProfileStat::kIndexErases);
   }
 }
 
@@ -134,9 +141,12 @@ void HostPoolManager::AcquireHost(MarketKey market, bool is_spot,
     ++num_waiting_vms_;
   }
   if (is_spot && !hot_spare) {
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolPendingJoin);
     pending_spot_index_[market].insert(instance);
+    ProfileAdd(ctx_->profiler, ProfileStat::kIndexInserts);
     if (static_cast<int>(pending.waiting.size()) < SpotSlots(market)) {
       joinable_spot_index_[market].insert(instance);
+      ProfileAdd(ctx_->profiler, ProfileStat::kIndexInserts);
     }
   }
   if (hot_spare) {
@@ -153,12 +163,14 @@ void HostPoolManager::QueueOrAcquireSpot(const MarketKey& market,
   // acquisition would have picked.
   const auto bucket = joinable_spot_index_.find(market);
   if (bucket != joinable_spot_index_.end() && !bucket->second.empty()) {
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolPendingJoin);
     const InstanceId instance = *bucket->second.begin();
     PendingHost& pending = pending_hosts_.at(instance);
     pending.waiting.push_back(waiter);
     ++num_waiting_vms_;
     if (static_cast<int>(pending.waiting.size()) >= SpotSlots(market)) {
       bucket->second.erase(bucket->second.begin());
+      ProfileAdd(ctx_->profiler, ProfileStat::kIndexErases);
     }
     return;
   }
@@ -174,8 +186,11 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
   pending_hosts_.erase(it);
   num_waiting_vms_ -= pending.waiting.size();
   if (pending.is_spot && !pending.is_hot_spare) {
-    pending_spot_index_[pending.market].erase(instance);
-    joinable_spot_index_[pending.market].erase(instance);
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolPendingJoin);
+    ProfileAdd(ctx_->profiler, ProfileStat::kIndexErases,
+               static_cast<int64_t>(
+                   pending_spot_index_[pending.market].erase(instance) +
+                   joinable_spot_index_[pending.market].erase(instance)));
   }
   if (pending.is_hot_spare) {
     --pending_hot_spares_;
@@ -237,7 +252,9 @@ void HostPoolManager::OnHostReady(InstanceId instance, bool ok) {
     hot_spare_order_.push_back(instance);
     hot_spare_set_.insert(instance);
   } else {
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolCapacityIndex);
     CapacityIndex(pending.market, pending.is_spot).insert(instance);
+    ProfileAdd(ctx_->profiler, ProfileStat::kIndexInserts);
     RefreshPlaceable(host_ref);
   }
   if (pending.is_spot && ctx_->market_watcher != nullptr) {
@@ -278,8 +295,14 @@ void HostPoolManager::MaybeReleaseHost(InstanceId instance) {
   if (native != nullptr && native->state != InstanceState::kTerminated) {
     ctx_->cloud->TerminateInstance(instance);
   }
-  CapacityIndex(host->market(), host->is_spot()).erase(instance);
-  PlaceableIndex(host->market(), host->is_spot()).erase(instance);
+  {
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolCapacityIndex);
+    ProfileAdd(
+        ctx_->profiler, ProfileStat::kIndexErases,
+        static_cast<int64_t>(
+            CapacityIndex(host->market(), host->is_spot()).erase(instance) +
+            PlaceableIndex(host->market(), host->is_spot()).erase(instance)));
+  }
   total_capacity_mb_ -= host->capacity_mb();
   total_used_mb_ -= host->used_mb();
   hosts_.Erase(instance);
@@ -303,9 +326,42 @@ HostVm* HostPoolManager::PromoteHotSpare(InstanceId instance) {
   hot_spare_order_.erase(
       std::remove(hot_spare_order_.begin(), hot_spare_order_.end(), instance),
       hot_spare_order_.end());
-  CapacityIndex(host->market(), host->is_spot()).insert(instance);
+  {
+    ProfileScope scope(ctx_->profiler, ProfileCategory::kPoolCapacityIndex);
+    CapacityIndex(host->market(), host->is_spot()).insert(instance);
+    ProfileAdd(ctx_->profiler, ProfileStat::kIndexInserts);
+  }
   RefreshPlaceable(*host);
   return host;
+}
+
+void HostPoolManager::RegisterTelemetry(TimeSeriesRecorder& ts) {
+  ts.AddSeries("pool.hosts",
+               [this] { return static_cast<double>(hosts_.size()); });
+  ts.AddSeries("pool.pending_hosts",
+               [this] { return static_cast<double>(pending_hosts_.size()); });
+  ts.AddSeries("pool.capacity_mb", [this] { return total_capacity_mb_; });
+  ts.AddSeries("pool.used_mb", [this] { return total_used_mb_; });
+  ts.AddSeries("pool.waiting_vms",
+               [this] { return static_cast<double>(num_waiting_vms_); });
+  // Index entry totals: the fleet-scale suspects. Each sampler sums one
+  // index family across markets (market count is small and fixed).
+  const auto entries = [](const std::map<MarketKey, std::set<InstanceId>>& m) {
+    size_t n = 0;
+    for (const auto& [market, bucket] : m) {
+      n += bucket.size();
+    }
+    return static_cast<double>(n);
+  };
+  ts.AddSeries("pool.index.capacity_entries", [this, entries] {
+    return entries(spot_index_) + entries(ondemand_index_);
+  });
+  ts.AddSeries("pool.index.placeable_entries", [this, entries] {
+    return entries(placeable_spot_index_) + entries(placeable_ondemand_index_);
+  });
+  ts.AddSeries("pool.index.pending_entries", [this, entries] {
+    return entries(pending_spot_index_) + entries(joinable_spot_index_);
+  });
 }
 
 std::string HostPoolManager::DumpHosts() const {

@@ -58,6 +58,8 @@
 
 namespace spotcheck {
 
+class TimeSeriesRecorder;
+
 // Why a VM is waiting for a host to come up.
 enum class WaitIntent : uint8_t {
   kInitialPlacement,       // fresh VM, first host
@@ -149,6 +151,10 @@ class HostPoolManager : public HostOccupancyListener {
   std::string DumpHosts() const;
   // Capacity accounting, dead-resident, and index-consistency checks.
   bool ValidateInvariants(std::string* error) const;
+  // Registers the pool's fleet/index-shape gauges (host counts, capacity,
+  // waitlist depth, per-market index entry totals) on `ts`. Samplers read
+  // pool state only; the recorder must outlive the pool's last sample.
+  void RegisterTelemetry(TimeSeriesRecorder& ts);
 
  private:
   struct PendingHost {

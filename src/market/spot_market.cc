@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/market/trace_catalog.h"
+#include "src/obs/timeseries.h"
 
 namespace spotcheck {
 
@@ -140,6 +141,18 @@ SpotMarket* MarketPlace::Find(MarketKey key) {
 const SpotMarket* MarketPlace::Find(MarketKey key) const {
   const auto it = markets_.find(key);
   return it == markets_.end() ? nullptr : it->second.get();
+}
+
+void MarketPlace::RegisterTelemetry(TimeSeriesRecorder& ts) {
+  ts.AddSeries("market.count",
+               [this] { return static_cast<double>(markets_.size()); });
+  ts.AddSeries("market.listeners", [this] {
+    size_t n = 0;
+    for (const auto& [key, market] : markets_) {
+      n += market->num_listeners();
+    }
+    return static_cast<double>(n);
+  });
 }
 
 std::vector<SpotMarket*> MarketPlace::All() {

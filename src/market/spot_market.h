@@ -22,6 +22,8 @@
 
 namespace spotcheck {
 
+class TimeSeriesRecorder;
+
 class SpotMarket {
  public:
   // `on_price_change` is invoked as (market, new_price) at each change point.
@@ -55,6 +57,7 @@ class SpotMarket {
   // Registers a listener; returns an id usable with Unsubscribe.
   int64_t Subscribe(PriceListener listener);
   void Unsubscribe(int64_t id);
+  size_t num_listeners() const { return listeners_.size(); }
 
   // Schedules the replay of all future price change points on `sim`.
   // Call once; listeners registered later still receive subsequent changes.
@@ -111,6 +114,10 @@ class MarketPlace {
   // Wall time this MarketPlace's fetches spent blocked on the shared
   // catalog (shard mutexes + single-flight waits). Observational only.
   int64_t trace_cache_lock_wait_ns() const { return trace_cache_lock_wait_ns_; }
+
+  // Registers market-shape gauges (market count, total price listeners) on
+  // `ts`. Samplers only read; `ts` must outlive this place's last sample.
+  void RegisterTelemetry(TimeSeriesRecorder& ts);
 
  private:
   Simulator* sim_;

@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 
 namespace spotcheck {
 
@@ -80,12 +81,21 @@ std::string BuildGridSummaryJson(
   bool chaos_active = false;
   int chaos_level = 0;
   uint64_t chaos_seed = 0;
+  // Fleet-wide event-cost roll-up: the per-cell profiles merged into one
+  // table. Category order (and sample_interval) come from the first
+  // profiled cell; MergeFrom adds counts/totals and keeps maxima.
+  EventCostProfiler hotspots;
+  int64_t profiled_cells = 0;
 
   for (const auto& report : reports) {
     if (report == nullptr) {
       continue;
     }
     cells.push_back(report->label);
+    if (report->profile != nullptr) {
+      hotspots.MergeFrom(*report->profile);
+      ++profiled_cells;
+    }
     if (report->chaos_active) {
       chaos_active = true;
       chaos_level = report->chaos_level;
@@ -144,6 +154,8 @@ std::string BuildGridSummaryJson(
 
   JsonWriter json;
   json.BeginObject();
+  json.Key("schema_version");
+  json.Int(kRunReportSchemaVersion);
   json.Key("num_cells");
   json.Int(static_cast<int64_t>(cells.size()));
   json.Key("cells");
@@ -246,6 +258,21 @@ std::string BuildGridSummaryJson(
     }
     json.EndArray();
     json.EndObject();
+  }
+
+  // Fleet-wide event-cost hotspots: every profiled cell's profile merged
+  // into one table (null when no cell ran with profiling enabled). The
+  // top est_total_ns categories here are the grid's wall-clock sinks.
+  json.Key("hotspots");
+  if (profiled_cells > 0) {
+    json.BeginObject();
+    json.Key("profiled_cells");
+    json.Int(profiled_cells);
+    json.Key("profile");
+    hotspots.WriteJson(json);
+    json.EndObject();
+  } else {
+    json.Null();
   }
 
   json.Key("slowest_evacuations");

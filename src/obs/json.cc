@@ -108,6 +108,11 @@ void JsonWriter::Int(int64_t value) {
   out_ += std::to_string(value);
 }
 
+void JsonWriter::Uint(uint64_t value) {
+  Prepare(false);
+  out_ += std::to_string(value);
+}
+
 void JsonWriter::Double(double value) {
   Prepare(false);
   if (!std::isfinite(value)) {

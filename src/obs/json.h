@@ -39,6 +39,9 @@ class JsonWriter {
 
   void String(std::string_view value);
   void Int(int64_t value);
+  // Exact unsigned emission: values >= 2^63 (and anything >= 2^53 that a
+  // double round-trip would corrupt) are written digit-for-digit.
+  void Uint(uint64_t value);
   void Double(double value);
   void Bool(bool value);
   void Null();

@@ -5,6 +5,8 @@
 #include <system_error>
 
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/obs/trace_analyzer.h"
 
@@ -13,6 +15,9 @@ namespace spotcheck {
 std::string RunReport::ToJson() const {
   JsonWriter json;
   json.BeginObject();
+  json.Key("schema_version");
+  json.Int(kRunReportSchemaVersion);
+
   json.Key("label");
   json.String(label);
 
@@ -48,6 +53,20 @@ std::string RunReport::ToJson() const {
   json.Key("trace_summary");
   if (trace != nullptr) {
     AnalyzeTrace(*trace).WriteJson(json);
+  } else {
+    json.Null();
+  }
+
+  json.Key("profile");
+  if (profile != nullptr) {
+    profile->WriteJson(json);
+  } else {
+    json.Null();
+  }
+
+  json.Key("timeseries");
+  if (timeseries != nullptr) {
+    timeseries->WriteSummaryJson(json);
   } else {
     json.Null();
   }

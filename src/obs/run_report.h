@@ -25,7 +25,20 @@
 
 namespace spotcheck {
 
+class EventCostProfiler;
 class SpanTracer;
+class TimeSeriesRecorder;
+
+// Version of the run_report.json / grid_summary.json document shape. Bump
+// when a section is added, removed, or restructured. History:
+//   1 (implicit; documents without the field): label/policy_spec/summary/
+//     chaos/trace_catalog/trace_summary/metrics/events (run_report) and
+//     num_cells/cells/chaos/totals/policies/per_market/contention/
+//     slowest_evacuations (grid_summary).
+//   2: adds "schema_version" itself, the "profile" (event-cost profiler)
+//     and "timeseries" (telemetry summary) sections to run_report, and the
+//     "hotspots" roll-up to grid_summary.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 // One controller decision, flattened to strings for serialization.
 struct RunReportEvent {
@@ -64,13 +77,21 @@ struct RunReport {
   bool chaos_active = false;
   int chaos_level = 0;
   uint64_t chaos_seed = 0;
+  // The cell's event-cost profile (null unless profiling was enabled);
+  // serialized as the "profile" section.
+  std::shared_ptr<const EventCostProfiler> profile;
+  // The cell's telemetry recorder (null unless time-series collection was
+  // enabled). The report embeds its compact summary, not the columnar
+  // rings -- the full series ships separately as timeseries.json.
+  std::shared_ptr<const TimeSeriesRecorder> timeseries;
 
   void AddSummary(std::string name, double value) {
     summary.emplace_back(std::move(name), value);
   }
 
-  // {"label": ..., "policy_spec": ..., "summary": {...}, "chaos": {...},
-  //  "trace_catalog": {...}, "trace_summary": {...}|null, "metrics": {...},
+  // {"schema_version": 2, "label": ..., "policy_spec": ..., "summary": {...},
+  //  "chaos": {...}, "trace_catalog": {...}, "trace_summary": {...}|null,
+  //  "profile": {...}|null, "timeseries": {...}|null, "metrics": {...},
   //  "events": [...]}
   std::string ToJson() const;
 

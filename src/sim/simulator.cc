@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace spotcheck {
@@ -87,6 +89,7 @@ void Simulator::OverflowAppend(const QueuedEvent& ev) {
     overflow_min_ = ev;
   }
   overflow_.push_back(ev);  // lands in the unsorted tail (I5)
+  ProfileAdd(profiler_, ProfileStat::kOverflowSpills);
 }
 
 // Rare slow path: an insert targets a bucket below the window start (the
@@ -114,6 +117,7 @@ void Simulator::RebaseRingTo(int64_t abs) {
   }
   ring_base_abs_ = abs;
   scan_abs_ = abs;
+  ProfileAdd(profiler_, ProfileStat::kRingRebases);
 }
 
 void Simulator::InsertEvent(const QueuedEvent& ev) {
@@ -148,11 +152,13 @@ void Simulator::InsertEvent(const QueuedEvent& ev) {
     } else {
       bucket.push_back(ev);
       bucket_sorted_[index] = 0;
+      ProfileAdd(profiler_, ProfileStat::kBucketDegrades);
     }
   } else {
     bucket.push_back(ev);
   }
   ++ring_count_;
+  ProfileAdd(profiler_, ProfileStat::kRingInserts);
   if (abs < scan_abs_) {
     scan_abs_ = abs;  // I3
   }
@@ -165,7 +171,8 @@ void Simulator::InsertEvent(const QueuedEvent& ev) {
 // and merge pairwise -- O(n log k) for k runs -- falling back to plain sort
 // when the tail is genuinely unordered. The comparator is a strict total
 // order (seq is unique), so every correct sort yields the same permutation.
-void Simulator::SortTail(OverflowIter first, OverflowIter last) {
+void Simulator::SortTail(OverflowIter first, OverflowIter last,
+                         EventCostProfiler* profiler) {
   const auto desc = [](const QueuedEvent& a, const QueuedEvent& b) {
     return Earlier(b, a);
   };
@@ -194,6 +201,7 @@ void Simulator::SortTail(OverflowIter first, OverflowIter last) {
     if (bounds.size() > 1 + n / 64) {
       // Too fragmented for merging to win (the reversals above are harmless
       // to re-sort).
+      ProfileAdd(profiler, ProfileStat::kLadderFallbackSorts);
       std::sort(first, last, desc);
       return;
     }
@@ -220,13 +228,20 @@ void Simulator::SortTail(OverflowIter first, OverflowIter last) {
 // width is retuned here -- and only here -- from the density of the
 // upcoming chunk, so retuning never remaps a queued ring event.
 void Simulator::Wrap() {
+  ProfileScope wrap_scope(profiler_, ProfileCategory::kCalendarWrap);
+  const int width_before = width_log2_;
   if (overflow_sorted_n_ < overflow_.size()) {
     const auto desc = [](const QueuedEvent& a, const QueuedEvent& b) {
       return Earlier(b, a);
     };
     const auto mid =
         overflow_.begin() + static_cast<int64_t>(overflow_sorted_n_);
-    SortTail(mid, overflow_.end());
+    ProfileAdd(profiler_, ProfileStat::kLadderMergedEvents,
+               static_cast<int64_t>(overflow_.size() - overflow_sorted_n_));
+    // kLadderMerge nests inside kCalendarWrap: wrap time includes merge
+    // time; the merge category isolates the sort-vs-drain split.
+    ProfileScope merge_scope(profiler_, ProfileCategory::kLadderMerge);
+    SortTail(mid, overflow_.end(), profiler_);
     std::inplace_merge(overflow_.begin(), mid, overflow_.end(), desc);
     overflow_sorted_n_ = overflow_.size();
   }
@@ -245,6 +260,9 @@ void Simulator::Wrap() {
         static_cast<uint64_t>(span) / static_cast<uint64_t>(kNumBuckets) + 1;
     width_log2_ = std::clamp(static_cast<int>(std::bit_width(per_bucket)),
                              kMinWidthLog2, kMaxWidthLog2);
+  }
+  if (width_log2_ != width_before) {
+    ProfileAdd(profiler_, ProfileStat::kCalendarRetunes);
   }
 
   ring_base_abs_ = BucketAbs(min_ev.when);
@@ -285,6 +303,9 @@ const Simulator::QueuedEvent* Simulator::FindEarliest() {
   }
   Bucket& bucket = buckets_[index];
   if (!bucket_sorted_[index]) {
+    ProfileScope sort_scope(profiler_, ProfileCategory::kLazyBucketSort);
+    ProfileAdd(profiler_, ProfileStat::kLazySortedEvents,
+               static_cast<int64_t>(bucket.size()));
     std::sort(bucket.begin(), bucket.end(),
               [](const QueuedEvent& a, const QueuedEvent& b) {
                 return Earlier(b, a);
@@ -380,8 +401,14 @@ void Simulator::RunOne() {
       tracer_->AttrNum(mark, "events_executed",
                        static_cast<double>(events_executed_));
     }
-    const ReplayStream& stream = streams_[ev.slot & ~kStreamBit];
-    stream.fire(stream.ctx, ev.generation);
+    {
+      ProfileScope scope(profiler_, ProfileCategory::kDispatchStream);
+      const ReplayStream& stream = streams_[ev.slot & ~kStreamBit];
+      stream.fire(stream.ctx, ev.generation);
+    }
+    if (timeseries_ != nullptr) {
+      timeseries_->SampleIfDue(now_);
+    }
     return;
   }
   Slot& s = slots_[ev.slot - 1];
@@ -405,14 +432,22 @@ void Simulator::RunOne() {
   // storage) or Cancel() its own now-stale handle (a no-op).
   EventCallback callback = std::move(s.callback);
   if (s.periodic) {
+    ProfileScope scope(profiler_, ProfileCategory::kDispatchPeriodic);
     PushEvent(ev.when + s.period, ev.slot, ev.generation);
     callback();
     // Re-lookup: the pool may have reallocated during the callback. The slot
     // is still this task's (its tick is queued), even if just cancelled.
     slots_[ev.slot - 1].callback = std::move(callback);
   } else {
+    ProfileScope scope(profiler_, ProfileCategory::kDispatchCallback);
     ReleaseSlot(ev.slot);
     callback();
+  }
+  // Sampled AFTER the event fully executed (and outside the profile scope):
+  // the recorder reads post-event state and never interacts with the queue,
+  // so it cannot perturb seq assignment or same-timestamp interleaving.
+  if (timeseries_ != nullptr) {
+    timeseries_->SampleIfDue(now_);
   }
 }
 
@@ -441,6 +476,17 @@ int64_t Simulator::RunUntil(SimTime deadline) {
     now_ = deadline;
   }
   return ran;
+}
+
+void Simulator::RegisterTelemetry(TimeSeriesRecorder& ts) {
+  ts.AddSeries("sim.queue_depth",
+               [this] { return static_cast<double>(pending_events()); });
+  ts.AddSeries("sim.ring_events",
+               [this] { return static_cast<double>(ring_count_); });
+  ts.AddSeries("sim.ladder_events",
+               [this] { return static_cast<double>(overflow_.size()); });
+  ts.AddSeries("sim.events_executed",
+               [this] { return static_cast<double>(events_executed_); });
 }
 
 bool Simulator::Step() {

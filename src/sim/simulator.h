@@ -48,10 +48,12 @@
 
 namespace spotcheck {
 
+class EventCostProfiler;
 class MetricCounter;
 class MetricGauge;
 class MetricsRegistry;
 class SpanTracer;
+class TimeSeriesRecorder;
 
 using EventCallback = UniqueCallback;
 
@@ -133,6 +135,23 @@ class Simulator {
   size_t pending_events() const { return queued_count() - cancelled_pending_; }
   int64_t events_executed() const { return events_executed_; }
 
+  // --- flight recorder (both purely observational, both nullable) ----------
+  // Attaches a sampled event-cost profiler: dispatch cost per event kind
+  // plus the calendar-queue maintenance episodes (ladder merges, wraps,
+  // lazy bucket sorts). Must outlive the simulator; null detaches.
+  void set_profiler(EventCostProfiler* profiler) { profiler_ = profiler; }
+  // Attaches a sim-time telemetry recorder, driven from the dispatch loop
+  // (one integer compare per executed event -- never via scheduled events,
+  // which would consume seq numbers and shift same-timestamp interleaving).
+  // Must outlive the simulator; null detaches.
+  void set_timeseries(TimeSeriesRecorder* timeseries) {
+    timeseries_ = timeseries;
+  }
+  // Registers the kernel's queue-shape gauges on `ts` (depth, ring vs
+  // ladder split). The recorder must then be attached via set_timeseries to
+  // actually sample.
+  void RegisterTelemetry(TimeSeriesRecorder& ts);
+
  private:
   // Ring geometry: 4096 buckets, width 2^width_log2_ microseconds each.
   // The window is therefore kNumBuckets * 2^width_log2_ us of simulated
@@ -190,7 +209,9 @@ class Simulator {
   void OverflowAppend(const QueuedEvent& ev);
   using OverflowIter = std::pmr::vector<QueuedEvent>::iterator;
   // Sorts an unsorted ladder tail descending, exploiting pre-sorted runs.
-  static void SortTail(OverflowIter first, OverflowIter last);
+  // `profiler` (nullable) records fragmented-tail fallbacks to std::sort.
+  static void SortTail(OverflowIter first, OverflowIter last,
+                       EventCostProfiler* profiler);
   void RebaseRingTo(int64_t abs);
   void Wrap();
   // Points scan_abs_ at the bucket holding the earliest queued event
@@ -257,6 +278,12 @@ class Simulator {
   SpanTracer* tracer_ = nullptr;
   uint32_t sim_track_ = 0;
   int64_t dispatch_sample_interval_ = 0;
+
+  // Flight recorder; both null unless attached. Observational only: the
+  // profiler reads wall clocks, the recorder reads sim state -- neither
+  // mutates it, so results stay bit-identical either way.
+  EventCostProfiler* profiler_ = nullptr;
+  TimeSeriesRecorder* timeseries_ = nullptr;
 };
 
 }  // namespace spotcheck

@@ -117,6 +117,29 @@ TEST(JsonWriterTest, DocumentsParseWithReferenceParser) {
   EXPECT_EQ(doc.Find("empty_array")->array.size(), 0u);
 }
 
+TEST(JsonWriterTest, UintEmitsFullPrecisionPastDoubleRange) {
+  // Int() takes int64 and Double() rounds past 2^53; profiler total_ns
+  // accumulators are uint64 and can legitimately exceed both. Uint() must
+  // emit every decimal digit exactly, including UINT64_MAX (which neither
+  // int64 nor double can represent).
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("max");
+  w.Uint(std::numeric_limits<uint64_t>::max());
+  w.Key("past_2_53");
+  w.Uint(9007199254740993ull);  // 2^53 + 1: rounds to 2^53 as a double
+  w.Key("zero");
+  w.Uint(0);
+  w.EndObject();
+  EXPECT_NE(w.str().find("18446744073709551615"), std::string::npos) << w.str();
+  EXPECT_NE(w.str().find("9007199254740993"), std::string::npos) << w.str();
+  // Still a valid JSON document for any reader.
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(w.str(), &doc)) << w.str();
+  ASSERT_EQ(doc.Find("zero")->kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(doc.Find("zero")->number, 0.0);
+}
+
 TEST(JsonWriterTest, NanAndInfinityBecomeNull) {
   JsonWriter w;
   w.BeginArray();

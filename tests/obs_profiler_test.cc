@@ -1,0 +1,205 @@
+#include "src/obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "tests/json_test_util.h"
+
+namespace spotcheck {
+namespace {
+
+using testjson::JsonValue;
+using testjson::ParseJson;
+
+TEST(EventCostProfilerTest, CountsEveryOccurrenceExactly) {
+  EventCostProfiler profiler;
+  for (int i = 0; i < 1000; ++i) {
+    if (profiler.Begin(ProfileCategory::kDispatchCallback)) {
+      profiler.End(ProfileCategory::kDispatchCallback, 10);
+    }
+  }
+  EXPECT_EQ(profiler.stats(ProfileCategory::kDispatchCallback).count, 1000);
+}
+
+TEST(EventCostProfilerTest, SampledCategoryTimesOneInN) {
+  ProfilerConfig config;
+  config.sample_interval = 64;
+  EventCostProfiler profiler(config);
+  int timed = 0;
+  for (int i = 0; i < 64 * 100; ++i) {
+    if (profiler.Begin(ProfileCategory::kDispatchStream)) {
+      ++timed;
+      profiler.End(ProfileCategory::kDispatchStream, 5);
+    }
+  }
+  // Exactly 1 in 64 after the seeded phase offset: 100 samples over 6400
+  // occurrences (the phase can shift which occurrences, never how many,
+  // by more than one).
+  EXPECT_GE(timed, 99);
+  EXPECT_LE(timed, 101);
+  EXPECT_EQ(profiler.stats(ProfileCategory::kDispatchStream).timed, timed);
+  EXPECT_EQ(profiler.stats(ProfileCategory::kDispatchStream).total_ns,
+            static_cast<uint64_t>(timed) * 5u);
+}
+
+TEST(EventCostProfilerTest, SamplingIsDeterministicInTheSeed) {
+  // Same seed => the same occurrence indices are timed; a different seed
+  // shifts the phase.
+  auto timed_indices = [](uint64_t seed) {
+    ProfilerConfig config;
+    config.sample_interval = 16;
+    config.seed = seed;
+    EventCostProfiler profiler(config);
+    std::vector<int> indices;
+    for (int i = 0; i < 200; ++i) {
+      if (profiler.Begin(ProfileCategory::kPoolCapacityIndex)) {
+        indices.push_back(i);
+        profiler.End(ProfileCategory::kPoolCapacityIndex, 1);
+      }
+    }
+    return indices;
+  };
+  EXPECT_EQ(timed_indices(7), timed_indices(7));
+  EXPECT_NE(timed_indices(7), timed_indices(8));
+}
+
+TEST(EventCostProfilerTest, DifferentCategoriesGetDifferentPhases) {
+  // The per-category stagger: with one seed, at most a few of the six
+  // sampled categories may share a first-timed index.
+  ProfilerConfig config;
+  config.sample_interval = 64;
+  config.seed = 3;
+  EventCostProfiler profiler(config);
+  std::set<int> first_timed;
+  for (size_t c = 0; c < kNumProfileCategories; ++c) {
+    const auto category = static_cast<ProfileCategory>(c);
+    if (EventCostProfiler::AlwaysTimed(category)) {
+      continue;
+    }
+    EventCostProfiler p(config);
+    for (int i = 0; i < 64; ++i) {
+      if (p.Begin(category)) {
+        first_timed.insert(i);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(first_timed.size(), 1u);
+}
+
+TEST(EventCostProfilerTest, MaintenanceCategoriesAlwaysTimed) {
+  EventCostProfiler profiler;
+  for (ProfileCategory c : {ProfileCategory::kLadderMerge,
+                            ProfileCategory::kCalendarWrap}) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(profiler.Begin(c));
+      profiler.End(c, 100);
+    }
+    EXPECT_EQ(profiler.stats(c).count, 10);
+    EXPECT_EQ(profiler.stats(c).timed, 10);
+    EXPECT_EQ(profiler.stats(c).total_ns, 1000u);
+  }
+}
+
+TEST(EventCostProfilerTest, MaxTracksTheLargestTimedOccurrence) {
+  EventCostProfiler profiler;
+  ASSERT_TRUE(profiler.Begin(ProfileCategory::kLadderMerge));
+  profiler.End(ProfileCategory::kLadderMerge, 50);
+  ASSERT_TRUE(profiler.Begin(ProfileCategory::kLadderMerge));
+  profiler.End(ProfileCategory::kLadderMerge, 500);
+  ASSERT_TRUE(profiler.Begin(ProfileCategory::kLadderMerge));
+  profiler.End(ProfileCategory::kLadderMerge, 5);
+  EXPECT_EQ(profiler.stats(ProfileCategory::kLadderMerge).max_ns, 500u);
+}
+
+TEST(EventCostProfilerTest, StructuralCountersAccumulate) {
+  EventCostProfiler profiler;
+  profiler.Add(ProfileStat::kIndexInserts);
+  profiler.Add(ProfileStat::kIndexInserts, 41);
+  profiler.Add(ProfileStat::kOverflowSpills, 7);
+  EXPECT_EQ(profiler.stat(ProfileStat::kIndexInserts), 42);
+  EXPECT_EQ(profiler.stat(ProfileStat::kOverflowSpills), 7);
+  EXPECT_EQ(profiler.stat(ProfileStat::kCalendarRetunes), 0);
+}
+
+TEST(EventCostProfilerTest, NullTolerantHelpersAreNoOps) {
+  ProfileAdd(nullptr, ProfileStat::kIndexInserts, 5);
+  { ProfileScope scope(nullptr, ProfileCategory::kCalendarWrap); }
+  // With a real profiler, the helpers hit it.
+  EventCostProfiler profiler;
+  ProfileAdd(&profiler, ProfileStat::kIndexErases, 3);
+  { ProfileScope scope(&profiler, ProfileCategory::kCalendarWrap); }
+  EXPECT_EQ(profiler.stat(ProfileStat::kIndexErases), 3);
+  EXPECT_EQ(profiler.stats(ProfileCategory::kCalendarWrap).count, 1);
+  EXPECT_EQ(profiler.stats(ProfileCategory::kCalendarWrap).timed, 1);
+}
+
+TEST(EventCostProfilerTest, MergeSumsCountsAndKeepsMaxima) {
+  EventCostProfiler a;
+  ASSERT_TRUE(a.Begin(ProfileCategory::kLadderMerge));
+  a.End(ProfileCategory::kLadderMerge, 100);
+  a.Add(ProfileStat::kRingInserts, 10);
+
+  EventCostProfiler b;
+  ASSERT_TRUE(b.Begin(ProfileCategory::kLadderMerge));
+  b.End(ProfileCategory::kLadderMerge, 300);
+  b.Add(ProfileStat::kRingInserts, 5);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.stats(ProfileCategory::kLadderMerge).count, 2);
+  EXPECT_EQ(a.stats(ProfileCategory::kLadderMerge).timed, 2);
+  EXPECT_EQ(a.stats(ProfileCategory::kLadderMerge).total_ns, 400u);
+  EXPECT_EQ(a.stats(ProfileCategory::kLadderMerge).max_ns, 300u);
+  EXPECT_EQ(a.stat(ProfileStat::kRingInserts), 15);
+}
+
+TEST(EventCostProfilerTest, JsonListsEveryCategoryAndCounter) {
+  EventCostProfiler profiler;
+  ASSERT_TRUE(profiler.Begin(ProfileCategory::kCalendarWrap));
+  profiler.End(ProfileCategory::kCalendarWrap, 250);
+  profiler.Add(ProfileStat::kCalendarRetunes, 2);
+
+  JsonWriter json;
+  profiler.WriteJson(json);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json.str(), &doc)) << json.str();
+
+  const JsonValue* categories = doc.Find("categories");
+  ASSERT_NE(categories, nullptr);
+  EXPECT_EQ(categories->object.size(), kNumProfileCategories);
+  const JsonValue* wrap = categories->Find("calendar_wrap");
+  ASSERT_NE(wrap, nullptr);
+  EXPECT_DOUBLE_EQ(wrap->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(wrap->Find("total_ns")->number, 250.0);
+  EXPECT_DOUBLE_EQ(wrap->Find("mean_ns")->number, 250.0);
+  EXPECT_DOUBLE_EQ(wrap->Find("est_total_ns")->number, 250.0);
+
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->object.size(), kNumProfileStats);
+  EXPECT_DOUBLE_EQ(counters->Find("calendar_retunes")->number, 2.0);
+  // Untouched entries are present with zeros (stable schema).
+  EXPECT_DOUBLE_EQ(counters->Find("overflow_spills")->number, 0.0);
+}
+
+TEST(EventCostProfilerTest, EveryNameIsNonEmptyAndUnique) {
+  std::set<std::string_view> names;
+  for (size_t c = 0; c < kNumProfileCategories; ++c) {
+    const std::string_view name =
+        ProfileCategoryName(static_cast<ProfileCategory>(c));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  for (size_t s = 0; s < kNumProfileStats; ++s) {
+    const std::string_view name = ProfileStatName(static_cast<ProfileStat>(s));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+}  // namespace
+}  // namespace spotcheck
